@@ -1,0 +1,83 @@
+// Ablation: the autotuner (§III-D's per-size tuning at deployment). For a
+// spread of workload shapes, compares the library's default configuration
+// against the tuner's pick and reports the gain.
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "vbatch/core/autotune.hpp"
+
+namespace {
+
+using namespace vbatch;
+
+struct Workload {
+  const char* name;
+  SizeDist dist;
+  int batch;
+  int nmax;
+};
+const Workload kWorkloads[] = {
+    {"small-uniform", SizeDist::Uniform, 3000, 64},
+    {"mid-uniform", SizeDist::Uniform, 1000, 256},
+    {"large-uniform", SizeDist::Uniform, 500, 1200},
+    {"mid-gaussian", SizeDist::Gaussian, 1000, 256},
+    {"tiny-batch", SizeDist::Uniform, 60, 128},
+};
+
+struct TunePoint {
+  double default_gflops = 0.0;
+  double tuned_gflops = 0.0;
+  std::string config;
+};
+std::map<int, TunePoint> g_points;
+
+void BM_Autotune(benchmark::State& state) {
+  const Workload& w = kWorkloads[state.range(0)];
+  Rng rng(777);
+  const auto sizes = make_sizes(w.dist, rng, w.batch, w.nmax);
+  TunePoint p;
+  for (auto _ : state) {
+    Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+    p.default_gflops = bench::timed_vbatched<double>(sizes, {});
+    const auto tuned = autotune_potrf<double>(q, sizes);
+    p.tuned_gflops = bench::timed_vbatched<double>(sizes, tuned.best);
+    TuneCandidate best;
+    best.options = tuned.best;
+    best.gflops = tuned.best_gflops;
+    p.config = best.describe();
+  }
+  state.counters["default"] = p.default_gflops;
+  state.counters["tuned"] = p.tuned_gflops;
+  state.counters["gain_pct"] = (p.tuned_gflops - p.default_gflops) / p.default_gflops * 100.0;
+  g_points[static_cast<int>(state.range(0))] = p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (std::size_t i = 0; i < std::size(kWorkloads); ++i) {
+    benchmark::RegisterBenchmark(
+        (std::string("AblationAutotune/dpotrf/") + kWorkloads[i].name).c_str(), &BM_Autotune)
+        ->Args({static_cast<long>(i)})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  return bench::run_and_report(argc, argv, "autotune ablation", [](bench::ShapeChecks& sc) {
+    util::Table t({"workload", "default GF/s", "tuned GF/s", "gain %", "tuned config"});
+    bool never_worse = true;
+    double best_gain = 0.0;
+    for (std::size_t i = 0; i < std::size(kWorkloads); ++i) {
+      const auto& p = g_points[static_cast<int>(i)];
+      const double gain = (p.tuned_gflops - p.default_gflops) / p.default_gflops;
+      t.new_row().add(kWorkloads[i].name).add(p.default_gflops, 1).add(p.tuned_gflops, 1)
+          .add(gain * 100.0, 1).add(p.config);
+      if (p.tuned_gflops < p.default_gflops * 0.999) never_worse = false;
+      best_gain = std::max(best_gain, gain);
+    }
+    std::printf("\nAutotuner vs default configuration (DP):\n");
+    t.print(std::cout);
+    sc.expect(never_worse, "tuned configuration never loses to the default");
+    sc.expect(best_gain > 0.02, "tuning finds a >2% win on at least one workload shape");
+  });
+}

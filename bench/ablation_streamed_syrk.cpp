@@ -1,0 +1,74 @@
+// Ablation: the trailing-update alternatives of §III-E3 — the vbatched
+// MAGMA-style syrk grid against the streamed per-matrix syrk (one kernel
+// per matrix on concurrent streams, the CUBLAS pattern). The paper selects
+// between them with a tuning process; this bench shows the trade-off the
+// tuner navigates.
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace vbatch;
+
+const int kNmax[] = {256, 512, 768, 1024, 1536, 2048};
+const int kBatches[] = {100, 800};
+
+std::map<std::pair<int, int>, std::pair<double, double>> g_results;  // (batch,nmax)->(vb,streamed)
+
+void BM_SyrkAlternatives(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const int nmax = static_cast<int>(state.range(1));
+  Rng rng(17);
+  const auto sizes = uniform_sizes(rng, batch, nmax);
+  double vb = 0.0, streamed = 0.0;
+  for (auto _ : state) {
+    PotrfOptions o;
+    o.path = PotrfPath::Separated;
+    o.streamed_syrk = false;
+    vb = bench::timed_vbatched<double>(sizes, o);
+    o.streamed_syrk = true;
+    streamed = bench::timed_vbatched<double>(sizes, o);
+  }
+  state.counters["vbatched_syrk"] = vb;
+  state.counters["streamed_syrk"] = streamed;
+  g_results[{batch, nmax}] = {vb, streamed};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::validate_numerics<double>(
+      {.path = vbatch::PotrfPath::Separated, .streamed_syrk = true});
+
+  for (int batch : kBatches) {
+    for (int nmax : kNmax) {
+      benchmark::RegisterBenchmark(("AblationSyrk/dpotrf_separated/batch=" +
+                                    std::to_string(batch) + "/Nmax=" + std::to_string(nmax))
+                                       .c_str(),
+                                   &BM_SyrkAlternatives)
+          ->Args({batch, nmax})
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  return bench::run_and_report(argc, argv, "streamed syrk ablation", [](bench::ShapeChecks& sc) {
+    util::Table t({"batch", "Nmax", "vbatched syrk", "streamed syrk", "streamed/vbatched"});
+    for (const auto& [key, v] : g_results) {
+      t.new_row().add(key.first).add(key.second).add(v.first, 1).add(v.second, 1)
+          .add(v.second / v.first, 2);
+    }
+    std::printf("\nTrailing-update alternatives (DP Gflop/s):\n");
+    t.print(std::cout);
+
+    // The vbatched grid wins when there are many small updates (launch
+    // amortization); streaming becomes competitive for few large matrices.
+    const auto& many_small = g_results[{800, 256}];
+    sc.expect(many_small.first > many_small.second,
+              "vbatched syrk wins for many small matrices (launch amortization)");
+    const auto& few_large = g_results[{100, 2048}];
+    sc.expect(few_large.second > few_large.first * 0.7,
+              "streamed syrk competitive for fewer, larger matrices");
+  });
+}

@@ -1,0 +1,106 @@
+// Shared infrastructure for the per-figure benchmark binaries.
+//
+// Every figure bench follows the same pattern:
+//   1. a Full-mode smoke validation on a small batch (the numerics behind
+//      the timing sweep are the real ones — this gate proves it);
+//   2. a TimingOnly sweep registered as google-benchmark cases, reporting
+//      the modelled Gflop/s as counters (the paper's metric: summed
+//      per-matrix flops over elapsed time, §IV-B);
+//   3. a paper-style series table on stdout;
+//   4. shape assertions against the paper's qualitative claims, printed as
+//      a PASS/FAIL summary (the process exits non-zero on FAIL).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/core/potrf_vbatched.hpp"
+#include "vbatch/core/size_dist.hpp"
+#include "vbatch/util/error.hpp"
+#include "vbatch/util/table.hpp"
+
+namespace bench {
+
+/// Collects qualitative shape assertions and renders the summary.
+class ShapeChecks {
+ public:
+  void expect(bool pass, const std::string& what) {
+    results_.push_back({pass, what});
+    if (!pass) ++failures_;
+  }
+
+  /// Prints the summary; returns the number of failures.
+  int report(const char* figure) const {
+    std::printf("\n=== shape checks (%s) ===\n", figure);
+    for (const auto& [pass, what] : results_) {
+      std::printf("  [%s] %s\n", pass ? "PASS" : "FAIL", what.c_str());
+    }
+    std::printf("%zu checks, %d failures\n", results_.size(), failures_);
+    return failures_;
+  }
+
+ private:
+  std::vector<std::pair<bool, std::string>> results_;
+  int failures_ = 0;
+};
+
+/// Full-mode numerical gate: factors a small random vbatched problem with
+/// the given options and verifies every residual. Aborts on failure so a
+/// broken kernel can never produce a plausible-looking performance table.
+template <typename T>
+inline void validate_numerics(const vbatch::PotrfOptions& opts, int count = 24, int nmax = 72) {
+  using namespace vbatch;
+  Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::Full);
+  Rng rng(12345);
+  auto sizes = uniform_sizes(rng, count, nmax);
+  Batch<T> batch(q, sizes);
+  batch.fill_spd(rng);
+  std::vector<std::vector<T>> originals;
+  for (int i = 0; i < batch.count(); ++i) originals.push_back(batch.copy_matrix(i));
+  potrf_vbatched<T>(q, Uplo::Lower, batch, opts);
+  const double tol = precision_v<T> == Precision::Double ? 1e-12 : 2e-5;
+  for (int i = 0; i < batch.count(); ++i) {
+    if (batch.info()[static_cast<std::size_t>(i)] != 0) {
+      std::fprintf(stderr, "numerical gate: info[%d] != 0\n", i);
+      std::abort();
+    }
+    const int n = sizes[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    ConstMatrixView<T> orig(originals[static_cast<std::size_t>(i)].data(), n, n, n);
+    const double res = blas::potrf_residual<T>(Uplo::Lower, orig, batch.matrix(i));
+    if (!(res < tol)) {
+      std::fprintf(stderr, "numerical gate: residual %g for matrix %d (n=%d)\n", res, i, n);
+      std::abort();
+    }
+  }
+  std::printf("numerical gate passed (%d matrices, max n %d, %s)\n", count, nmax,
+              std::string(precision_of<T>::name).c_str());
+}
+
+/// Runs one vbatched factorization in TimingOnly mode; returns Gflop/s.
+template <typename T>
+inline double timed_vbatched(const std::vector<int>& sizes, const vbatch::PotrfOptions& opts) {
+  using namespace vbatch;
+  Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Batch<T> batch(q, sizes);
+  return potrf_vbatched<T>(q, Uplo::Lower, batch, opts).gflops();
+}
+
+/// Standard main body: run google-benchmark, then the shape summary.
+inline int run_and_report(int argc, char** argv, const char* figure,
+                          const std::function<void(ShapeChecks&)>& checks) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  ShapeChecks sc;
+  checks(sc);
+  return sc.report(figure) == 0 ? 0 : 1;
+}
+
+}  // namespace bench

@@ -1,0 +1,60 @@
+// Figure 3: histograms of the matrix-size distributions used by every
+// vbatched experiment — uniform over [1, Nmax] and Gaussian centred at
+// ⌊Nmax/2⌋ — for a batch count of 2000 and Nmax = 512 (paper §IV-B).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace vbatch;
+
+constexpr int kBatch = 2000;
+constexpr int kNmax = 512;
+
+SizeStats g_stats[2];
+
+void BM_Distribution(benchmark::State& state) {
+  const auto dist = static_cast<SizeDist>(state.range(0));
+  std::vector<int> sizes;
+  for (auto _ : state) {
+    Rng rng(2016);
+    sizes = make_sizes(dist, rng, kBatch, kNmax);
+    benchmark::DoNotOptimize(sizes.data());
+  }
+  const auto st = size_stats(sizes);
+  g_stats[state.range(0)] = st;
+  state.counters["mean"] = st.mean;
+  state.counters["stddev"] = st.stddev;
+  state.counters["min"] = st.min;
+  state.counters["max"] = st.max;
+
+  std::cout << "\nFig. 3" << (dist == SizeDist::Uniform ? "a" : "b") << " — "
+            << to_string(dist) << " distribution, batch " << kBatch << ", Nmax " << kNmax
+            << ":\n";
+  util::print_histogram(std::cout, sizes, 32, kNmax);
+}
+
+BENCHMARK(BM_Distribution)
+    ->Arg(static_cast<int>(SizeDist::Uniform))
+    ->Arg(static_cast<int>(SizeDist::Gaussian))
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::run_and_report(argc, argv, "Fig. 3", [](bench::ShapeChecks& sc) {
+    const auto& uni = g_stats[0];
+    const auto& gau = g_stats[1];
+    sc.expect(uni.min >= 1 && uni.max <= kNmax, "uniform sizes stay inside [1, Nmax]");
+    sc.expect(std::abs(uni.mean - kNmax / 2.0) < kNmax * 0.04,
+              "uniform mean near Nmax/2 (paper: sizes spread over the whole range)");
+    sc.expect(uni.stddev > 135.0 && uni.stddev < 160.0,
+              "uniform stddev near (Nmax-1)/sqrt(12)");
+    sc.expect(std::abs(gau.mean - kNmax / 2.0) < kNmax * 0.04,
+              "gaussian mean near floor(Nmax/2) (paper §IV-B)");
+    sc.expect(gau.stddev < uni.stddev * 0.75,
+              "gaussian concentrates around the mean, fewer sizes near the boundaries");
+  });
+}

@@ -1,0 +1,97 @@
+// Figure 4: impact of kernel fusion on the fixed-size batched Cholesky —
+// the fused kernel (§III-D) against the classic separated building-block
+// BLAS approach (Haidar et al. [13]), batch count 3000, single and double
+// precision, plus the relative-speedup series (Fig. 4c).
+//
+// Paper shape: large fusion speedups for very small matrices (up to ~13×
+// SP / ~7× DP), decaying with size and dropping below 1× for the largest
+// sizes ("a steady trend where the speedup is going below one").
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "vbatch/core/potrf_batched_fixed.hpp"
+#include "vbatch/core/potrf_classic.hpp"
+
+namespace {
+
+using namespace vbatch;
+
+constexpr int kBatch = 3000;
+const int kSizes[] = {8, 16, 32, 64, 96, 128, 192, 256, 384, 512};
+
+// speedup[precision][n]
+std::map<int, double> g_speedup_sp, g_speedup_dp;
+
+template <typename T>
+void BM_Fusion(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  double fused = 0.0, classic = 0.0;
+  for (auto _ : state) {
+    {
+      Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+      auto b = Batch<T>::fixed(q, kBatch, n);
+      PotrfOptions o;
+      o.path = PotrfPath::Fused;
+      fused = potrf_batched_fixed<T>(q, Uplo::Lower, b, o).gflops();
+    }
+    {
+      Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+      auto b = Batch<T>::fixed(q, kBatch, n);
+      classic = potrf_batched_classic<T>(q, Uplo::Lower, b).gflops();
+    }
+  }
+  state.counters["fused_gflops"] = fused;
+  state.counters["separated_gflops"] = classic;
+  state.counters["speedup"] = fused / classic;
+  auto& out = precision_v<T> == Precision::Single ? g_speedup_sp : g_speedup_dp;
+  out[n] = fused / classic;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::validate_numerics<double>({.path = vbatch::PotrfPath::Fused});
+
+  // Register explicit size points for both precisions.
+  for (int n : kSizes) {
+    benchmark::RegisterBenchmark(("Fig4a/sgemm_fused_vs_separated/n=" + std::to_string(n)).c_str(),
+                                 &BM_Fusion<float>)
+        ->Args({n})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("Fig4b/dgemm_fused_vs_separated/n=" + std::to_string(n)).c_str(),
+                                 &BM_Fusion<double>)
+        ->Args({n})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+
+  return bench::run_and_report(argc, argv, "Fig. 4", [](bench::ShapeChecks& sc) {
+    vbatch::util::Table t({"n", "SP speedup", "DP speedup"});
+    for (int n : kSizes) {
+      t.new_row().add(n).add(g_speedup_sp[n], 2).add(g_speedup_dp[n], 2);
+    }
+    std::printf("\nFig. 4c — relative speedup of kernel fusion over separated BLAS:\n");
+    t.print(std::cout);
+
+    double sp_peak = 0.0, dp_peak = 0.0;
+    for (int n : kSizes) {
+      sp_peak = std::max(sp_peak, g_speedup_sp[n]);
+      dp_peak = std::max(dp_peak, g_speedup_dp[n]);
+    }
+    sc.expect(sp_peak >= 4.0, "SP fusion speedup reaches several-fold for small sizes "
+                              "(paper: up to 13x)");
+    sc.expect(dp_peak >= 3.0, "DP fusion speedup reaches several-fold for small sizes "
+                              "(paper: up to 7x)");
+    sc.expect(sp_peak > dp_peak, "SP fusion speedup exceeds DP (paper Fig. 4c)");
+    sc.expect(g_speedup_sp[32] > g_speedup_sp[512],
+              "SP speedup decays as matrices grow");
+    sc.expect(g_speedup_dp[32] > g_speedup_dp[512],
+              "DP speedup decays as matrices grow");
+    sc.expect(g_speedup_dp[512] < 1.0,
+              "DP speedup drops below 1x at large sizes (paper: 'going below one')");
+    sc.expect(g_speedup_sp[512] < 2.0,
+              "SP speedup approaches the crossover at the largest sizes");
+  });
+}

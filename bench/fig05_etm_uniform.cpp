@@ -1,0 +1,121 @@
+// Figure 5: the four fused-kernel vbatched POTRF versions — ETM-classic,
+// ETM-aggressive, each with and without implicit sorting — on uniformly
+// distributed sizes, batch count 3000, single and double precision.
+//
+// Paper shape (§IV-D): ETM-aggressive beats ETM-classic by 12–33% (SP) and
+// 11–35% (DP); implicit sorting lifts ETM-classic by up to 42% (SP) / 60%
+// (DP) and ETM-aggressive by up to 15% (SP) / 41% (DP).
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace vbatch;
+
+constexpr int kBatch = 3000;
+const int kNmaxSp[] = {64, 128, 192, 256, 320, 384, 448, 512};
+const int kNmaxDp[] = {64, 128, 192, 256, 320, 384, 448};
+
+struct VariantResult {
+  double classic = 0, aggressive = 0, classic_sort = 0, aggressive_sort = 0;
+};
+std::map<int, VariantResult> g_sp, g_dp;
+
+template <typename T>
+void BM_EtmVariants(benchmark::State& state) {
+  const int nmax = static_cast<int>(state.range(0));
+  Rng rng(2016);
+  const auto sizes = uniform_sizes(rng, kBatch, nmax);
+  VariantResult r;
+  for (auto _ : state) {
+    PotrfOptions o;
+    o.path = PotrfPath::Fused;
+    o.etm = EtmMode::Classic;
+    o.implicit_sorting = false;
+    r.classic = bench::timed_vbatched<T>(sizes, o);
+    o.etm = EtmMode::Aggressive;
+    r.aggressive = bench::timed_vbatched<T>(sizes, o);
+    o.etm = EtmMode::Classic;
+    o.implicit_sorting = true;
+    r.classic_sort = bench::timed_vbatched<T>(sizes, o);
+    o.etm = EtmMode::Aggressive;
+    r.aggressive_sort = bench::timed_vbatched<T>(sizes, o);
+  }
+  state.counters["etm_classic"] = r.classic;
+  state.counters["etm_aggressive"] = r.aggressive;
+  state.counters["classic_sorting"] = r.classic_sort;
+  state.counters["aggressive_sorting"] = r.aggressive_sort;
+  (precision_v<T> == Precision::Single ? g_sp : g_dp)[nmax] = r;
+}
+
+void print_series(const char* name, const std::map<int, VariantResult>& data) {
+  util::Table t({"Nmax", "ETM-classic", "ETM-aggressive", "classic+sort", "aggr+sort"});
+  for (const auto& [nmax, r] : data) {
+    t.new_row().add(nmax).add(r.classic, 1).add(r.aggressive, 1).add(r.classic_sort, 1)
+        .add(r.aggressive_sort, 1);
+  }
+  std::printf("\n%s (Gflop/s):\n", name);
+  t.print(std::cout);
+}
+
+void check_series(bench::ShapeChecks& sc, const char* prec,
+                  const std::map<int, VariantResult>& data, double aggr_lo, double aggr_hi,
+                  double sort_classic_hi, double sort_aggr_hi) {
+  double min_aggr_gain = 1e9, max_aggr_gain = 0.0;
+  double max_sort_classic = 0.0, max_sort_aggr = 0.0;
+  bool sort_never_much_worse = true;
+  for (const auto& [nmax, r] : data) {
+    const double ag = (r.aggressive - r.classic) / r.classic;
+    min_aggr_gain = std::min(min_aggr_gain, ag);
+    max_aggr_gain = std::max(max_aggr_gain, ag);
+    max_sort_classic = std::max(max_sort_classic, (r.classic_sort - r.classic) / r.classic);
+    max_sort_aggr = std::max(max_sort_aggr, (r.aggressive_sort - r.aggressive) / r.aggressive);
+    if (r.classic_sort < r.classic * 0.95 || r.aggressive_sort < r.aggressive * 0.95)
+      sort_never_much_worse = false;
+  }
+  sc.expect(min_aggr_gain > 0.0,
+            std::string(prec) + ": ETM-aggressive beats ETM-classic at every size");
+  sc.expect(max_aggr_gain >= aggr_lo && max_aggr_gain <= aggr_hi,
+            std::string(prec) + ": peak aggressive-vs-classic gain in the paper's range");
+  sc.expect(max_sort_classic >= sort_classic_hi,
+            std::string(prec) + ": implicit sorting lifts ETM-classic substantially");
+  sc.expect(max_sort_aggr >= sort_aggr_hi,
+            std::string(prec) + ": implicit sorting lifts ETM-aggressive");
+  sc.expect(sort_never_much_worse,
+            std::string(prec) + ": sorting never costs more than 5% anywhere");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::validate_numerics<float>(
+      {.path = vbatch::PotrfPath::Fused, .etm = vbatch::EtmMode::Classic});
+  bench::validate_numerics<double>(
+      {.path = vbatch::PotrfPath::Fused, .implicit_sorting = true});
+
+  for (int nmax : kNmaxSp) {
+    benchmark::RegisterBenchmark(("Fig5a/spotrf_vbatched/Nmax=" + std::to_string(nmax)).c_str(),
+                                 &BM_EtmVariants<float>)
+        ->Args({nmax})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (int nmax : kNmaxDp) {
+    benchmark::RegisterBenchmark(("Fig5b/dpotrf_vbatched/Nmax=" + std::to_string(nmax)).c_str(),
+                                 &BM_EtmVariants<double>)
+        ->Args({nmax})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+
+  return bench::run_and_report(argc, argv, "Fig. 5", [](bench::ShapeChecks& sc) {
+    print_series("Fig. 5a — single precision, uniform sizes", g_sp);
+    print_series("Fig. 5b — double precision, uniform sizes", g_dp);
+    // Paper: aggr gains 12-33% SP / 11-35% DP; sorting up to 42%/15% SP and
+    // 60%/41% DP (classic/aggressive respectively).
+    check_series(sc, "SP", g_sp, 0.12, 0.50, 0.30, 0.10);
+    check_series(sc, "DP", g_dp, 0.11, 0.50, 0.30, 0.15);
+  });
+}

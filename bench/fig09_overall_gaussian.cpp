@@ -1,0 +1,59 @@
+// Figure 9: overall performance of the vbatched POTRF against every
+// alternative of §IV-F, GAUSSIAN sizes, batch count 800.
+//
+// Paper shape: speedups over the best CPU competitor of 1.31–2.07× (SP)
+// and 1.21–2.52× (DP); same ordering of alternatives as Fig. 8.
+#include "overall_common.hpp"
+
+namespace {
+
+using namespace vbatch;
+using bench_overall::OverallResult;
+
+constexpr int kBatch = 800;
+const int kNmax[] = {100, 200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800, 2000, 2200};
+
+std::map<int, OverallResult> g_sp, g_dp;
+
+template <typename T>
+void BM_OverallGaussian(benchmark::State& state) {
+  const int nmax = static_cast<int>(state.range(0));
+  Rng rng(99);
+  const auto sizes = gaussian_sizes(rng, kBatch, nmax);
+  OverallResult r;
+  for (auto _ : state) r = bench_overall::run_point<T>(sizes, nmax);
+  state.counters["vbatched"] = r.vbatched;
+  state.counters["hybrid"] = r.hybrid;
+  state.counters["padding"] = r.padding_oom ? 0.0 : r.padding;
+  state.counters["cpu_mt"] = r.cpu_mt;
+  state.counters["cpu_static"] = r.cpu_static;
+  state.counters["cpu_dynamic"] = r.cpu_dynamic;
+  (precision_v<T> == Precision::Single ? g_sp : g_dp)[nmax] = r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::validate_numerics<double>({});
+
+  for (int nmax : kNmax) {
+    benchmark::RegisterBenchmark(("Fig9a/spotrf_overall/Nmax=" + std::to_string(nmax)).c_str(),
+                                 &BM_OverallGaussian<float>)
+        ->Args({nmax})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("Fig9b/dpotrf_overall/Nmax=" + std::to_string(nmax)).c_str(),
+                                 &BM_OverallGaussian<double>)
+        ->Args({nmax})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+
+  return bench::run_and_report(argc, argv, "Fig. 9", [](bench::ShapeChecks& sc) {
+    bench_overall::print_series("Fig. 9a — single precision, gaussian sizes", g_sp);
+    bench_overall::print_series("Fig. 9b — double precision, gaussian sizes", g_dp);
+    // Paper: 1.31–2.07× (SP), 1.21–2.52× (DP); allow a tolerant band.
+    bench_overall::check_series(sc, "SP", g_sp, 1.0, 3.2);
+    bench_overall::check_series(sc, "DP", g_dp, 1.0, 3.2);
+  });
+}

@@ -1,0 +1,124 @@
+// Figure 10: energy to solution for the vbatched dpotrf — the GPU
+// implementation (simulated K40c, NVML-style power integration) against the
+// fastest CPU implementation ("the optimized MKL Library within a
+// dynamically unrolled parallel OpenMP loop, assigning one core per matrix
+// at a time"), PAPI-style power integration (paper §IV-G).
+//
+// Paper shape: "the GPU implementation is always more efficient than the
+// CPU ones, in terms of both time and energy to solution ... up to a factor
+// of 3× more energy efficient." One bar group per matrix-size range.
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "vbatch/cpu/cpu_batched.hpp"
+#include "vbatch/energy/energy_meter.hpp"
+
+namespace {
+
+using namespace vbatch;
+
+constexpr int kBatch = 800;
+
+// Size ranges mirroring the paper's bar groups (min:max of the batch).
+struct Range {
+  int lo, hi;
+};
+// Ranges chosen so that batch 800 in double precision stays inside the
+// 12 GB device memory (the largest group uses ~7.6 GB).
+const Range kRanges[] = {{32, 128},  {128, 256}, {256, 384},  {384, 512},
+                         {512, 640}, {640, 768}, {768, 1024}, {1024, 1216}};
+
+struct EnergyPoint {
+  double gpu_joules = 0, cpu_joules = 0, gpu_seconds = 0, cpu_seconds = 0;
+  [[nodiscard]] double ratio() const { return cpu_joules / gpu_joules; }
+};
+std::map<int, EnergyPoint> g_points;  // keyed by range lo
+
+std::vector<int> range_sizes(const Range& r) {
+  Rng rng(2016u + static_cast<unsigned>(r.lo));
+  std::vector<int> sizes(kBatch);
+  for (auto& s : sizes) s = static_cast<int>(rng.uniform_int(r.lo, r.hi));
+  return sizes;
+}
+
+void BM_Energy(benchmark::State& state) {
+  const Range r = kRanges[state.range(0)];
+  const auto sizes = range_sizes(r);
+  EnergyPoint p;
+  for (auto _ : state) {
+    // GPU run: integrate modelled power over the device timeline.
+    Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+    Batch<double> b(q, sizes);
+    potrf_vbatched<double>(q, Uplo::Lower, b);
+    const auto ge = energy::gpu_run_energy(q.spec(), energy::PowerModel::k40c(),
+                                           energy::PowerModel::dual_e5_2670(),
+                                           q.device().timeline(), Precision::Double);
+    p.gpu_joules = ge.joules;
+    p.gpu_seconds = ge.seconds;
+
+    // Fastest CPU run: dynamic one-core-per-matrix.
+    const auto cpu_spec = cpu::CpuSpec::dual_e5_2670();
+    std::vector<int> lda(sizes.begin(), sizes.end());
+    std::vector<int> info(sizes.size(), 0);
+    std::vector<double*> null_ptrs(sizes.size(), nullptr);
+    const auto cr = cpu::potrf_batched_per_core<double>(cpu_spec, cpu::Schedule::Dynamic,
+                                                        Uplo::Lower, sizes, null_ptrs.data(),
+                                                        lda, info, false);
+    const auto ce = energy::cpu_run_energy(energy::PowerModel::dual_e5_2670(),
+                                           energy::PowerModel::k40c(), cr.seconds, cr.gflops(),
+                                           cpu_spec.total_peak_gflops(Precision::Double));
+    p.cpu_joules = ce.joules;
+    p.cpu_seconds = ce.seconds;
+  }
+  state.counters["gpu_joules"] = p.gpu_joules;
+  state.counters["cpu_joules"] = p.cpu_joules;
+  state.counters["cpu_over_gpu"] = p.ratio();
+  g_points[r.lo] = p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::validate_numerics<double>({});
+
+  for (std::size_t i = 0; i < std::size(kRanges); ++i) {
+    benchmark::RegisterBenchmark(("Fig10/dpotrf_energy/sizes=" + std::to_string(kRanges[i].lo) +
+                                  ":" + std::to_string(kRanges[i].hi))
+                                     .c_str(),
+                                 &BM_Energy)
+        ->Args({static_cast<long>(i)})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+
+  return bench::run_and_report(argc, argv, "Fig. 10", [](bench::ShapeChecks& sc) {
+    util::Table t({"size range", "GPU J", "CPU J", "GPU s", "CPU s", "CPU/GPU energy"});
+    for (const auto& r : kRanges) {
+      const auto& p = g_points[r.lo];
+      t.new_row()
+          .add(std::to_string(r.lo) + ":" + std::to_string(r.hi))
+          .add(p.gpu_joules, 1)
+          .add(p.cpu_joules, 1)
+          .add(p.gpu_seconds, 3)
+          .add(p.cpu_seconds, 3)
+          .add(p.ratio(), 2);
+    }
+    std::printf("\nFig. 10 — energy to solution, vbatched dpotrf, batch %d:\n", kBatch);
+    t.print(std::cout);
+
+    bool gpu_always_wins_energy = true, gpu_always_wins_time = true;
+    double max_ratio = 0.0;
+    for (const auto& [lo, p] : g_points) {
+      if (p.gpu_joules >= p.cpu_joules) gpu_always_wins_energy = false;
+      if (p.gpu_seconds >= p.cpu_seconds) gpu_always_wins_time = false;
+      max_ratio = std::max(max_ratio, p.ratio());
+    }
+    sc.expect(gpu_always_wins_energy,
+              "GPU always more energy efficient than the fastest CPU implementation");
+    sc.expect(gpu_always_wins_time, "GPU always faster in time to solution");
+    sc.expect(max_ratio >= 1.8 && max_ratio <= 4.0,
+              "peak energy-efficiency factor near the paper's 'up to 3x' (measured " +
+                  std::to_string(max_ratio) + "x)");
+  });
+}

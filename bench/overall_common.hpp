@@ -1,0 +1,121 @@
+// Shared sweep/print/check logic for the overall-performance figures
+// (Fig. 8 uniform, Fig. 9 gaussian): the vbatched routine against the
+// hybrid, padding and CPU alternatives of paper §IV-F.
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "vbatch/core/hybrid.hpp"
+#include "vbatch/core/padding.hpp"
+#include "vbatch/cpu/cpu_batched.hpp"
+
+namespace bench_overall {
+
+using namespace vbatch;
+
+struct OverallResult {
+  double vbatched = 0, hybrid = 0, padding = 0, cpu_mt = 0, cpu_static = 0, cpu_dynamic = 0;
+  bool padding_oom = false;
+  [[nodiscard]] double best_cpu() const {
+    return std::max({cpu_mt, cpu_static, cpu_dynamic});
+  }
+};
+
+template <typename T>
+OverallResult run_point(const std::vector<int>& sizes, int nmax) {
+  OverallResult r;
+  {
+    Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+    Batch<T> b(q, sizes);
+    r.vbatched = potrf_vbatched<T>(q, Uplo::Lower, b).gflops();
+  }
+  {
+    Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+    Batch<T> b(q, sizes);
+    r.hybrid = potrf_hybrid_sequence<T>(q, cpu::CpuSpec::dual_e5_2670(), Uplo::Lower, b).gflops();
+  }
+  {
+    Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+    Batch<T> b(q, sizes);
+    try {
+      r.padding = potrf_vbatched_via_padding<T>(q, Uplo::Lower, b, nmax).gflops();
+    } catch (const Error& e) {
+      if (e.status() != Status::OutOfDeviceMemory) throw;
+      r.padding_oom = true;  // the paper's truncated curves
+    }
+  }
+  const auto cpu_spec = cpu::CpuSpec::dual_e5_2670();
+  std::vector<int> lda(sizes.begin(), sizes.end());
+  std::vector<int> info(sizes.size(), 0);
+  std::vector<T*> null_ptrs(sizes.size(), nullptr);
+  r.cpu_mt = cpu::potrf_batched_multithreaded<T>(cpu_spec, Uplo::Lower, sizes, null_ptrs.data(),
+                                                 lda, info, false)
+                 .gflops();
+  r.cpu_static = cpu::potrf_batched_per_core<T>(cpu_spec, cpu::Schedule::Static, Uplo::Lower,
+                                                sizes, null_ptrs.data(), lda, info, false)
+                     .gflops();
+  r.cpu_dynamic = cpu::potrf_batched_per_core<T>(cpu_spec, cpu::Schedule::Dynamic, Uplo::Lower,
+                                                 sizes, null_ptrs.data(), lda, info, false)
+                      .gflops();
+  return r;
+}
+
+inline void print_series(const char* name, const std::map<int, OverallResult>& data) {
+  util::Table t({"Nmax", "vbatched", "hybrid", "fixed+padding", "CPU-mt", "CPU-static",
+                 "CPU-dynamic", "speedup-vs-best-CPU"});
+  for (const auto& [nmax, r] : data) {
+    t.new_row()
+        .add(nmax)
+        .add(r.vbatched, 1)
+        .add(r.hybrid, 1)
+        .add(r.padding_oom ? std::string("OOM") : [&] {
+          std::ostringstream ss;
+          ss.setf(std::ios::fixed);
+          ss.precision(1);
+          ss << r.padding;
+          return ss.str();
+        }())
+        .add(r.cpu_mt, 1)
+        .add(r.cpu_static, 1)
+        .add(r.cpu_dynamic, 1)
+        .add(r.vbatched / r.best_cpu(), 2);
+  }
+  std::printf("\n%s (Gflop/s):\n", name);
+  t.print(std::cout);
+}
+
+inline void check_series(bench::ShapeChecks& sc, const char* prec,
+                         const std::map<int, OverallResult>& data, double lo, double hi) {
+  double min_speedup = 1e9, max_speedup = 0.0;
+  bool hybrid_worst = true, padding_below_vbatched = true, dynamic_beats_static = true,
+       mt_lags = true, saw_oom = false;
+  for (const auto& [nmax, r] : data) {
+    if (nmax >= 400) {  // the paper's speedup range is over the larger sizes
+      const double s = r.vbatched / r.best_cpu();
+      min_speedup = std::min(min_speedup, s);
+      max_speedup = std::max(max_speedup, s);
+    }
+    if (r.hybrid >= r.cpu_mt || r.hybrid >= r.vbatched) hybrid_worst = false;
+    if (!r.padding_oom && r.padding >= r.vbatched) padding_below_vbatched = false;
+    if (r.cpu_dynamic < r.cpu_static) dynamic_beats_static = false;
+    if (nmax <= 800 && r.cpu_mt >= r.cpu_dynamic) mt_lags = false;
+    saw_oom |= r.padding_oom;
+  }
+  sc.expect(min_speedup >= lo && max_speedup <= hi,
+            std::string(prec) + ": speedup vs best CPU inside the paper's band (" +
+                std::to_string(min_speedup) + ".." + std::to_string(max_speedup) + ")");
+  sc.expect(hybrid_worst, std::string(prec) + ": hybrid is the weakest option");
+  sc.expect(padding_below_vbatched,
+            std::string(prec) + ": padding never beats the vbatched routine");
+  sc.expect(dynamic_beats_static,
+            std::string(prec) + ": dynamic core scheduling beats static");
+  sc.expect(mt_lags, std::string(prec) +
+                         ": multithreaded-one-matrix lags one-core-per-matrix for small sizes");
+  sc.expect(saw_oom, std::string(prec) +
+                         ": padding runs out of GPU memory at large Nmax (truncated curve)");
+}
+
+}  // namespace bench_overall

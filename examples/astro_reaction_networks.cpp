@@ -1,0 +1,158 @@
+// Batched implicit integration of many small reaction networks.
+//
+// The paper's introduction motivates batched kernels with astrophysics
+// (nuclear reaction networks in stellar simulation codes): every grid cell
+// carries its own small stiff ODE system dy/dt = f(y), and an implicit
+// (backward-Euler) step requires solving (I − h·J) Δy = h·f(y) per cell —
+// thousands of independent small LU solves per time step, with network
+// sizes that differ between cells (different nuclides tracked per regime).
+//
+// This example integrates a synthetic ensemble of linear reaction networks
+// (y' = K·y with a conservative rate matrix K) using the vbatched LU
+// factorization and solve (getrf_vbatched / getrs_vbatched — the paper's
+// announced LU extension), and cross-checks the result against a dense
+// host solve.
+//
+// Build & run:  ./examples/astro_reaction_networks
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/core/getrf_vbatched.hpp"
+#include "vbatch/core/size_dist.hpp"
+
+namespace {
+
+using namespace vbatch;
+
+// A conservative linear reaction network: off-diagonal rates k_ij >= 0 move
+// mass from species j to i; column sums are zero, so total mass is
+// conserved and the backward-Euler matrix I - h·K is nonsingular.
+std::vector<double> make_rate_matrix(Rng& rng, int n) {
+  std::vector<double> k(static_cast<std::size_t>(n) * n, 0.0);
+  MatrixView<double> K(k.data(), n, n, n);
+  for (int j = 0; j < n; ++j) {
+    double out = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (i == j) continue;
+      // Sparse coupling: each species feeds a few others, with a stiff
+      // fast channel to the next species.
+      double rate = 0.0;
+      if (i == (j + 1) % n) rate = rng.uniform(5.0, 50.0);  // stiff chain
+      else if (rng.uniform() < 0.15) rate = rng.uniform(0.01, 1.0);
+      K(i, j) = rate;
+      out += rate;
+    }
+    K(j, j) = -out;
+  }
+  return k;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(17);
+  constexpr int kCells = 400;
+  constexpr double kDt = 0.05;
+  constexpr int kSteps = 5;
+
+  // Network sizes differ across cells (8..56 species).
+  std::vector<int> sizes(kCells);
+  for (auto& s : sizes) s = static_cast<int>(rng.uniform_int(8, 56));
+  std::printf("ensemble: %d cells, network sizes %d..%d, %d backward-Euler steps (h=%.2f)\n",
+              kCells, *std::min_element(sizes.begin(), sizes.end()),
+              *std::max_element(sizes.begin(), sizes.end()), kSteps, kDt);
+
+  // Per-cell state (abundances, normalized to sum 1) and rate matrices.
+  std::vector<std::vector<double>> rates;
+  std::vector<std::vector<double>> y;
+  rates.reserve(kCells);
+  y.reserve(kCells);
+  for (int c = 0; c < kCells; ++c) {
+    const int n = sizes[static_cast<std::size_t>(c)];
+    rates.push_back(make_rate_matrix(rng, n));
+    std::vector<double> y0(static_cast<std::size_t>(n));
+    double sum = 0.0;
+    for (auto& v : y0) {
+      v = rng.uniform(0.0, 1.0);
+      sum += v;
+    }
+    for (auto& v : y0) v /= sum;
+    y.push_back(std::move(y0));
+  }
+  auto y_ref = y;  // host-reference trajectory
+
+  Queue queue(sim::DeviceSpec::k40c(), sim::ExecMode::Full);
+  double gpu_seconds = 0.0;
+
+  for (int step = 0; step < kSteps; ++step) {
+    // Assemble the batched backward-Euler systems: (I − h·K) y_{t+1} = y_t.
+    Batch<double> systems(queue, sizes);
+    std::vector<int> nrhs(sizes.size(), 1);
+    RectBatch<double> rhs(queue, sizes, nrhs);
+    for (int c = 0; c < kCells; ++c) {
+      const int n = sizes[static_cast<std::size_t>(c)];
+      auto Acell = systems.matrix(c);
+      ConstMatrixView<double> K(rates[static_cast<std::size_t>(c)].data(), n, n, n);
+      for (int jj = 0; jj < n; ++jj)
+        for (int ii = 0; ii < n; ++ii)
+          Acell(ii, jj) = (ii == jj ? 1.0 : 0.0) - kDt * K(ii, jj);
+      auto bcell = rhs.matrix(c);
+      for (int ii = 0; ii < n; ++ii) bcell(ii, 0) = y[static_cast<std::size_t>(c)][static_cast<std::size_t>(ii)];
+    }
+
+    // One vbatched LU + one vbatched solve advance every cell.
+    PivotArrays ipiv(queue, sizes);
+    const auto f = getrf_vbatched<double>(queue, systems, ipiv);
+    const auto s = getrs_vbatched<double>(queue, systems, ipiv, rhs);
+    gpu_seconds += f.seconds + s.seconds;
+    for (int c = 0; c < kCells; ++c) {
+      if (systems.info()[static_cast<std::size_t>(c)] != 0) {
+        std::printf("cell %d: singular backward-Euler matrix\n", c);
+        return 1;
+      }
+      const int n = sizes[static_cast<std::size_t>(c)];
+      auto x = rhs.matrix(c);
+      for (int ii = 0; ii < n; ++ii) y[static_cast<std::size_t>(c)][static_cast<std::size_t>(ii)] = x(ii, 0);
+    }
+
+    // Host reference for the same step.
+    for (int c = 0; c < kCells; ++c) {
+      const int n = sizes[static_cast<std::size_t>(c)];
+      std::vector<double> m(static_cast<std::size_t>(n) * n);
+      MatrixView<double> M(m.data(), n, n, n);
+      ConstMatrixView<double> K(rates[static_cast<std::size_t>(c)].data(), n, n, n);
+      for (int jj = 0; jj < n; ++jj)
+        for (int ii = 0; ii < n; ++ii) M(ii, jj) = (ii == jj ? 1.0 : 0.0) - kDt * K(ii, jj);
+      std::vector<int> piv(static_cast<std::size_t>(n));
+      if (blas::getrf<double>(M, piv) != 0) return 1;
+      MatrixView<double> b(y_ref[static_cast<std::size_t>(c)].data(), n, 1, n);
+      blas::laswp<double>(b, piv, 0, n);
+      blas::trsm<double>(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::Unit, 1.0, M, b);
+      blas::trsm<double>(Side::Left, Uplo::Upper, Trans::NoTrans, Diag::NonUnit, 1.0, M, b);
+    }
+  }
+
+  // Verify against the reference and check mass conservation.
+  double worst = 0.0, worst_mass = 0.0;
+  for (int c = 0; c < kCells; ++c) {
+    const int n = sizes[static_cast<std::size_t>(c)];
+    double mass = 0.0;
+    for (int ii = 0; ii < n; ++ii) {
+      worst = std::max(worst, std::abs(y[static_cast<std::size_t>(c)][static_cast<std::size_t>(ii)] -
+                                       y_ref[static_cast<std::size_t>(c)][static_cast<std::size_t>(ii)]));
+      mass += y[static_cast<std::size_t>(c)][static_cast<std::size_t>(ii)];
+    }
+    worst_mass = std::max(worst_mass, std::abs(mass - 1.0));
+  }
+  std::printf("max |y_batched - y_reference| = %.2e, max mass drift = %.2e\n", worst,
+              worst_mass);
+  std::printf("modelled GPU time across %d steps: %.1f us\n", kSteps, gpu_seconds * 1e6);
+  if (worst > 1e-10 || worst_mass > 1e-10) {
+    std::printf("FAILED\n");
+    return 1;
+  }
+  std::printf("reaction-network integration OK\n");
+  return 0;
+}

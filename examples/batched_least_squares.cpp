@@ -1,0 +1,120 @@
+// Batched polynomial least squares via the vbatched QR factorization.
+//
+// Signal-processing pipelines (another §I motivation) fit small models to
+// many independent traces: each sensor channel yields a least-squares
+// problem min‖V·c − y‖ with its own trace length and polynomial degree.
+// This example fits noisy polynomial samples for hundreds of channels with
+// two vbatched calls — geqrf_vbatched (factor) and geqrs_vbatched (apply
+// Qᵀ + back-substitute against R) — and checks the recovered coefficients.
+//
+// Build & run:  ./examples/batched_least_squares
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/core/geqrf_vbatched.hpp"
+#include "vbatch/util/rng.hpp"
+
+namespace {
+
+using namespace vbatch;
+
+struct Channel {
+  int samples;                    // trace length (rows)
+  int degree;                     // polynomial degree; cols = degree + 1
+  std::vector<double> t;          // sample positions in [-1, 1]
+  std::vector<double> y;          // noisy observations
+  std::vector<double> coeff_true; // generating coefficients
+};
+
+}  // namespace
+
+int main() {
+  Rng rng(23);
+  constexpr int kChannels = 300;
+  constexpr double kNoise = 1e-4;
+
+  // Varying trace lengths and model orders.
+  std::vector<Channel> channels(kChannels);
+  std::vector<int> rows(kChannels), cols(kChannels);
+  for (int c = 0; c < kChannels; ++c) {
+    auto& ch = channels[static_cast<std::size_t>(c)];
+    ch.degree = static_cast<int>(rng.uniform_int(2, 7));
+    ch.samples = static_cast<int>(rng.uniform_int(4 * (ch.degree + 1), 120));
+    ch.coeff_true.resize(static_cast<std::size_t>(ch.degree + 1));
+    for (auto& v : ch.coeff_true) v = rng.uniform(-2.0, 2.0);
+    ch.t.resize(static_cast<std::size_t>(ch.samples));
+    ch.y.resize(static_cast<std::size_t>(ch.samples));
+    for (int i = 0; i < ch.samples; ++i) {
+      const double t = rng.uniform(-1.0, 1.0);
+      double v = 0.0, p = 1.0;
+      for (int d = 0; d <= ch.degree; ++d) {
+        v += ch.coeff_true[static_cast<std::size_t>(d)] * p;
+        p *= t;
+      }
+      ch.t[static_cast<std::size_t>(i)] = t;
+      ch.y[static_cast<std::size_t>(i)] = v + rng.gaussian(0.0, kNoise);
+    }
+    rows[static_cast<std::size_t>(c)] = ch.samples;
+    cols[static_cast<std::size_t>(c)] = ch.degree + 1;
+  }
+  std::printf("least squares: %d channels, traces %d..%d samples, degrees 2..7\n", kChannels,
+              *std::min_element(rows.begin(), rows.end()),
+              *std::max_element(rows.begin(), rows.end()));
+
+  // Assemble the Vandermonde matrices and factor the whole batch.
+  Queue queue(sim::DeviceSpec::k40c(), sim::ExecMode::Full);
+  RectBatch<double> vander(queue, rows, cols);
+  for (int c = 0; c < kChannels; ++c) {
+    const auto& ch = channels[static_cast<std::size_t>(c)];
+    auto V = vander.matrix(c);
+    for (int i = 0; i < ch.samples; ++i) {
+      double p = 1.0;
+      for (int d = 0; d <= ch.degree; ++d) {
+        V(i, d) = p;
+        p *= ch.t[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+  std::vector<int> mn(static_cast<std::size_t>(kChannels));
+  for (int c = 0; c < kChannels; ++c)
+    mn[static_cast<std::size_t>(c)] = std::min(rows[static_cast<std::size_t>(c)],
+                                               cols[static_cast<std::size_t>(c)]);
+  TauArrays<double> tau(queue, mn);
+  const auto r = geqrf_vbatched<double>(queue, vander, tau);
+  std::printf("geqrf_vbatched: %.2f Mflop in %.1f us -> %.1f Gflop/s (modelled)\n",
+              r.flops * 1e-6, r.seconds * 1e6, r.gflops());
+
+  // Solve every least-squares problem with one batched call: Qᵀ·y followed
+  // by the R back-substitution (geqrs_vbatched overwrites the top n rows of
+  // each rhs with the coefficients).
+  std::vector<int> nrhs(static_cast<std::size_t>(kChannels), 1);
+  RectBatch<double> rhs(queue, rows, nrhs);
+  for (int c = 0; c < kChannels; ++c) {
+    const auto& ch = channels[static_cast<std::size_t>(c)];
+    auto bcol = rhs.matrix(c);
+    for (int i = 0; i < ch.samples; ++i) bcol(i, 0) = ch.y[static_cast<std::size_t>(i)];
+  }
+  const auto s = geqrs_vbatched<double>(queue, vander, tau, rhs);
+  std::printf("geqrs_vbatched: %.2f Mflop in %.1f us -> %.1f Gflop/s (modelled)\n",
+              s.flops * 1e-6, s.seconds * 1e6, s.gflops());
+
+  double worst = 0.0;
+  for (int c = 0; c < kChannels; ++c) {
+    const auto& ch = channels[static_cast<std::size_t>(c)];
+    auto x = rhs.matrix(c);
+    for (int d = 0; d <= ch.degree; ++d) {
+      worst = std::max(worst,
+                       std::abs(x(d, 0) - ch.coeff_true[static_cast<std::size_t>(d)]));
+    }
+  }
+  std::printf("max coefficient error across all channels: %.2e (noise level %.0e)\n", worst,
+              kNoise);
+  if (worst > 200 * kNoise) {
+    std::printf("FAILED\n");
+    return 1;
+  }
+  std::printf("batched least squares OK\n");
+  return 0;
+}

@@ -1,0 +1,183 @@
+// Block-Jacobi preconditioned conjugate gradients with vbatched Cholesky.
+//
+// The paper's introduction lists "direct-iterative preconditioned solvers"
+// among the applications that need variable-size batched kernels: a
+// block-Jacobi preconditioner factors many small diagonal blocks — of
+// different sizes when the blocks follow the problem structure — once, and
+// solves against all of them at every iteration.
+//
+// This example discretizes a 2-D anisotropic Poisson problem, partitions
+// the unknowns into variable-size blocks, factors all blocks with one
+// potrf_vbatched call, and runs CG with the block solves applied through
+// potrs_vbatched. It reports the iteration counts with and without the
+// preconditioner.
+//
+// Build & run:  ./examples/block_jacobi_preconditioner
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "vbatch/core/potrf_vbatched.hpp"
+#include "vbatch/core/potrs_vbatched.hpp"
+#include "vbatch/util/rng.hpp"
+
+namespace {
+
+using namespace vbatch;
+
+// Sparse SPD system: 2-D 5-point Laplacian with an anisotropy that makes
+// plain CG converge slowly.
+struct Poisson2D {
+  int nx, ny;
+  double eps;  // anisotropy in y
+  [[nodiscard]] int n() const { return nx * ny; }
+
+  void apply(const std::vector<double>& x, std::vector<double>& y) const {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        const int k = i + j * nx;
+        double v = (2.0 + 2.0 * eps) * x[static_cast<std::size_t>(k)];
+        if (i > 0) v -= x[static_cast<std::size_t>(k - 1)];
+        if (i + 1 < nx) v -= x[static_cast<std::size_t>(k + 1)];
+        if (j > 0) v -= eps * x[static_cast<std::size_t>(k - nx)];
+        if (j + 1 < ny) v -= eps * x[static_cast<std::size_t>(k + nx)];
+        y[static_cast<std::size_t>(k)] = v;
+      }
+    }
+  }
+
+  [[nodiscard]] double entry(int r, int c) const {
+    if (r == c) return 2.0 + 2.0 * eps;
+    const int ri = r % nx, rj = r / nx, ci = c % nx, cj = c / nx;
+    if (rj == cj && std::abs(ri - ci) == 1) return -1.0;
+    if (ri == ci && std::abs(rj - cj) == 1) return -eps;
+    return 0.0;
+  }
+};
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+// Runs (preconditioned) CG; returns iterations to reach the tolerance, or
+// -1. `precond` maps r -> z (identity when null).
+int conjugate_gradients(const Poisson2D& A, const std::vector<double>& b,
+                        const std::function<void(const std::vector<double>&,
+                                                 std::vector<double>&)>& precond,
+                        int max_iters, double tol) {
+  const std::size_t n = b.size();
+  std::vector<double> x(n, 0.0), r = b, z(n), p(n), Ap(n);
+  if (precond) {
+    precond(r, z);
+  } else {
+    z = r;
+  }
+  p = z;
+  double rz = dot(r, z);
+  const double bnorm = std::sqrt(dot(b, b));
+  for (int it = 1; it <= max_iters; ++it) {
+    A.apply(p, Ap);
+    const double alpha = rz / dot(p, Ap);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * Ap[i];
+    }
+    if (std::sqrt(dot(r, r)) < tol * bnorm) return it;
+    if (precond) {
+      precond(r, z);
+    } else {
+      z = r;
+    }
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main() {
+  const Poisson2D A{64, 64, 0.01};
+  const int n = A.n();
+  std::printf("system: %dx%d anisotropic Poisson, n = %d\n", A.nx, A.ny, n);
+
+  Rng rng(11);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+
+  // Variable-size blocks along the natural ordering: one block per group of
+  // grid rows, with jittered extents (the realistic case the paper targets:
+  // block sizes follow the physics/partition, not a fixed tile).
+  std::vector<int> block_sizes;
+  std::vector<int> block_start{0};
+  {
+    int pos = 0;
+    while (pos < n) {
+      const int sz = std::min<int>(n - pos, static_cast<int>(rng.uniform_int(24, 96)));
+      block_sizes.push_back(sz);
+      pos += sz;
+      block_start.push_back(pos);
+    }
+  }
+  std::printf("block-Jacobi: %zu diagonal blocks, sizes %d..%d\n", block_sizes.size(),
+              *std::min_element(block_sizes.begin(), block_sizes.end()),
+              *std::max_element(block_sizes.begin(), block_sizes.end()));
+
+  // Factor every diagonal block with one vbatched Cholesky call.
+  Queue queue(sim::DeviceSpec::k40c(), sim::ExecMode::Full);
+  Batch<double> blocks(queue, block_sizes);
+  for (int k = 0; k < blocks.count(); ++k) {
+    auto dst = blocks.matrix(k);
+    const int base = block_start[static_cast<std::size_t>(k)];
+    for (index_t c = 0; c < dst.cols(); ++c)
+      for (index_t r = 0; r < dst.rows(); ++r)
+        dst(r, c) = A.entry(base + static_cast<int>(r), base + static_cast<int>(c));
+  }
+  const auto fact = potrf_vbatched<double>(queue, Uplo::Lower, blocks);
+  for (int k = 0; k < blocks.count(); ++k) {
+    if (blocks.info()[static_cast<std::size_t>(k)] != 0) {
+      std::printf("block %d not SPD\n", k);
+      return 1;
+    }
+  }
+  std::printf("setup: potrf_vbatched %.1f us modelled (%s path)\n", fact.seconds * 1e6,
+              to_string(fact.path_taken));
+
+  // The preconditioner: z = M^{-1} r through potrs_vbatched.
+  std::vector<int> nrhs(block_sizes.size(), 1);
+  RectBatch<double> rhs(queue, block_sizes, nrhs);
+  double apply_seconds = 0.0;
+  int applications = 0;
+  auto precond = [&](const std::vector<double>& r, std::vector<double>& z) {
+    for (int k = 0; k < blocks.count(); ++k) {
+      auto dst = rhs.matrix(k);
+      const int base = block_start[static_cast<std::size_t>(k)];
+      for (index_t i = 0; i < dst.rows(); ++i) dst(i, 0) = r[static_cast<std::size_t>(base + i)];
+    }
+    const auto solve = potrs_vbatched<double>(queue, Uplo::Lower, blocks, rhs);
+    apply_seconds += solve.seconds;
+    ++applications;
+    for (int k = 0; k < blocks.count(); ++k) {
+      auto src = rhs.matrix(k);
+      const int base = block_start[static_cast<std::size_t>(k)];
+      for (index_t i = 0; i < src.rows(); ++i) z[static_cast<std::size_t>(base + i)] = src(i, 0);
+    }
+  };
+
+  const int plain = conjugate_gradients(A, b, nullptr, 4000, 1e-8);
+  const int pcg = conjugate_gradients(A, b, precond, 4000, 1e-8);
+  std::printf("CG iterations:  plain = %d,  block-Jacobi PCG = %d\n", plain, pcg);
+  std::printf("preconditioner: %d applications, %.1f us modelled GPU time total\n",
+              applications, apply_seconds * 1e6);
+
+  if (pcg < 0 || plain < 0 || pcg >= plain) {
+    std::printf("FAILED: preconditioner did not reduce the iteration count\n");
+    return 1;
+  }
+  std::printf("block-Jacobi preconditioner OK\n");
+  return 0;
+}

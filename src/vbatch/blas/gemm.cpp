@@ -1,0 +1,91 @@
+#include <cassert>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/util/error.hpp"
+
+namespace vbatch::blas {
+
+namespace {
+
+// Reads op(A)(i, j) for the stored matrix A. For complex scalars the
+// library's Hermitian convention applies: Trans means conjugate-transpose.
+template <typename T>
+inline T op_at(ConstMatrixView<T> a, Trans trans, index_t i, index_t j) noexcept {
+  return trans == Trans::NoTrans ? a(i, j) : conj_val(a(j, i));
+}
+
+}  // namespace
+
+template <typename T>
+void gemm(Trans trans_a, Trans trans_b, T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b,
+          T beta, MatrixView<T> c) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = trans_a == Trans::NoTrans ? a.cols() : a.rows();
+
+  require((trans_a == Trans::NoTrans ? a.rows() : a.cols()) == m, "gemm: op(A) rows != C rows");
+  require((trans_b == Trans::NoTrans ? b.rows() : b.cols()) == k, "gemm: op(B) rows != k");
+  require((trans_b == Trans::NoTrans ? b.cols() : b.rows()) == n, "gemm: op(B) cols != C cols");
+
+  if (m == 0 || n == 0) return;
+  if (alpha == T(0) || k == 0) {
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i) c(i, j) = beta == T(0) ? T(0) : beta * c(i, j);
+    return;
+  }
+
+  // NN case: accumulate column-by-column with axpy-style inner loops, which
+  // keeps the A access unit-stride (the dominant case in the library).
+  if (trans_a == Trans::NoTrans && trans_b == Trans::NoTrans) {
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) c(i, j) = beta == T(0) ? T(0) : beta * c(i, j);
+      for (index_t l = 0; l < k; ++l) {
+        const T blj = alpha * b(l, j);
+        if (blj == T(0)) continue;
+        const T* acol = &a(0, l);
+        T* ccol = &c(0, j);
+        for (index_t i = 0; i < m; ++i) ccol[i] += blj * acol[i];
+      }
+    }
+    return;
+  }
+
+  // TN case: dot products over unit-stride columns of both A and B.
+  if (trans_a == Trans::Trans && trans_b == Trans::NoTrans) {
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        const T* acol = &a(0, i);
+        const T* bcol = &b(0, j);
+        T sum = T(0);
+        for (index_t l = 0; l < k; ++l) sum += conj_val(acol[l]) * bcol[l];
+        c(i, j) = alpha * sum + (beta == T(0) ? T(0) : beta * c(i, j));
+      }
+    }
+    return;
+  }
+
+  // NT / TT general fallback.
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      T sum = T(0);
+      for (index_t l = 0; l < k; ++l) sum += op_at(a, trans_a, i, l) * op_at(b, trans_b, l, j);
+      c(i, j) = alpha * sum + (beta == T(0) ? T(0) : beta * c(i, j));
+    }
+  }
+}
+
+template void gemm<float>(Trans, Trans, float, ConstMatrixView<float>, ConstMatrixView<float>,
+                          float, MatrixView<float>);
+template void gemm<double>(Trans, Trans, double, ConstMatrixView<double>,
+                           ConstMatrixView<double>, double, MatrixView<double>);
+template void gemm<std::complex<float>>(Trans, Trans, std::complex<float>,
+                                        ConstMatrixView<std::complex<float>>,
+                                        ConstMatrixView<std::complex<float>>,
+                                        std::complex<float>, MatrixView<std::complex<float>>);
+template void gemm<std::complex<double>>(Trans, Trans, std::complex<double>,
+                                         ConstMatrixView<std::complex<double>>,
+                                         ConstMatrixView<std::complex<double>>,
+                                         std::complex<double>,
+                                         MatrixView<std::complex<double>>);
+
+}  // namespace vbatch::blas

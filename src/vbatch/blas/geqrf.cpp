@@ -1,0 +1,136 @@
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/util/error.hpp"
+
+namespace vbatch::blas {
+
+namespace {
+
+// Generates a Householder reflector for the vector (alpha, x): computes tau
+// and v (stored over x) such that H = I - tau v vᵀ annihilates x (xLARFG).
+template <typename T>
+void larfg(T& alpha, std::span<T> x, T& tau) {
+  T xnorm = T(0);
+  for (const T& v : x) xnorm += v * v;
+  if (xnorm == T(0)) {
+    tau = T(0);
+    return;
+  }
+  const T beta = -std::copysign(std::sqrt(alpha * alpha + xnorm), alpha);
+  tau = (beta - alpha) / beta;
+  const T inv = T(1) / (alpha - beta);
+  for (T& v : x) v *= inv;
+  alpha = beta;
+}
+
+// Applies H = I - tau v vᵀ from the left to C, where v = (1, x) and C is
+// (1 + x.size()) × n stored as the row `row0` plus the block below it.
+template <typename T>
+void larf_left(T tau, std::span<const T> x, MatrixView<T> c) {
+  if (tau == T(0)) return;
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  for (index_t j = 0; j < n; ++j) {
+    // w = vᵀ C(:, j)
+    T w = c(0, j);
+    for (index_t i = 1; i < m; ++i) w += x[static_cast<std::size_t>(i - 1)] * c(i, j);
+    w *= tau;
+    c(0, j) -= w;
+    for (index_t i = 1; i < m; ++i) c(i, j) -= x[static_cast<std::size_t>(i - 1)] * w;
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void geqr2(MatrixView<T> a, std::span<T> tau) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t mn = std::min(m, n);
+  require(std::cmp_greater_equal(tau.size(), mn), "geqr2: tau too small");
+
+  for (index_t j = 0; j < mn; ++j) {
+    std::span<T> x{&a(0, 0) + (j + 1) + j * a.ld(), static_cast<std::size_t>(m - j - 1)};
+    larfg(a(j, j), x, tau[static_cast<std::size_t>(j)]);
+    if (j + 1 < n) {
+      larf_left<T>(tau[static_cast<std::size_t>(j)],
+                   std::span<const T>{x.data(), x.size()},
+                   a.block(j, j + 1, m - j, n - j - 1));
+    }
+  }
+}
+
+// Blocked QR: factor nb columns unblocked, then apply the block of
+// reflectors to the trailing columns one reflector at a time. (A full
+// compact-WY larft/larfb would batch the update; reflector-at-a-time is
+// numerically identical and keeps the reference simple.)
+template <typename T>
+void geqrf(MatrixView<T> a, std::span<T> tau, index_t nb) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t mn = std::min(m, n);
+  require(std::cmp_greater_equal(tau.size(), mn), "geqrf: tau too small");
+  if (mn <= nb) {
+    geqr2(a, tau);
+    return;
+  }
+  for (index_t j = 0; j < mn; j += nb) {
+    const index_t jb = std::min(nb, mn - j);
+    geqr2(a.block(j, j, m - j, jb), tau.subspan(static_cast<std::size_t>(j)));
+    if (j + jb < n) {
+      for (index_t k = 0; k < jb; ++k) {
+        const index_t col = j + k;
+        std::span<const T> x{&a(0, 0) + (col + 1) + col * a.ld(),
+                             static_cast<std::size_t>(m - col - 1)};
+        larf_left<T>(tau[static_cast<std::size_t>(col)], x,
+                     a.block(col, j + jb, m - col, n - j - jb));
+      }
+    }
+  }
+}
+
+template <typename T>
+void orgqr(MatrixView<T> a, std::span<const T> tau) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t k = static_cast<index_t>(tau.size());
+  require(n <= m && k <= n, "orgqr: invalid dimensions");
+
+  // Initialise the trailing columns to identity columns, then accumulate
+  // H(1)·…·H(k)·I from the last reflector backwards (xORG2R algorithm).
+  std::vector<T> v(static_cast<std::size_t>(m));
+  for (index_t j = k; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) a(i, j) = T(0);
+    a(j, j) = T(1);
+  }
+  for (index_t j = k - 1; j >= 0; --j) {
+    const T tj = tau[static_cast<std::size_t>(j)];
+    // Save v = (1, a(j+1: m, j)).
+    v[static_cast<std::size_t>(j)] = T(1);
+    for (index_t i = j + 1; i < m; ++i) v[static_cast<std::size_t>(i)] = a(i, j);
+    // Column j becomes H(j) e_j.
+    for (index_t i = 0; i < m; ++i) a(i, j) = T(0);
+    a(j, j) = T(1);
+    if (tj != T(0)) {
+      for (index_t c = j; c < n; ++c) {
+        T w = T(0);
+        for (index_t i = j; i < m; ++i) w += v[static_cast<std::size_t>(i)] * a(i, c);
+        w *= tj;
+        for (index_t i = j; i < m; ++i) a(i, c) -= v[static_cast<std::size_t>(i)] * w;
+      }
+    }
+  }
+}
+
+template void geqr2<float>(MatrixView<float>, std::span<float>);
+template void geqr2<double>(MatrixView<double>, std::span<double>);
+template void geqrf<float>(MatrixView<float>, std::span<float>, index_t);
+template void geqrf<double>(MatrixView<double>, std::span<double>, index_t);
+template void orgqr<float>(MatrixView<float>, std::span<const float>);
+template void orgqr<double>(MatrixView<double>, std::span<const double>);
+
+}  // namespace vbatch::blas

@@ -1,0 +1,100 @@
+#include <cmath>
+#include <utility>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/util/error.hpp"
+
+namespace vbatch::blas {
+
+template <typename T>
+int getf2(MatrixView<T> a, std::span<int> ipiv) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t mn = std::min(m, n);
+  require(std::cmp_greater_equal(ipiv.size(), mn), "getf2: ipiv too small");
+
+  int info = 0;
+  for (index_t j = 0; j < mn; ++j) {
+    // Partial pivoting: largest |a(i, j)| for i >= j.
+    index_t p = j;
+    T maxv = std::abs(a(j, j));
+    for (index_t i = j + 1; i < m; ++i) {
+      const T v = std::abs(a(i, j));
+      if (v > maxv) {
+        maxv = v;
+        p = i;
+      }
+    }
+    ipiv[static_cast<std::size_t>(j)] = static_cast<int>(p) + 1;  // 1-based like LAPACK
+    if (a(p, j) == T(0)) {
+      if (info == 0) info = static_cast<int>(j) + 1;
+      continue;
+    }
+    if (p != j) {
+      for (index_t l = 0; l < n; ++l) std::swap(a(j, l), a(p, l));
+    }
+    const T inv = T(1) / a(j, j);
+    for (index_t i = j + 1; i < m; ++i) a(i, j) *= inv;
+    for (index_t l = j + 1; l < n; ++l) {
+      const T ajl = a(j, l);
+      if (ajl == T(0)) continue;
+      for (index_t i = j + 1; i < m; ++i) a(i, l) -= a(i, j) * ajl;
+    }
+  }
+  return info;
+}
+
+template <typename T>
+void laswp(MatrixView<T> a, std::span<const int> ipiv, index_t k1, index_t k2) {
+  for (index_t k = k1; k < k2; ++k) {
+    const index_t p = ipiv[static_cast<std::size_t>(k)] - 1;
+    if (p != k) {
+      for (index_t j = 0; j < a.cols(); ++j) std::swap(a(k, j), a(p, j));
+    }
+  }
+}
+
+template <typename T>
+int getrf(MatrixView<T> a, std::span<int> ipiv, index_t nb) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t mn = std::min(m, n);
+  require(std::cmp_greater_equal(ipiv.size(), mn), "getrf: ipiv too small");
+  if (mn <= nb) return getf2(a, ipiv);
+
+  int info = 0;
+  for (index_t j = 0; j < mn; j += nb) {
+    const index_t jb = std::min(nb, mn - j);
+    // Factor the current panel (rows j..m, cols j..j+jb).
+    auto panel = a.block(j, j, m - j, jb);
+    std::span<int> panel_piv = ipiv.subspan(static_cast<std::size_t>(j));
+    const int pinfo = getf2(panel, panel_piv);
+    if (pinfo != 0 && info == 0) info = static_cast<int>(j) + pinfo;
+    // Convert panel-local pivots to global row indices.
+    for (index_t k = 0; k < jb; ++k)
+      ipiv[static_cast<std::size_t>(j + k)] += static_cast<int>(j);
+    // Apply interchanges to the columns left and right of the panel.
+    if (j > 0) laswp(a.block(0, 0, m, j), ipiv, j, j + jb);
+    if (j + jb < n) {
+      laswp(a.block(0, j + jb, m, n - j - jb), ipiv, j, j + jb);
+      // U12 = L11^{-1} A12, then trailing update A22 -= L21 U12.
+      trsm<T>(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::Unit, T(1),
+              a.block(j, j, jb, jb), a.block(j, j + jb, jb, n - j - jb));
+      if (j + jb < m) {
+        gemm<T>(Trans::NoTrans, Trans::NoTrans, T(-1), a.block(j + jb, j, m - j - jb, jb),
+                a.block(j, j + jb, jb, n - j - jb), T(1),
+                a.block(j + jb, j + jb, m - j - jb, n - j - jb));
+      }
+    }
+  }
+  return info;
+}
+
+template int getf2<float>(MatrixView<float>, std::span<int>);
+template int getf2<double>(MatrixView<double>, std::span<int>);
+template int getrf<float>(MatrixView<float>, std::span<int>, index_t);
+template int getrf<double>(MatrixView<double>, std::span<int>, index_t);
+template void laswp<float>(MatrixView<float>, std::span<const int>, index_t, index_t);
+template void laswp<double>(MatrixView<double>, std::span<const int>, index_t, index_t);
+
+}  // namespace vbatch::blas

@@ -1,0 +1,129 @@
+#include <cmath>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/util/error.hpp"
+
+namespace vbatch::blas {
+
+// Unblocked Cholesky; for complex scalars this is the Hermitian xPOTF2
+// (A = L·Lᴴ / UᴴU): the pivot is the real part of the diagonal and the
+// column recurrences conjugate the already-factored rows.
+template <typename T>
+int potf2(Uplo uplo, MatrixView<T> a) {
+  const index_t n = a.rows();
+  require(a.cols() == n, "potf2: A must be square");
+  using R = real_t<T>;
+
+  if (uplo == Uplo::Lower) {
+    for (index_t j = 0; j < n; ++j) {
+      R ajj = real_val(a(j, j));
+      for (index_t l = 0; l < j; ++l) ajj -= real_val(a(j, l) * conj_val(a(j, l)));
+      if (!(ajj > R(0))) {
+        a(j, j) = T(ajj);  // LAPACK leaves the offending value in place
+        return static_cast<int>(j) + 1;
+      }
+      ajj = std::sqrt(ajj);
+      a(j, j) = T(ajj);
+      const R inv = R(1) / ajj;
+      for (index_t i = j + 1; i < n; ++i) {
+        T sum = a(i, j);
+        for (index_t l = 0; l < j; ++l) sum -= a(i, l) * conj_val(a(j, l));
+        a(i, j) = sum * inv;
+      }
+    }
+  } else {
+    for (index_t j = 0; j < n; ++j) {
+      R ajj = real_val(a(j, j));
+      for (index_t l = 0; l < j; ++l) ajj -= real_val(conj_val(a(l, j)) * a(l, j));
+      if (!(ajj > R(0))) {
+        a(j, j) = T(ajj);
+        return static_cast<int>(j) + 1;
+      }
+      ajj = std::sqrt(ajj);
+      a(j, j) = T(ajj);
+      const R inv = R(1) / ajj;
+      for (index_t i = j + 1; i < n; ++i) {
+        T sum = a(j, i);
+        for (index_t l = 0; l < j; ++l) sum -= conj_val(a(l, j)) * a(l, i);
+        a(j, i) = sum * inv;
+      }
+    }
+  }
+  return 0;
+}
+
+// Blocked right-looking Cholesky, the LAPACK xPOTRF structure: factor an
+// nb-wide panel, trsm the sub-panel, syrk the trailing matrix.
+template <typename T>
+int potrf(Uplo uplo, MatrixView<T> a, index_t nb) {
+  const index_t n = a.rows();
+  require(a.cols() == n, "potrf: A must be square");
+  require(nb >= 1, "potrf: nb must be positive");
+  if (n <= nb) return potf2(uplo, a);
+
+  for (index_t j = 0; j < n; j += nb) {
+    const index_t jb = std::min(nb, n - j);
+    // Left-looking update of the diagonal block.
+    if (j > 0) {
+      if (uplo == Uplo::Lower) {
+        syrk<T>(Uplo::Lower, Trans::NoTrans, T(-1), a.block(j, 0, jb, j), T(1),
+                a.block(j, j, jb, jb));
+      } else {
+        syrk<T>(Uplo::Upper, Trans::Trans, T(-1), a.block(0, j, j, jb), T(1),
+                a.block(j, j, jb, jb));
+      }
+    }
+    const int info = potf2(uplo, a.block(j, j, jb, jb));
+    if (info != 0) return static_cast<int>(j) + info;
+
+    if (j + jb < n) {
+      const index_t rem = n - j - jb;
+      if (uplo == Uplo::Lower) {
+        if (j > 0) {
+          gemm<T>(Trans::NoTrans, Trans::Trans, T(-1), a.block(j + jb, 0, rem, j),
+                  a.block(j, 0, jb, j), T(1), a.block(j + jb, j, rem, jb));
+        }
+        trsm<T>(Side::Right, Uplo::Lower, Trans::Trans, Diag::NonUnit, T(1),
+                a.block(j, j, jb, jb), a.block(j + jb, j, rem, jb));
+      } else {
+        if (j > 0) {
+          gemm<T>(Trans::Trans, Trans::NoTrans, T(-1), a.block(0, j, j, jb),
+                  a.block(0, j + jb, j, rem), T(1), a.block(j, j + jb, jb, rem));
+        }
+        trsm<T>(Side::Left, Uplo::Upper, Trans::Trans, Diag::NonUnit, T(1),
+                a.block(j, j, jb, jb), a.block(j, j + jb, jb, rem));
+      }
+    }
+  }
+  return 0;
+}
+
+template <typename T>
+void potrs(Uplo uplo, ConstMatrixView<T> a, MatrixView<T> b) {
+  require(a.rows() == a.cols(), "potrs: A must be square");
+  require(a.rows() == b.rows(), "potrs: dimension mismatch");
+  if (uplo == Uplo::Lower) {
+    trsm<T>(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, T(1), a, b);
+    trsm<T>(Side::Left, Uplo::Lower, Trans::Trans, Diag::NonUnit, T(1), a, b);
+  } else {
+    trsm<T>(Side::Left, Uplo::Upper, Trans::Trans, Diag::NonUnit, T(1), a, b);
+    trsm<T>(Side::Left, Uplo::Upper, Trans::NoTrans, Diag::NonUnit, T(1), a, b);
+  }
+}
+
+template int potf2<float>(Uplo, MatrixView<float>);
+template int potf2<double>(Uplo, MatrixView<double>);
+template int potrf<float>(Uplo, MatrixView<float>, index_t);
+template int potrf<double>(Uplo, MatrixView<double>, index_t);
+template void potrs<float>(Uplo, ConstMatrixView<float>, MatrixView<float>);
+template void potrs<double>(Uplo, ConstMatrixView<double>, MatrixView<double>);
+template int potf2<std::complex<float>>(Uplo, MatrixView<std::complex<float>>);
+template int potf2<std::complex<double>>(Uplo, MatrixView<std::complex<double>>);
+template int potrf<std::complex<float>>(Uplo, MatrixView<std::complex<float>>, index_t);
+template int potrf<std::complex<double>>(Uplo, MatrixView<std::complex<double>>, index_t);
+template void potrs<std::complex<float>>(Uplo, ConstMatrixView<std::complex<float>>,
+                                         MatrixView<std::complex<float>>);
+template void potrs<std::complex<double>>(Uplo, ConstMatrixView<std::complex<double>>,
+                                          MatrixView<std::complex<double>>);
+
+}  // namespace vbatch::blas

@@ -1,0 +1,44 @@
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/util/error.hpp"
+
+namespace vbatch::blas {
+
+template <typename T>
+void syrk(Uplo uplo, Trans trans, T alpha, ConstMatrixView<T> a, T beta, MatrixView<T> c) {
+  const index_t n = c.rows();
+  require(c.cols() == n, "syrk: C must be square");
+  const index_t k = trans == Trans::NoTrans ? a.cols() : a.rows();
+  require((trans == Trans::NoTrans ? a.rows() : a.cols()) == n, "syrk: op(A) rows != n");
+
+  auto in_triangle = [uplo](index_t i, index_t j) {
+    return uplo == Uplo::Lower ? i >= j : i <= j;
+  };
+
+  // For complex scalars this is the herk operation (C = α·op(A)·op(A)ᴴ +
+  // β·C), following the library's Hermitian convention.
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      if (!in_triangle(i, j)) continue;
+      T sum = T(0);
+      if (trans == Trans::NoTrans) {
+        for (index_t l = 0; l < k; ++l) sum += a(i, l) * conj_val(a(j, l));
+      } else {
+        for (index_t l = 0; l < k; ++l) sum += conj_val(a(l, i)) * a(l, j);
+      }
+      c(i, j) = alpha * sum + (beta == T(0) ? T(0) : beta * c(i, j));
+    }
+  }
+}
+
+template void syrk<float>(Uplo, Trans, float, ConstMatrixView<float>, float, MatrixView<float>);
+template void syrk<double>(Uplo, Trans, double, ConstMatrixView<double>, double,
+                           MatrixView<double>);
+template void syrk<std::complex<float>>(Uplo, Trans, std::complex<float>,
+                                        ConstMatrixView<std::complex<float>>,
+                                        std::complex<float>, MatrixView<std::complex<float>>);
+template void syrk<std::complex<double>>(Uplo, Trans, std::complex<double>,
+                                         ConstMatrixView<std::complex<double>>,
+                                         std::complex<double>,
+                                         MatrixView<std::complex<double>>);
+
+}  // namespace vbatch::blas

@@ -1,0 +1,68 @@
+#include <vector>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/util/error.hpp"
+
+namespace vbatch::blas {
+
+template <typename T>
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha, ConstMatrixView<T> a,
+          MatrixView<T> b) {
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  const index_t ka = side == Side::Left ? m : n;
+  require(a.rows() == ka && a.cols() == ka, "trmm: A dimension mismatch");
+  if (m == 0 || n == 0) return;
+
+  const bool unit = diag == Diag::Unit;
+  const bool eff_lower = (uplo == Uplo::Lower) == (trans == Trans::NoTrans);
+  auto at = [&](index_t i, index_t j) {
+    return trans == Trans::NoTrans ? a(i, j) : conj_val(a(j, i));
+  };
+
+  std::vector<T> tmp(static_cast<std::size_t>(ka));
+
+  if (side == Side::Left) {
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) tmp[static_cast<std::size_t>(i)] = b(i, j);
+      for (index_t i = 0; i < m; ++i) {
+        T sum = unit ? tmp[static_cast<std::size_t>(i)]
+                     : at(i, i) * tmp[static_cast<std::size_t>(i)];
+        if (eff_lower) {
+          for (index_t l = 0; l < i; ++l) sum += at(i, l) * tmp[static_cast<std::size_t>(l)];
+        } else {
+          for (index_t l = i + 1; l < m; ++l) sum += at(i, l) * tmp[static_cast<std::size_t>(l)];
+        }
+        b(i, j) = alpha * sum;
+      }
+    }
+  } else {
+    for (index_t i = 0; i < m; ++i) {
+      for (index_t j = 0; j < n; ++j) tmp[static_cast<std::size_t>(j)] = b(i, j);
+      for (index_t j = 0; j < n; ++j) {
+        T sum = unit ? tmp[static_cast<std::size_t>(j)]
+                     : tmp[static_cast<std::size_t>(j)] * at(j, j);
+        if (eff_lower) {
+          // B := B * op(A): column j of result needs rows l > j of op(A)'s column.
+          for (index_t l = j + 1; l < n; ++l) sum += tmp[static_cast<std::size_t>(l)] * at(l, j);
+        } else {
+          for (index_t l = 0; l < j; ++l) sum += tmp[static_cast<std::size_t>(l)] * at(l, j);
+        }
+        b(i, j) = alpha * sum;
+      }
+    }
+  }
+}
+
+template void trmm<float>(Side, Uplo, Trans, Diag, float, ConstMatrixView<float>,
+                          MatrixView<float>);
+template void trmm<double>(Side, Uplo, Trans, Diag, double, ConstMatrixView<double>,
+                           MatrixView<double>);
+template void trmm<std::complex<float>>(Side, Uplo, Trans, Diag, std::complex<float>,
+                                        ConstMatrixView<std::complex<float>>,
+                                        MatrixView<std::complex<float>>);
+template void trmm<std::complex<double>>(Side, Uplo, Trans, Diag, std::complex<double>,
+                                         ConstMatrixView<std::complex<double>>,
+                                         MatrixView<std::complex<double>>);
+
+}  // namespace vbatch::blas

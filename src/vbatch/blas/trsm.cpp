@@ -1,0 +1,93 @@
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/util/error.hpp"
+
+namespace vbatch::blas {
+
+// Reference triangular solve covering all side/uplo/trans/diag combinations.
+// The library's hot paths only use a few of them (Right/Lower/Trans for the
+// Cholesky panel, Left/Lower/NoTrans for potrs), but the full set is part of
+// the vbatched BLAS foundation the paper describes (§III-E).
+template <typename T>
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha, ConstMatrixView<T> a,
+          MatrixView<T> b) {
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  const index_t ka = side == Side::Left ? m : n;
+  require(a.rows() == ka && a.cols() == ka, "trsm: A dimension mismatch");
+  if (m == 0 || n == 0) return;
+
+  if (alpha != T(1)) {
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i) b(i, j) *= alpha;
+  }
+
+  const bool unit = diag == Diag::Unit;
+  // Effective triangle orientation: transposing a Lower triangle solves like
+  // an Upper one and vice versa. Complex Trans means conjugate-transpose.
+  const bool eff_lower = (uplo == Uplo::Lower) == (trans == Trans::NoTrans);
+  auto at = [&](index_t i, index_t j) {
+    return trans == Trans::NoTrans ? a(i, j) : conj_val(a(j, i));
+  };
+
+  if (side == Side::Left) {
+    // Solve op(A) X = B, column by column of B.
+    for (index_t j = 0; j < n; ++j) {
+      if (eff_lower) {
+        for (index_t i = 0; i < m; ++i) {
+          T sum = b(i, j);
+          for (index_t l = 0; l < i; ++l) sum -= at(i, l) * b(l, j);
+          b(i, j) = unit ? sum : sum / at(i, i);
+        }
+      } else {
+        for (index_t i = m - 1; i >= 0; --i) {
+          T sum = b(i, j);
+          for (index_t l = i + 1; l < m; ++l) sum -= at(i, l) * b(l, j);
+          b(i, j) = unit ? sum : sum / at(i, i);
+        }
+      }
+    }
+    return;
+  }
+
+  // Side == Right: solve X op(A) = B, i.e. column recurrences over X.
+  if (eff_lower) {
+    // X(:, j) determined from the last column backwards:
+    //   B(:, j) = sum_{l >= j} X(:, l) * opA(l, j)
+    for (index_t j = n - 1; j >= 0; --j) {
+      for (index_t l = j + 1; l < n; ++l) {
+        const T alj = at(l, j);
+        if (alj == T(0)) continue;
+        for (index_t i = 0; i < m; ++i) b(i, j) -= b(i, l) * alj;
+      }
+      if (!unit) {
+        const T inv = T(1) / at(j, j);
+        for (index_t i = 0; i < m; ++i) b(i, j) *= inv;
+      }
+    }
+  } else {
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t l = 0; l < j; ++l) {
+        const T alj = at(l, j);
+        if (alj == T(0)) continue;
+        for (index_t i = 0; i < m; ++i) b(i, j) -= b(i, l) * alj;
+      }
+      if (!unit) {
+        const T inv = T(1) / at(j, j);
+        for (index_t i = 0; i < m; ++i) b(i, j) *= inv;
+      }
+    }
+  }
+}
+
+template void trsm<float>(Side, Uplo, Trans, Diag, float, ConstMatrixView<float>,
+                          MatrixView<float>);
+template void trsm<double>(Side, Uplo, Trans, Diag, double, ConstMatrixView<double>,
+                           MatrixView<double>);
+template void trsm<std::complex<float>>(Side, Uplo, Trans, Diag, std::complex<float>,
+                                        ConstMatrixView<std::complex<float>>,
+                                        MatrixView<std::complex<float>>);
+template void trsm<std::complex<double>>(Side, Uplo, Trans, Diag, std::complex<double>,
+                                         ConstMatrixView<std::complex<double>>,
+                                         MatrixView<std::complex<double>>);
+
+}  // namespace vbatch::blas

@@ -1,0 +1,101 @@
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/util/error.hpp"
+
+namespace vbatch::blas {
+
+// Unblocked in-place triangular inversion (LAPACK xTRTI2 algorithm). The
+// vbatched trsm of §III-E.2 inverts 32×32 diagonal blocks with exactly this
+// routine before applying gemm updates.
+template <typename T>
+int trtri(Uplo uplo, Diag diag, MatrixView<T> a) {
+  const index_t n = a.rows();
+  require(a.cols() == n, "trtri: A must be square");
+  const bool unit = diag == Diag::Unit;
+
+  if (!unit) {
+    for (index_t i = 0; i < n; ++i)
+      if (a(i, i) == T(0)) return static_cast<int>(i) + 1;
+  }
+
+  if (uplo == Uplo::Lower) {
+    for (index_t j = n - 1; j >= 0; --j) {
+      const T ajj_inv = unit ? T(1) : T(1) / a(j, j);
+      if (!unit) a(j, j) = ajj_inv;
+      // Compute column j below the diagonal: x = -inv(A22) * a21 * ajj_inv,
+      // where A22 (rows/cols > j) is already inverted.
+      for (index_t i = n - 1; i > j; --i) {
+        T sum = unit ? a(i, j) : a(i, i) * a(i, j);
+        for (index_t l = j + 1; l < i; ++l) sum += a(i, l) * a(l, j);
+        a(i, j) = -sum * ajj_inv;
+      }
+    }
+  } else {
+    for (index_t j = 0; j < n; ++j) {
+      const T ajj_inv = unit ? T(1) : T(1) / a(j, j);
+      if (!unit) a(j, j) = ajj_inv;
+      for (index_t i = 0; i < j; ++i) {
+        T sum = unit ? a(i, j) : a(i, i) * a(i, j);
+        for (index_t l = i + 1; l < j; ++l) sum += a(i, l) * a(l, j);
+        a(i, j) = -sum * ajj_inv;
+      }
+    }
+  }
+  return 0;
+}
+
+// Unblocked xLAUU2: in-place Lᵀ·L (Lower) or U·Uᵀ (Upper). The traversal
+// order is chosen so every partial product reads only not-yet-overwritten
+// entries (see LAPACK's lauu2).
+template <typename T>
+void lauum(Uplo uplo, MatrixView<T> a) {
+  const index_t n = a.rows();
+  require(a.cols() == n, "lauum: A must be square");
+
+  if (uplo == Uplo::Lower) {
+    // R(i, j) = Σ_{k ≥ i} conj(L(k, i)) · L(k, j), rows ascending; the
+    // diagonal of each row is written last (it feeds the off-diagonal sums).
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = 0; j < i; ++j) {
+        T sum = T(0);
+        for (index_t k = i; k < n; ++k) sum += conj_val(a(k, i)) * a(k, j);
+        a(i, j) = sum;
+      }
+      T diag = T(0);
+      for (index_t k = i; k < n; ++k) diag += conj_val(a(k, i)) * a(k, i);
+      a(i, i) = diag;
+    }
+  } else {
+    // R(i, j) = Σ_{k ≥ j} U(i, k) · conj(U(j, k)), rows ascending, columns
+    // ascending within each row.
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = i; j < n; ++j) {
+        T sum = T(0);
+        for (index_t k = j; k < n; ++k) sum += a(i, k) * conj_val(a(j, k));
+        a(i, j) = sum;
+      }
+    }
+  }
+}
+
+template <typename T>
+int potri(Uplo uplo, MatrixView<T> a) {
+  const int info = trtri<T>(uplo, Diag::NonUnit, a);
+  if (info != 0) return info;
+  lauum<T>(uplo, a);
+  return 0;
+}
+
+template int trtri<float>(Uplo, Diag, MatrixView<float>);
+template int trtri<double>(Uplo, Diag, MatrixView<double>);
+template void lauum<float>(Uplo, MatrixView<float>);
+template void lauum<double>(Uplo, MatrixView<double>);
+template int potri<float>(Uplo, MatrixView<float>);
+template int potri<double>(Uplo, MatrixView<double>);
+template int trtri<std::complex<float>>(Uplo, Diag, MatrixView<std::complex<float>>);
+template int trtri<std::complex<double>>(Uplo, Diag, MatrixView<std::complex<double>>);
+template void lauum<std::complex<float>>(Uplo, MatrixView<std::complex<float>>);
+template void lauum<std::complex<double>>(Uplo, MatrixView<std::complex<double>>);
+template int potri<std::complex<float>>(Uplo, MatrixView<std::complex<float>>);
+template int potri<std::complex<double>>(Uplo, MatrixView<std::complex<double>>);
+
+}  // namespace vbatch::blas

@@ -1,0 +1,72 @@
+#include "vbatch/core/arg_check.hpp"
+
+#include <algorithm>
+
+#include "vbatch/util/error.hpp"
+
+namespace vbatch {
+
+ArgCheckReport check_args(sim::Device& dev, std::span<const ArgRule> rules,
+                          std::span<int> info) {
+  ArgCheckReport report;
+  if (rules.empty()) return report;
+  const int count = static_cast<int>(rules.front().a.size());
+
+  // One sweep kernel reads every rule's arrays once.
+  sim::LaunchConfig cfg;
+  cfg.name = "aux_check_args";
+  cfg.block_threads = 256;
+  cfg.grid_blocks = std::max(1, (count + 255) / 256);
+  cfg.precision = Precision::Single;
+  const double bytes_per_elem = static_cast<double>(rules.size()) * 2.0 * sizeof(int);
+  dev.launch(cfg, [count, bytes_per_elem](const sim::ExecContext&, int block) {
+    sim::BlockCost c;
+    const int lo = block * 256;
+    const int elems = std::clamp(count - lo, 0, 256);
+    c.active_threads = elems;
+    c.live_threads = 256;
+    c.flops = elems;
+    c.bytes = elems * bytes_per_elem;
+    c.sync_steps = 2;
+    return c;
+  });
+
+  for (int i = 0; i < count; ++i) {
+    for (const ArgRule& rule : rules) {
+      const int a = rule.a[static_cast<std::size_t>(i)];
+      bool bad = false;
+      switch (rule.kind) {
+        case ArgRule::Kind::NonNegative:
+          bad = a < 0;
+          break;
+        case ArgRule::Kind::AtLeastOther:
+          bad = a < std::max(1, rule.b[static_cast<std::size_t>(i)]);
+          break;
+        case ArgRule::Kind::EqualOther:
+          bad = a != rule.b[static_cast<std::size_t>(i)];
+          break;
+      }
+      if (!bad) continue;
+      ++report.violations;
+      if (report.first_matrix < 0) {
+        report.first_matrix = i;
+        report.first_argument = rule.argument_index;
+        report.first_name = rule.name;
+      }
+      if (!info.empty()) info[static_cast<std::size_t>(i)] = -rule.argument_index;
+      break;  // first offending rule per matrix, LAPACK style
+    }
+  }
+  return report;
+}
+
+void require_args_ok(const ArgCheckReport& report, const char* routine) {
+  if (report.ok()) return;
+  throw_error(Status::InvalidArgument,
+              std::string(routine) + ": parameter " + std::to_string(-report.first_argument) +
+                  " (" + report.first_name + ") had an illegal value for " +
+                  std::to_string(report.violations) + " matrices, first at batch index " +
+                  std::to_string(report.first_matrix));
+}
+
+}  // namespace vbatch

@@ -1,0 +1,101 @@
+#include "vbatch/core/autotune.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "vbatch/core/crossover.hpp"
+#include "vbatch/kernels/fused_potrf.hpp"
+#include "vbatch/util/error.hpp"
+
+namespace vbatch {
+
+std::string TuneCandidate::describe() const {
+  std::string s = to_string(options.path);
+  if (options.path == PotrfPath::Fused) {
+    s += " nb=" + std::to_string(options.fused_nb);
+    s += " ";
+    s += to_string(options.etm);
+    s += options.implicit_sorting ? " +sort" : " -sort";
+  } else if (options.streamed_syrk) {
+    s += " streamed-syrk";
+  }
+  if (!feasible) return s + " (infeasible)";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, " -> %.1f GF", gflops);
+  return s + buf;
+}
+
+template <typename T>
+TuneResult autotune_potrf(const Queue& q, std::span<const int> sizes,
+                          const TuneSettings& settings) {
+  require(!sizes.empty(), "autotune: empty size list");
+
+  // Deterministic subsample (every k-th element) keeps the sweep cheap for
+  // huge batches while preserving the size distribution.
+  std::vector<int> sample;
+  const int stride =
+      std::max<int>(1, static_cast<int>(sizes.size()) / std::max(1, settings.max_sample));
+  for (std::size_t i = 0; i < sizes.size(); i += static_cast<std::size_t>(stride))
+    sample.push_back(sizes[i]);
+  int max_n = 0;
+  for (int s : sample) max_n = std::max(max_n, s);
+  require(max_n >= 1, "autotune: all sampled matrices empty");
+
+  // Candidate configurations.
+  std::vector<PotrfOptions> candidates;
+  const int feasible_bound = fused_feasible_max(q.spec(), precision_v<T>);
+  for (int nb : {8, 16, 24, 32}) {
+    if (max_n > kernels::fused_max_size(q.spec(), nb, sizeof(T))) continue;
+    for (bool sorting : {false, true}) {
+      PotrfOptions o;
+      o.path = PotrfPath::Fused;
+      o.fused_nb = nb;
+      o.etm = EtmMode::Aggressive;
+      o.implicit_sorting = sorting;
+      candidates.push_back(o);
+      if (settings.try_classic_etm) {
+        o.etm = EtmMode::Classic;
+        candidates.push_back(o);
+      }
+    }
+  }
+  {
+    PotrfOptions o;
+    o.path = PotrfPath::Separated;
+    candidates.push_back(o);
+    if (settings.try_streamed) {
+      o.streamed_syrk = true;
+      candidates.push_back(o);
+    }
+  }
+  (void)feasible_bound;
+
+  TuneResult result;
+  for (const PotrfOptions& opts : candidates) {
+    TuneCandidate cand;
+    cand.options = opts;
+    // Fresh TimingOnly device per candidate: identical spec, clean clock.
+    Queue probe(q.spec(), sim::ExecMode::TimingOnly);
+    try {
+      Batch<T> batch(probe, sample);
+      const PotrfResult r = potrf_vbatched_max<T>(probe, Uplo::Lower, batch, max_n, opts);
+      cand.gflops = r.gflops();
+    } catch (const Error&) {
+      cand.feasible = false;
+    }
+    if (cand.feasible && cand.gflops > result.best_gflops) {
+      result.best_gflops = cand.gflops;
+      result.best = opts;
+    }
+    result.candidates.push_back(std::move(cand));
+  }
+  require(result.best_gflops > 0.0, "autotune: no feasible configuration");
+  return result;
+}
+
+template TuneResult autotune_potrf<float>(const Queue&, std::span<const int>,
+                                          const TuneSettings&);
+template TuneResult autotune_potrf<double>(const Queue&, std::span<const int>,
+                                           const TuneSettings&);
+
+}  // namespace vbatch

@@ -1,0 +1,47 @@
+// Offline autotuning for the vbatched Cholesky (paper §III-D: "We autotuned
+// this kernel for all the possible sizes"; cf. Kurzak et al.'s tuning
+// framework for batched Cholesky).
+//
+// The tuner sweeps candidate configurations — algorithmic path, fused
+// blocking size, sorting window, streamed-vs-vbatched trailing update — on
+// a (sub)sample of the target batch in TimingOnly mode, and returns the
+// best configuration as ready-to-use PotrfOptions. Because the device model
+// is deterministic, one sweep at "packaging and deployment at the user
+// site" (paper §III) fixes the configuration for a workload class.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vbatch/core/potrf_vbatched.hpp"
+
+namespace vbatch {
+
+struct TuneCandidate {
+  PotrfOptions options;
+  double gflops = 0.0;
+  bool feasible = true;
+  [[nodiscard]] std::string describe() const;
+};
+
+struct TuneResult {
+  PotrfOptions best;                    ///< ready to pass to potrf_vbatched
+  double best_gflops = 0.0;
+  std::vector<TuneCandidate> candidates;  ///< the whole sweep, for inspection
+};
+
+struct TuneSettings {
+  int max_sample = 512;   ///< cap on the metadata sample driving the sweep
+  bool try_streamed = true;
+  bool try_classic_etm = false;  ///< also sweep ETM-classic (normally dominated)
+};
+
+/// Tunes the configuration for factoring batches shaped like `sizes` on
+/// the queue's device. Runs entirely in TimingOnly mode on an internal
+/// device clone; the caller's queue is not touched.
+template <typename T>
+TuneResult autotune_potrf(const Queue& q, std::span<const int> sizes,
+                          const TuneSettings& settings = {});
+
+}  // namespace vbatch

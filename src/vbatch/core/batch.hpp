@@ -1,0 +1,153 @@
+// Batch containers: ownership of a set of matrices resident in (simulated)
+// device memory together with the device metadata arrays a vbatched routine
+// needs (paper §III-A: sizes, leading dimensions and pointers are arrays,
+// and the metadata arrays live on the GPU).
+//
+// Metadata arrays (ints, pointers) are host-shadowed: their device residency
+// is accounted against the arena and aux kernels model the cost of touching
+// them, while the functional values are directly readable — which is what
+// lets TimingOnly runs proceed without dereferencing matrix payloads.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "vbatch/core/queue.hpp"
+#include "vbatch/util/matrix_view.hpp"
+#include "vbatch/util/rng.hpp"
+
+namespace vbatch {
+
+/// A device-resident array with a host shadow. Matrix *payloads* do not use
+/// this class (they live purely in the arena); metadata does.
+template <typename T>
+class DeviceVector {
+ public:
+  DeviceVector(Queue& q, std::size_t count)
+      : queue_(&q), data_(count), accounting_(q.device().device_malloc(count * sizeof(T))) {}
+  ~DeviceVector() {
+    if (accounting_ != nullptr) queue_->device().device_free(accounting_);
+  }
+  DeviceVector(DeviceVector&& other) noexcept
+      : queue_(other.queue_), data_(std::move(other.data_)), accounting_(other.accounting_) {
+    other.accounting_ = nullptr;
+  }
+  DeviceVector& operator=(DeviceVector&&) = delete;
+  DeviceVector(const DeviceVector&) = delete;
+  DeviceVector& operator=(const DeviceVector&) = delete;
+
+  [[nodiscard]] T* device_ptr() noexcept { return data_.data(); }
+  [[nodiscard]] const T* device_ptr() const noexcept { return data_.data(); }
+  [[nodiscard]] std::span<T> host() noexcept { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const T> host() const noexcept { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+ private:
+  Queue* queue_;
+  std::vector<T> data_;
+  void* accounting_;
+};
+
+/// Low-level, MAGMA-style view of a vbatched problem handed to drivers.
+template <typename T>
+struct VbatchedProblem {
+  T* const* ptrs = nullptr;      ///< device pointer array
+  std::span<const int> n;        ///< per-matrix order (host shadow of device array)
+  std::span<const int> lda;
+  std::span<int> info;           ///< per-matrix status (host shadow of device array)
+  [[nodiscard]] int count() const noexcept { return static_cast<int>(n.size()); }
+};
+
+/// Owner of a batch of square matrices in device memory plus the metadata
+/// arrays. The convenience layer used by examples, tests and benches.
+template <typename T>
+class Batch {
+ public:
+  /// Allocates matrices of the given orders with lda_i = n_i + lda_pad
+  /// (paper §III-A: every matrix carries an independent leading dimension;
+  /// a non-zero pad exercises exactly that independence). Throws
+  /// Status::OutOfDeviceMemory when the arena is exhausted.
+  explicit Batch(Queue& q, std::span<const int> sizes, int lda_pad = 0);
+
+  /// All matrices the same order (fixed-size batch).
+  static Batch fixed(Queue& q, int count, int n);
+
+  ~Batch();
+  Batch(Batch&&) noexcept;
+  Batch(const Batch&) = delete;
+  Batch& operator=(const Batch&) = delete;
+  Batch& operator=(Batch&&) = delete;
+
+  [[nodiscard]] int count() const noexcept { return static_cast<int>(n_.size()); }
+  [[nodiscard]] std::span<const int> sizes() const noexcept { return n_.host(); }
+  [[nodiscard]] std::span<const int> ldas() const noexcept { return lda_.host(); }
+  [[nodiscard]] T** device_ptrs() noexcept { return ptrs_.device_ptr(); }
+  [[nodiscard]] std::span<int> info() noexcept { return info_.host(); }
+
+  [[nodiscard]] VbatchedProblem<T> problem() noexcept {
+    return {ptrs_.device_ptr(), n_.host(), lda_.host(), info_.host()};
+  }
+
+  /// Largest order in the batch (host-side; the device-side equivalent is
+  /// kernels::imax_reduce, which the LAPACK-like interface uses).
+  [[nodiscard]] int max_size() const noexcept;
+
+  /// Sum of Cholesky flops over the batch (the paper's Gflop/s denominator).
+  [[nodiscard]] double potrf_flops() const noexcept;
+
+  /// Fills every matrix with a random SPD matrix (no-op in TimingOnly mode).
+  void fill_spd(Rng& rng);
+
+  /// View of matrix i (Full mode only).
+  [[nodiscard]] MatrixView<T> matrix(int i) noexcept;
+
+  /// Deep copy of matrix i into a fresh host buffer (Full mode only).
+  [[nodiscard]] std::vector<T> copy_matrix(int i) const;
+
+  [[nodiscard]] Queue& queue() noexcept { return *queue_; }
+
+ private:
+  void fill_spd_impl(Rng& rng, int i, int n);
+
+  Queue* queue_;
+  DeviceVector<int> n_;
+  DeviceVector<int> lda_;
+  DeviceVector<T*> ptrs_;
+  DeviceVector<int> info_;
+  void* slab_ = nullptr;   ///< arena allocation holding all matrix payloads
+};
+
+/// Rectangular batch for the LU/QR extensions: per-matrix m×n with lda = m.
+template <typename T>
+class RectBatch {
+ public:
+  RectBatch(Queue& q, std::span<const int> m, std::span<const int> n);
+  ~RectBatch();
+  RectBatch(RectBatch&&) noexcept;
+  RectBatch(const RectBatch&) = delete;
+  RectBatch& operator=(const RectBatch&) = delete;
+  RectBatch& operator=(RectBatch&&) = delete;
+
+  [[nodiscard]] int count() const noexcept { return static_cast<int>(m_.size()); }
+  [[nodiscard]] std::span<const int> rows() const noexcept { return m_.host(); }
+  [[nodiscard]] std::span<const int> cols() const noexcept { return n_.host(); }
+  [[nodiscard]] std::span<const int> ldas() const noexcept { return lda_.host(); }
+  [[nodiscard]] T** device_ptrs() noexcept { return ptrs_.device_ptr(); }
+  [[nodiscard]] std::span<int> info() noexcept { return info_.host(); }
+
+  void fill_general(Rng& rng);
+  [[nodiscard]] MatrixView<T> matrix(int i) noexcept;
+  [[nodiscard]] std::vector<T> copy_matrix(int i) const;
+  [[nodiscard]] Queue& queue() noexcept { return *queue_; }
+
+ private:
+  Queue* queue_;
+  DeviceVector<int> m_;
+  DeviceVector<int> n_;
+  DeviceVector<int> lda_;
+  DeviceVector<T*> ptrs_;
+  DeviceVector<int> info_;
+  void* slab_ = nullptr;
+};
+
+}  // namespace vbatch

@@ -1,0 +1,76 @@
+// Public variable-size batched BLAS — "these kernels are a foundation for
+// other variable-size batched factorizations (LU and QR) as well as other
+// higher level LAPACK algorithms" (paper §III-E).
+//
+// Every routine comes as the §III-A interface pair:
+//   * the expert `_max` form taking the maximum dimension(s) from the
+//     caller, and
+//   * the LAPACK-like form that computes the maxima with device reduction
+//     kernels first.
+// All routines run LAPACK-compliant argument checking (§V) through
+// vbatch/core/arg_check before launching anything: inconsistent per-matrix
+// dimensions raise Status::InvalidArgument identifying the parameter and
+// the first offending batch index.
+#pragma once
+
+#include "vbatch/core/batch.hpp"
+#include "vbatch/core/queue.hpp"
+#include "vbatch/util/types.hpp"
+
+namespace vbatch {
+
+/// Outcome of a vbatched BLAS call.
+struct BlasResult {
+  double seconds = 0.0;
+  double flops = 0.0;
+  [[nodiscard]] double gflops() const noexcept {
+    return seconds > 0.0 ? flops / seconds * 1e-9 : 0.0;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// GEMM: C_i = alpha · op(A_i) · op(B_i) + beta · C_i
+// ---------------------------------------------------------------------------
+
+template <typename T>
+BlasResult gemm_vbatched(Queue& q, Trans trans_a, Trans trans_b, T alpha, RectBatch<T>& a,
+                         RectBatch<T>& b, T beta, RectBatch<T>& c);
+
+template <typename T>
+BlasResult gemm_vbatched_max(Queue& q, Trans trans_a, Trans trans_b, T alpha, RectBatch<T>& a,
+                             RectBatch<T>& b, T beta, RectBatch<T>& c, int max_m, int max_n);
+
+// ---------------------------------------------------------------------------
+// SYRK: C_i = alpha · op(A_i) · op(A_i)ᵀ + beta · C_i on the uplo triangle
+// ---------------------------------------------------------------------------
+
+template <typename T>
+BlasResult syrk_vbatched(Queue& q, Uplo uplo, Trans trans, T alpha, RectBatch<T>& a, T beta,
+                         Batch<T>& c);
+
+template <typename T>
+BlasResult syrk_vbatched_max(Queue& q, Uplo uplo, Trans trans, T alpha, RectBatch<T>& a,
+                             T beta, Batch<T>& c, int max_n);
+
+// ---------------------------------------------------------------------------
+// TRSM / TRMM: all side/uplo/trans/diag combinations. A_i is the m_i×m_i
+// (Left) or n_i×n_i (Right) triangle of the square batch; B_i is m_i×n_i.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+BlasResult trsm_vbatched(Queue& q, Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
+                         Batch<T>& a, RectBatch<T>& b);
+
+template <typename T>
+BlasResult trsm_vbatched_max(Queue& q, Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
+                             Batch<T>& a, RectBatch<T>& b, int max_m, int max_n);
+
+template <typename T>
+BlasResult trmm_vbatched(Queue& q, Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
+                         Batch<T>& a, RectBatch<T>& b);
+
+template <typename T>
+BlasResult trmm_vbatched_max(Queue& q, Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
+                             Batch<T>& a, RectBatch<T>& b, int max_m, int max_n);
+
+}  // namespace vbatch

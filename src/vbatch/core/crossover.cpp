@@ -1,0 +1,32 @@
+#include "vbatch/core/crossover.hpp"
+
+#include <algorithm>
+
+#include "vbatch/kernels/fused_potrf.hpp"
+
+namespace vbatch {
+
+int fused_feasible_max(const sim::DeviceSpec& spec, Precision prec) {
+  const std::size_t elem = prec == Precision::Double ? sizeof(double) : sizeof(float);
+  // The narrowest supported blocking gives the loosest shared-memory bound.
+  return kernels::fused_max_size(spec, 8, elem);
+}
+
+int crossover_max_size(const sim::DeviceSpec& spec, Precision prec) {
+  // Calibrated against bench/fig07_crossover; always within feasibility.
+  // The SP fused kernel stays ahead until its blocking drops to nb = 8
+  // (beyond the nb = 16 shared-memory bound at 752); DP crosses much
+  // earlier, where the wide panels throttle occupancy.
+  const int perf = prec == Precision::Double ? 320 : 736;
+  return std::min(perf, fused_feasible_max(spec, prec));
+}
+
+bool use_fused(const sim::DeviceSpec& spec, Precision prec, int max_n, int override_crossover) {
+  const int threshold =
+      override_crossover > 0
+          ? std::min(override_crossover, fused_feasible_max(spec, prec))
+          : crossover_max_size(spec, prec);
+  return max_n <= threshold;
+}
+
+}  // namespace vbatch

@@ -1,0 +1,232 @@
+#include "vbatch/core/geqrf_vbatched.hpp"
+
+#include <algorithm>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/kernels/aux_kernels.hpp"
+#include "vbatch/kernels/geqrf_kernels.hpp"
+#include "vbatch/util/error.hpp"
+#include "vbatch/util/flops.hpp"
+
+namespace vbatch {
+
+template <typename T>
+TauArrays<T>::TauArrays(Queue& q, std::span<const int> mn)
+    : queue_(&q), ptrs_(mn.size()), lengths_(mn.begin(), mn.end()) {
+  std::size_t total = 0;
+  for (int v : mn) total += static_cast<std::size_t>(std::max(0, v));
+  slab_ = q.device().device_malloc(std::max<std::size_t>(1, total) * sizeof(T));
+  T* base = static_cast<T*>(slab_);
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < mn.size(); ++i) {
+    ptrs_[i] = base + offset;
+    offset += static_cast<std::size_t>(std::max(0, mn[i]));
+  }
+}
+
+template <typename T>
+TauArrays<T>::~TauArrays() {
+  if (slab_ != nullptr) queue_->device().device_free(slab_);
+}
+
+template <typename T>
+std::span<const T> TauArrays<T>::tau(int i) const noexcept {
+  return {ptrs_[static_cast<std::size_t>(i)],
+          static_cast<std::size_t>(std::max(0, lengths_[static_cast<std::size_t>(i)]))};
+}
+
+template <typename T>
+FactorResult geqrf_vbatched(Queue& q, RectBatch<T>& batch, TauArrays<T>& tau,
+                            const GeqrfOptions& opts) {
+  sim::Device& dev = q.device();
+  const int count = batch.count();
+  const int NB = std::max(8, opts.panel_nb);
+  const auto m = batch.rows();
+  const auto n = batch.cols();
+  const auto lda = batch.ldas();
+
+  FactorResult result;
+  result.flops = flops::geqrf_batch(m, n);
+
+  std::vector<int> mn(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    mn[static_cast<std::size_t>(i)] =
+        std::min(m[static_cast<std::size_t>(i)], n[static_cast<std::size_t>(i)]);
+  const int max_mn = kernels::imax_reduce(dev, mn);
+  const int max_m = kernels::imax_reduce(dev, m);
+  const int max_n = kernels::imax_reduce(dev, n);
+  if (max_mn == 0) return result;
+
+  double seconds = 0.0;
+  for (int j = 0; j < max_mn; j += NB) {
+    if (kernels::count_live(dev, mn, j) == 0) break;
+
+    kernels::GeqrfPanelArgs<T> panel;
+    panel.a = batch.device_ptrs();
+    panel.lda = lda;
+    panel.m = m;
+    panel.n = n;
+    panel.offset = j;
+    panel.NB = NB;
+    panel.tau = tau.ptrs();
+    seconds += kernels::launch_geqrf_panel(dev, panel);
+
+    if (max_n - j - NB > 0) {
+      kernels::LarfbArgs<T> update;
+      update.a = batch.device_ptrs();
+      update.lda = lda;
+      update.m = m;
+      update.n = n;
+      update.offset = j;
+      update.NB = NB;
+      update.max_m = max_m;
+      update.max_n = max_n - j - NB;
+      update.tau = tau.ptrs();
+      seconds += kernels::launch_larfb_update(dev, update);
+    }
+  }
+  result.seconds = seconds;
+  return result;
+}
+
+namespace {
+
+// Shared kernel for ormqr (apply Qᵀ) with an optional fused R-backsolve
+// (the geqrs case). One block per (matrix, rhs strip).
+template <typename T>
+FactorResult apply_qt_kernel(Queue& q, RectBatch<T>& factors, const TauArrays<T>& tau,
+                             RectBatch<T>& rhs, bool backsolve, const char* name) {
+  require(factors.count() == rhs.count(), "ormqr/geqrs: batch count mismatch");
+  const int count = factors.count();
+  sim::Device& dev = q.device();
+
+  int max_m = 0, max_rhs = 0;
+  double total_flops = 0.0;
+  for (int i = 0; i < count; ++i) {
+    const int mi = factors.rows()[static_cast<std::size_t>(i)];
+    const int ni = factors.cols()[static_cast<std::size_t>(i)];
+    require(mi >= ni, "ormqr/geqrs: requires m >= n");
+    require(rhs.rows()[static_cast<std::size_t>(i)] == mi, "ormqr/geqrs: rhs rows != m");
+    max_m = std::max(max_m, mi);
+    max_rhs = std::max(max_rhs, rhs.cols()[static_cast<std::size_t>(i)]);
+    const int nrhs = rhs.cols()[static_cast<std::size_t>(i)];
+    total_flops += 4.0 * mi * ni * nrhs;  // reflector applications
+    if (backsolve) total_flops += flops::trsm(ni, nrhs, true);
+  }
+
+  FactorResult result;
+  result.flops = total_flops;
+  if (max_m == 0 || max_rhs == 0) return result;
+
+  const int strip = 8;
+  const int strips = (max_rhs + strip - 1) / strip;
+
+  sim::LaunchConfig cfg;
+  cfg.name = name;
+  cfg.grid_blocks = count * strips;
+  cfg.block_threads = kernels::round_up_warp(dev.spec(), std::min(max_m, 512));
+  cfg.shared_mem = std::min<std::size_t>(
+      static_cast<std::size_t>(std::min(max_m, 512)) * strip * sizeof(T),
+      dev.spec().shared_mem_per_block);
+  cfg.precision = precision_v<T>;
+
+  auto frows = factors.rows();
+  auto fcols = factors.cols();
+  auto fldas = factors.ldas();
+  T** fptrs = factors.device_ptrs();
+  auto rcols = rhs.cols();
+  auto rldas = rhs.ldas();
+  T** rptrs = rhs.device_ptrs();
+  T* const* tptrs = tau.ptrs();
+
+  result.seconds = dev.launch(cfg, [&, backsolve, threads = cfg.block_threads](
+                                       const sim::ExecContext& ctx, int block) {
+    const int i = block / strips;
+    const index_t s = block % strips;
+    const index_t m = frows[static_cast<std::size_t>(i)];
+    const index_t n = fcols[static_cast<std::size_t>(i)];
+    const index_t c0 = s * strip;
+    const index_t nrhs = rcols[static_cast<std::size_t>(i)];
+
+    sim::BlockCost cost;
+    cost.live_threads = threads;
+    if (m == 0 || n == 0 || c0 >= nrhs) {
+      cost.early_exit = true;
+      return cost;
+    }
+
+    const index_t nc = std::min<index_t>(strip, nrhs - c0);
+    cost.active_threads = static_cast<int>(std::min<index_t>(m, threads));
+    cost.flops = 4.0 * static_cast<double>(m) * static_cast<double>(n) *
+                 static_cast<double>(nc);
+    cost.bytes = static_cast<double>(m * n + 2 * m * nc) * sizeof(T);
+    cost.sync_steps = static_cast<int>(2 * n);      // per-reflector dot + axpy
+    cost.serial_ops = static_cast<double>(n);
+    if (backsolve) {
+      cost.flops += flops::trsm(n, nc, true);
+      cost.sync_steps += static_cast<int>(n);
+      cost.serial_ops += static_cast<double>(n);
+    }
+
+    if (ctx.full()) {
+      const index_t lda = fldas[static_cast<std::size_t>(i)];
+      const index_t ldb = rldas[static_cast<std::size_t>(i)];
+      const T* A = fptrs[i];
+      T* B = rptrs[i] + c0 * ldb;
+      const T* tv = tptrs[i];
+      // Apply H(0) … H(n-1) to the strip: Qᵀ = H(n-1)…H(0) applied in
+      // ascending order.
+      for (index_t kk = 0; kk < n; ++kk) {
+        const T tk = tv[kk];
+        if (tk == T(0)) continue;
+        const T* v = A + kk + kk * lda;  // v(0) implicit 1
+        for (index_t c = 0; c < nc; ++c) {
+          T* col = B + c * ldb;
+          T w = col[kk];
+          for (index_t r = kk + 1; r < m; ++r) w += v[r - kk] * col[r];
+          w *= tk;
+          col[kk] -= w;
+          for (index_t r = kk + 1; r < m; ++r) col[r] -= v[r - kk] * w;
+        }
+      }
+      if (backsolve) {
+        ConstMatrixView<T> R(A, n, n, lda);
+        MatrixView<T> x(B, n, nc, ldb);
+        blas::trsm<T>(Side::Left, Uplo::Upper, Trans::NoTrans, Diag::NonUnit, T(1), R, x);
+      }
+    }
+    return cost;
+  });
+  return result;
+}
+
+}  // namespace
+
+template <typename T>
+FactorResult ormqr_vbatched(Queue& q, RectBatch<T>& factors, const TauArrays<T>& tau,
+                            RectBatch<T>& c) {
+  return apply_qt_kernel<T>(q, factors, tau, c, false, "vbatched_ormqr");
+}
+
+template <typename T>
+FactorResult geqrs_vbatched(Queue& q, RectBatch<T>& factors, const TauArrays<T>& tau,
+                            RectBatch<T>& rhs) {
+  return apply_qt_kernel<T>(q, factors, tau, rhs, true, "vbatched_geqrs");
+}
+
+template class TauArrays<float>;
+template class TauArrays<double>;
+template FactorResult geqrf_vbatched<float>(Queue&, RectBatch<float>&, TauArrays<float>&,
+                                            const GeqrfOptions&);
+template FactorResult geqrf_vbatched<double>(Queue&, RectBatch<double>&, TauArrays<double>&,
+                                             const GeqrfOptions&);
+template FactorResult ormqr_vbatched<float>(Queue&, RectBatch<float>&, const TauArrays<float>&,
+                                            RectBatch<float>&);
+template FactorResult ormqr_vbatched<double>(Queue&, RectBatch<double>&,
+                                             const TauArrays<double>&, RectBatch<double>&);
+template FactorResult geqrs_vbatched<float>(Queue&, RectBatch<float>&, const TauArrays<float>&,
+                                            RectBatch<float>&);
+template FactorResult geqrs_vbatched<double>(Queue&, RectBatch<double>&,
+                                             const TauArrays<double>&, RectBatch<double>&);
+
+}  // namespace vbatch

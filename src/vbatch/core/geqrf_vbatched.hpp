@@ -1,0 +1,57 @@
+// vbatched Householder QR — the second announced extension (§V), following
+// the block-reflector scheme of the batched QR in Haidar et al. [14].
+// Supports rectangular m_i ≥ n_i batches (the multifrontal sparse-QR use
+// case of the paper's introduction).
+#pragma once
+
+#include <span>
+
+#include "vbatch/core/batch.hpp"
+#include "vbatch/core/getrf_vbatched.hpp"  // FactorResult
+#include "vbatch/core/queue.hpp"
+
+namespace vbatch {
+
+/// Owner of per-matrix tau (reflector scalar) arrays.
+template <typename T>
+class TauArrays {
+ public:
+  TauArrays(Queue& q, std::span<const int> mn);
+  ~TauArrays();
+  TauArrays(const TauArrays&) = delete;
+  TauArrays& operator=(const TauArrays&) = delete;
+
+  [[nodiscard]] T* const* ptrs() const noexcept { return ptrs_.data(); }
+  [[nodiscard]] std::span<const T> tau(int i) const noexcept;
+
+ private:
+  Queue* queue_;
+  void* slab_;
+  std::vector<T*> ptrs_;
+  std::vector<int> lengths_;
+};
+
+struct GeqrfOptions {
+  int panel_nb = 32;
+};
+
+/// Factors every matrix as A = Q·R (reflectors stored below the diagonal,
+/// scalars in `tau`).
+template <typename T>
+FactorResult geqrf_vbatched(Queue& q, RectBatch<T>& batch, TauArrays<T>& tau,
+                            const GeqrfOptions& opts = {});
+
+/// Applies Q_iᵀ (from geqrf_vbatched factors) to every C_i (m_i × nrhs_i):
+/// the Left/Trans case of xORMQR, which is what least-squares solves need.
+template <typename T>
+FactorResult ormqr_vbatched(Queue& q, RectBatch<T>& factors, const TauArrays<T>& tau,
+                            RectBatch<T>& c);
+
+/// Batched least squares (xGELS-style, m_i ≥ n_i, full rank): overwrites
+/// the top n_i rows of each rhs with argmin‖A_i·x − b_i‖₂, using the QR
+/// factors: x = R⁻¹ · (Qᵀ b)₁.
+template <typename T>
+FactorResult geqrs_vbatched(Queue& q, RectBatch<T>& factors, const TauArrays<T>& tau,
+                            RectBatch<T>& rhs);
+
+}  // namespace vbatch

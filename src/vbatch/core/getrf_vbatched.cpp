@@ -1,0 +1,229 @@
+#include "vbatch/core/getrf_vbatched.hpp"
+
+#include <algorithm>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/kernels/aux_kernels.hpp"
+#include "vbatch/kernels/getrf_kernels.hpp"
+#include "vbatch/util/error.hpp"
+#include "vbatch/util/flops.hpp"
+
+namespace vbatch {
+
+PivotArrays::PivotArrays(Queue& q, std::span<const int> mn)
+    : queue_(&q), ptrs_(mn.size()), lengths_(mn.begin(), mn.end()) {
+  std::size_t total = 0;
+  for (int v : mn) total += static_cast<std::size_t>(std::max(0, v));
+  slab_ = q.device().device_malloc(std::max<std::size_t>(1, total) * sizeof(int));
+  int* base = static_cast<int*>(slab_);
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < mn.size(); ++i) {
+    ptrs_[i] = base + offset;
+    offset += static_cast<std::size_t>(std::max(0, mn[i]));
+  }
+}
+
+PivotArrays::~PivotArrays() {
+  if (slab_ != nullptr) queue_->device().device_free(slab_);
+}
+
+std::span<const int> PivotArrays::pivots(int i) const noexcept {
+  return {ptrs_[static_cast<std::size_t>(i)],
+          static_cast<std::size_t>(std::max(0, lengths_[static_cast<std::size_t>(i)]))};
+}
+
+template <typename T>
+FactorResult getrf_vbatched(Queue& q, Batch<T>& batch, PivotArrays& ipiv,
+                            const GetrfOptions& opts) {
+  sim::Device& dev = q.device();
+  auto prob = batch.problem();
+  const int batch_count = prob.count();
+  const int NB = std::max(8, opts.panel_nb);
+  for (int i = 0; i < batch_count; ++i) prob.info[static_cast<std::size_t>(i)] = 0;
+
+  FactorResult result;
+  result.flops = flops::getrf_batch(prob.n, prob.n);
+  const int max_n = kernels::imax_reduce(dev, prob.n);
+  if (max_n == 0) return result;
+
+  std::vector<int> trail(static_cast<std::size_t>(batch_count));
+  std::vector<int> full_nb(static_cast<std::size_t>(batch_count));
+
+  double seconds = 0.0;
+  for (int j = 0; j < max_n; j += NB) {
+    if (kernels::count_live(dev, prob.n, j) == 0) break;
+    const int jb_max = std::min(NB, max_n - j);
+
+    kernels::GetrfPanelArgs<T> panel;
+    panel.batch = {prob.ptrs, prob.n, prob.lda};
+    panel.m = prob.n;  // square
+    panel.offset = j;
+    panel.NB = NB;
+    panel.ipiv = ipiv.ptrs();
+    panel.info = prob.info;
+    seconds += kernels::launch_getrf_panel(dev, panel);
+
+    // Row interchanges left of the panel.
+    if (j > 0) {
+      kernels::LaswpArgs<T> left;
+      left.batch = {prob.ptrs, prob.n, prob.lda};
+      left.m = prob.n;
+      left.k1 = j;
+      left.k2 = j + jb_max;
+      left.col0 = 0;
+      left.col1 = j;
+      left.max_cols = j;
+      left.ipiv = ipiv.ptrs();
+      seconds += kernels::launch_laswp(dev, left);
+    }
+
+    const int max_t = max_n - j - NB;
+    if (max_t <= 0) continue;
+
+    // Row interchanges right of the panel, then the U12 solve and the
+    // trailing gemm update — only matrices with n_i > j + NB participate.
+    kernels::LaswpArgs<T> right;
+    right.batch = {prob.ptrs, prob.n, prob.lda};
+    right.m = prob.n;
+    right.k1 = j;
+    right.k2 = j + NB;
+    right.col0 = j + NB;
+    right.col1 = max_n;
+    right.max_cols = max_t;
+    right.ipiv = ipiv.ptrs();
+    seconds += kernels::launch_laswp(dev, right);
+
+    seconds += kernels::shift_sizes(dev, prob.n, trail, j + NB);
+    for (int i = 0; i < batch_count; ++i)
+      full_nb[static_cast<std::size_t>(i)] = trail[static_cast<std::size_t>(i)] > 0 ? NB : 0;
+
+    std::span<T* const> base{prob.ptrs, static_cast<std::size_t>(batch_count)};
+    const auto l11_ptrs = kernels::displace_ptrs<T>(dev, base, prob.lda, j, j);
+    const auto u12_ptrs = kernels::displace_ptrs<T>(dev, base, prob.lda, j, j + NB);
+    const auto l21_ptrs = kernels::displace_ptrs<T>(dev, base, prob.lda, j + NB, j);
+    const auto a22_ptrs = kernels::displace_ptrs<T>(dev, base, prob.lda, j + NB, j + NB);
+
+    kernels::LuTrsmArgs<T> trsm;
+    trsm.l11 = l11_ptrs.data();
+    trsm.lda = prob.lda;
+    trsm.ib = full_nb;
+    trsm.b = u12_ptrs.data();
+    trsm.ldb = prob.lda;
+    trsm.n2 = trail;
+    trsm.max_ib = NB;
+    trsm.max_n2 = max_t;
+    seconds += kernels::launch_lu_trsm(dev, trsm);
+
+    kernels::GemmVbatchedArgs<T> gemm;
+    gemm.trans_a = Trans::NoTrans;
+    gemm.trans_b = Trans::NoTrans;
+    gemm.m = trail;
+    gemm.n = trail;
+    gemm.k = full_nb;
+    gemm.max_m = max_t;
+    gemm.max_n = max_t;
+    gemm.alpha = T(-1);
+    gemm.beta = T(1);
+    gemm.a = l21_ptrs.data();
+    gemm.lda = prob.lda;
+    gemm.b = u12_ptrs.data();
+    gemm.ldb = prob.lda;
+    gemm.c = a22_ptrs.data();
+    gemm.ldc = prob.lda;
+    seconds += kernels::launch_gemm_vbatched(dev, gemm);
+  }
+  result.seconds = seconds;
+  return result;
+}
+
+template <typename T>
+FactorResult getrs_vbatched(Queue& q, Batch<T>& factors, const PivotArrays& ipiv,
+                            RectBatch<T>& rhs) {
+  require(factors.count() == rhs.count(), "getrs_vbatched: batch count mismatch");
+  const int count = factors.count();
+  sim::Device& dev = q.device();
+
+  int max_n = 0, max_rhs = 0;
+  double total_flops = 0.0;
+  for (int i = 0; i < count; ++i) {
+    require(factors.sizes()[static_cast<std::size_t>(i)] ==
+                rhs.rows()[static_cast<std::size_t>(i)],
+            "getrs_vbatched: rhs rows != matrix order");
+    max_n = std::max(max_n, factors.sizes()[static_cast<std::size_t>(i)]);
+    max_rhs = std::max(max_rhs, rhs.cols()[static_cast<std::size_t>(i)]);
+    total_flops += 2.0 * flops::trsm(factors.sizes()[static_cast<std::size_t>(i)],
+                                     rhs.cols()[static_cast<std::size_t>(i)], true);
+  }
+
+  FactorResult result;
+  result.flops = total_flops;
+  if (max_n == 0 || max_rhs == 0) return result;
+
+  // One fused kernel block per (matrix, rhs strip): apply the row
+  // interchanges, then the unit-lower and upper triangular sweeps.
+  const int strip = 8;
+  const int strips = (max_rhs + strip - 1) / strip;
+
+  sim::LaunchConfig cfg;
+  cfg.name = "vbatched_getrs";
+  cfg.grid_blocks = count * strips;
+  cfg.block_threads = kernels::round_up_warp(dev.spec(), std::min(max_n, 512));
+  cfg.shared_mem = static_cast<std::size_t>(std::min(max_n, 512)) * strip * sizeof(T);
+  cfg.shared_mem = std::min(cfg.shared_mem, dev.spec().shared_mem_per_block);
+  cfg.precision = precision_v<T>;
+
+  auto fsizes = factors.sizes();
+  auto fldas = factors.ldas();
+  auto finfo = factors.info();
+  T** fptrs = factors.device_ptrs();
+  auto rcols = rhs.cols();
+  auto rldas = rhs.ldas();
+  T** rptrs = rhs.device_ptrs();
+  int* const* piv = ipiv.ptrs();
+
+  result.seconds = dev.launch(cfg, [&, threads = cfg.block_threads](
+                                       const sim::ExecContext& ctx, int block) {
+    const int i = block / strips;
+    const index_t s = block % strips;
+    const index_t n = fsizes[static_cast<std::size_t>(i)];
+    const index_t c0 = s * strip;
+    const index_t nrhs = rcols[static_cast<std::size_t>(i)];
+
+    sim::BlockCost cost;
+    cost.live_threads = threads;
+    if (n == 0 || c0 >= nrhs || finfo[static_cast<std::size_t>(i)] != 0) {
+      cost.early_exit = true;
+      return cost;
+    }
+
+    const index_t nc = std::min<index_t>(strip, nrhs - c0);
+    cost.active_threads = static_cast<int>(std::min<index_t>(n, threads));
+    cost.flops = 2.0 * flops::trsm(n, nc, true);
+    cost.bytes = static_cast<double>(n * n + 2 * n * nc) * sizeof(T);
+    cost.sync_steps = static_cast<int>(2 * n);
+    cost.serial_ops = static_cast<double>(n);  // upper sweep reciprocal chain
+
+    if (ctx.full()) {
+      const index_t ldb = rldas[static_cast<std::size_t>(i)];
+      ConstMatrixView<T> lu(fptrs[i], n, n, fldas[static_cast<std::size_t>(i)]);
+      MatrixView<T> b(rptrs[i] + c0 * ldb, n, nc, ldb);
+      std::span<const int> pv{piv[i], static_cast<std::size_t>(n)};
+      blas::laswp<T>(b, pv, 0, n);
+      blas::trsm<T>(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::Unit, T(1), lu, b);
+      blas::trsm<T>(Side::Left, Uplo::Upper, Trans::NoTrans, Diag::NonUnit, T(1), lu, b);
+    }
+    return cost;
+  });
+  return result;
+}
+
+template FactorResult getrf_vbatched<float>(Queue&, Batch<float>&, PivotArrays&,
+                                            const GetrfOptions&);
+template FactorResult getrf_vbatched<double>(Queue&, Batch<double>&, PivotArrays&,
+                                             const GetrfOptions&);
+template FactorResult getrs_vbatched<float>(Queue&, Batch<float>&, const PivotArrays&,
+                                            RectBatch<float>&);
+template FactorResult getrs_vbatched<double>(Queue&, Batch<double>&, const PivotArrays&,
+                                             RectBatch<double>&);
+
+}  // namespace vbatch

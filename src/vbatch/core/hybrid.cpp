@@ -1,0 +1,65 @@
+#include "vbatch/core/hybrid.hpp"
+
+#include <algorithm>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/util/flops.hpp"
+
+namespace vbatch {
+
+template <typename T>
+PotrfResult potrf_hybrid_sequence(Queue& q, const cpu::CpuSpec& cpu_spec, Uplo uplo,
+                                  Batch<T>& batch, const HybridOptions& opts) {
+  const auto& spec = q.spec();
+  const Precision prec = precision_v<T>;
+  const double pcie_lat = spec.pcie_latency_us * 1e-6;
+  const double pcie_bw = spec.pcie_bandwidth_gbps * 1e9;
+  const double launch = spec.kernel_launch_overhead_us * 1e-6;
+  // GPU trailing updates on a *single* small matrix reach only a small
+  // fraction of peak (few blocks in flight); ramp with the update size.
+  const auto gpu_update_rate = [&](int m) {
+    const double frac = std::min(1.0, static_cast<double>(m) * m / (1024.0 * 1024.0));
+    return std::max(spec.peak_gflops(prec) * 1e9 * frac, 1e9);
+  };
+
+  PotrfResult result;
+  result.path_taken = PotrfPath::Separated;
+  result.flops = batch.potrf_flops();
+  const int nb = opts.panel_nb;
+
+  for (int i = 0; i < batch.count(); ++i) {
+    const int n = batch.sizes()[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    double t = 0.0;
+    // Initial H2D transfer of the matrix, final D2H of the factor.
+    t += 2.0 * (pcie_lat + static_cast<double>(n) * n * sizeof(T) / pcie_bw);
+    for (int j = 0; j < n; j += nb) {
+      const int jb = std::min(nb, n - j);
+      const int m2 = n - j - jb;
+      // Panel D2H, CPU potf2+trsm of the (n-j)×jb panel, panel H2D.
+      const double panel_flops =
+          flops::potrf(jb) + flops::trsm(m2, jb, false);
+      t += 2.0 * (pcie_lat + static_cast<double>(n - j) * jb * sizeof(T) / pcie_bw);
+      t += panel_flops / (cpu_spec.core_peak_gflops(prec) * 1e9 *
+                          cpu_spec.lapack_efficiency(prec, jb));
+      // GPU trailing update (syrk), one kernel launch per step.
+      if (m2 > 0) {
+        t += launch + flops::syrk(m2, jb) / gpu_update_rate(m2);
+      }
+    }
+    result.seconds += t;
+
+    if (q.full()) {
+      auto a = batch.matrix(i);
+      batch.info()[static_cast<std::size_t>(i)] = blas::potrf<T>(uplo, a);
+    }
+  }
+  return result;
+}
+
+template PotrfResult potrf_hybrid_sequence<float>(Queue&, const cpu::CpuSpec&, Uplo,
+                                                  Batch<float>&, const HybridOptions&);
+template PotrfResult potrf_hybrid_sequence<double>(Queue&, const cpu::CpuSpec&, Uplo,
+                                                   Batch<double>&, const HybridOptions&);
+
+}  // namespace vbatch

@@ -1,0 +1,31 @@
+// The MAGMA hybrid CPU+GPU baseline (paper §II, §IV-F).
+//
+// Hybrid one-sided factorizations process one matrix at a time: the panel
+// is factored on the CPU while the GPU applies the trailing-matrix updates,
+// with panel transfers over PCIe in between. For large single matrices this
+// wins; for a batch of small matrices the per-step transfer latencies and
+// kernel launches cannot be hidden, which is why the paper shows it as the
+// weakest alternative ("obviously ... not the correct choice for this type
+// of workload").
+#pragma once
+
+#include <span>
+
+#include "vbatch/core/batch.hpp"
+#include "vbatch/core/potrf_vbatched.hpp"
+#include "vbatch/cpu/perf_model.hpp"
+
+namespace vbatch {
+
+struct HybridOptions {
+  int panel_nb = 128;  ///< hybrid panel width
+};
+
+/// Factors the batch one matrix at a time with the hybrid algorithm.
+/// Numerics run on the host in Full mode; the reported seconds combine the
+/// CPU panel model, PCIe transfers and the GPU update kernels.
+template <typename T>
+PotrfResult potrf_hybrid_sequence(Queue& q, const cpu::CpuSpec& cpu_spec, Uplo uplo,
+                                  Batch<T>& batch, const HybridOptions& opts = {});
+
+}  // namespace vbatch

@@ -1,0 +1,152 @@
+#include "vbatch/core/matrix_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/util/error.hpp"
+
+namespace vbatch {
+
+template <typename T>
+void make_spd_cond(Rng& rng, MatrixView<T> a, double cond) {
+  const index_t n = a.rows();
+  require(a.cols() == n, "make_spd_cond: square matrix required");
+  require(cond >= 1.0, "make_spd_cond: condition number must be >= 1");
+  if (n == 0) return;
+
+  // Random orthogonal Q: QR of a random matrix, Q materialized via orgqr.
+  std::vector<T> qbuf(static_cast<std::size_t>(n) * n);
+  MatrixView<T> q(qbuf.data(), n, n, n);
+  fill_general(rng, q.data(), n, n, n);
+  std::vector<T> tau(static_cast<std::size_t>(n));
+  blas::geqrf<T>(q, tau);
+  blas::orgqr<T>(q, tau);
+
+  // Log-spaced eigenvalues in [1/cond, 1].
+  std::vector<T> d(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    const double frac = n > 1 ? static_cast<double>(i) / static_cast<double>(n - 1) : 0.0;
+    d[static_cast<std::size_t>(i)] = static_cast<T>(std::pow(cond, -frac));
+  }
+
+  // A = Q·D·Qᵀ.
+  std::vector<T> qd(static_cast<std::size_t>(n) * n);
+  MatrixView<T> qdv(qd.data(), n, n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) qdv(i, j) = q(i, j) * d[static_cast<std::size_t>(j)];
+  blas::gemm<T>(Trans::NoTrans, Trans::Trans, T(1),
+                ConstMatrixView<T>(qd.data(), n, n, n), ConstMatrixView<T>(qbuf.data(), n, n, n),
+                T(0), a);
+  // Enforce exact symmetry (floating-point drift breaks potrf tests).
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j + 1; i < n; ++i) {
+      const T s = static_cast<T>(0.5) * (a(i, j) + a(j, i));
+      a(i, j) = s;
+      a(j, i) = s;
+    }
+}
+
+template <typename T>
+void make_diag_dominant(Rng& rng, MatrixView<T> a, double dominance) {
+  const index_t n = a.rows();
+  require(a.cols() == n, "make_diag_dominant: square matrix required");
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) a(i, j) = static_cast<T>(rng.uniform(-1.0, 1.0));
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j + 1; i < n; ++i) a(j, i) = a(i, j);
+  for (index_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (index_t j = 0; j < n; ++j)
+      if (j != i) row_sum += std::abs(static_cast<double>(a(i, j)));
+    a(i, i) = static_cast<T>(dominance * std::max(row_sum, 1.0));
+  }
+}
+
+template <typename T>
+void make_tridiag_spd(Rng& rng, MatrixView<T> a, double jitter) {
+  const index_t n = a.rows();
+  require(a.cols() == n, "make_tridiag_spd: square matrix required");
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) a(i, j) = T(0);
+  for (index_t i = 0; i < n; ++i) {
+    a(i, i) = static_cast<T>(2.0 + jitter * rng.uniform());
+    if (i + 1 < n) {
+      a(i + 1, i) = T(-1);
+      a(i, i + 1) = T(-1);
+    }
+  }
+}
+
+template <typename T>
+void fill_batch_spd_cond(Rng& rng, Batch<T>& batch, double cond) {
+  if (!batch.queue().full()) return;
+  for (int i = 0; i < batch.count(); ++i) {
+    if (batch.sizes()[static_cast<std::size_t>(i)] > 0) make_spd_cond(rng, batch.matrix(i), cond);
+  }
+}
+
+template <typename T>
+double estimate_condition(ConstMatrixView<T> a, int iterations) {
+  const index_t n = a.rows();
+  if (n == 0) return 1.0;
+  Rng rng(0xC0DE);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+
+  auto normalize = [&](std::vector<double>& x) {
+    double s = 0.0;
+    for (double e : x) s += e * e;
+    s = std::sqrt(s);
+    for (double& e : x) e /= s;
+    return s;
+  };
+  normalize(v);
+
+  // λmax by power iteration.
+  std::vector<double> w(static_cast<std::size_t>(n));
+  double lmax = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    for (index_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (index_t j = 0; j < n; ++j) s += static_cast<double>(a(i, j)) * v[static_cast<std::size_t>(j)];
+      w[static_cast<std::size_t>(i)] = s;
+    }
+    lmax = normalize(w);
+    v = w;
+  }
+
+  // λmin by inverse iteration through a Cholesky solve on a double copy.
+  std::vector<double> fac(static_cast<std::size_t>(n) * n);
+  MatrixView<double> f(fac.data(), n, n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) f(i, j) = static_cast<double>(a(i, j));
+  if (blas::potrf<double>(Uplo::Lower, f) != 0) return std::numeric_limits<double>::infinity();
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  normalize(v);
+  double inv_norm = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    w = v;
+    MatrixView<double> wv(w.data(), n, 1, n);
+    blas::potrs<double>(Uplo::Lower, f, wv);
+    inv_norm = normalize(w);
+    v = w;
+  }
+  const double lmin = 1.0 / inv_norm;
+  return lmax / lmin;
+}
+
+#define VBATCH_INSTANTIATE_GEN(T)                                        \
+  template void make_spd_cond<T>(Rng&, MatrixView<T>, double);           \
+  template void make_diag_dominant<T>(Rng&, MatrixView<T>, double);      \
+  template void make_tridiag_spd<T>(Rng&, MatrixView<T>, double);        \
+  template void fill_batch_spd_cond<T>(Rng&, Batch<T>&, double);         \
+  template double estimate_condition<T>(ConstMatrixView<T>, int);
+
+VBATCH_INSTANTIATE_GEN(float)
+VBATCH_INSTANTIATE_GEN(double)
+
+#undef VBATCH_INSTANTIATE_GEN
+
+}  // namespace vbatch

@@ -1,0 +1,41 @@
+// Structured test-matrix generators.
+//
+// The paper's experiments use random SPD matrices; applications and the
+// property-test suites need finer control — spectra with a prescribed
+// condition number, diagonally dominant operators, banded stencils. These
+// generators produce them for single matrices and whole batches.
+#pragma once
+
+#include "vbatch/core/batch.hpp"
+#include "vbatch/util/matrix_view.hpp"
+#include "vbatch/util/rng.hpp"
+
+namespace vbatch {
+
+/// SPD matrix with condition number ~`cond`: A = Q·D·Qᵀ with a random
+/// orthogonal Q (Householder product) and log-spaced eigenvalues in
+/// [1/cond, 1].
+template <typename T>
+void make_spd_cond(Rng& rng, MatrixView<T> a, double cond);
+
+/// Symmetric strictly diagonally dominant matrix: off-diagonal uniform in
+/// [-1, 1], diagonal = `dominance` × (row absolute sum). SPD for
+/// dominance > 1.
+template <typename T>
+void make_diag_dominant(Rng& rng, MatrixView<T> a, double dominance = 1.5);
+
+/// SPD tridiagonal stencil (2 on the diagonal, -1 off) with random positive
+/// diagonal jitter — the 1-D Poisson operator family.
+template <typename T>
+void make_tridiag_spd(Rng& rng, MatrixView<T> a, double jitter = 0.1);
+
+/// Fills every matrix of a batch with make_spd_cond (no-op in TimingOnly).
+template <typename T>
+void fill_batch_spd_cond(Rng& rng, Batch<T>& batch, double cond);
+
+/// 2-norm condition estimate via a few power/inverse-power iterations on
+/// AᵀA (diagnostic; used by tests to validate the generators).
+template <typename T>
+double estimate_condition(ConstMatrixView<T> a, int iterations = 60);
+
+}  // namespace vbatch

@@ -1,0 +1,67 @@
+#include "vbatch/core/padding.hpp"
+
+#include "vbatch/core/potrf_batched_fixed.hpp"
+#include "vbatch/util/error.hpp"
+#include "vbatch/util/flops.hpp"
+
+namespace vbatch {
+
+template <typename T>
+PaddedPotrfResult potrf_vbatched_via_padding(Queue& q, Uplo uplo, Batch<T>& batch, int max_n,
+                                             const PotrfOptions& opts) {
+  require(max_n >= batch.max_size(), "padding: max_n smaller than the largest matrix");
+  const int count = batch.count();
+
+  // The padded fixed-size batch: this allocation is what exhausts device
+  // memory for large Nmax (Figs. 8/9's truncated curves). The Batch
+  // constructor throws Status::OutOfDeviceMemory in that case.
+  Batch<T> padded = Batch<T>::fixed(q, count, max_n);
+
+  const double t0 = q.time();
+  if (q.full()) {
+    // Pad: original in the top-left, identity on the remaining diagonal.
+    for (int i = 0; i < count; ++i) {
+      auto dst = padded.matrix(i);
+      auto src = batch.matrix(i);
+      const index_t n = src.rows();
+      for (index_t c = 0; c < max_n; ++c)
+        for (index_t r = 0; r < max_n; ++r) dst(r, c) = T(0);
+      for (index_t c = 0; c < n; ++c)
+        for (index_t r = 0; r < n; ++r) dst(r, c) = src(r, c);
+      for (index_t d = n; d < max_n; ++d) dst(d, d) = T(1);
+    }
+  }
+
+  PotrfOptions fixed = opts;
+  if (fixed.path == PotrfPath::Auto) fixed.path = PotrfPath::Separated;
+  const PotrfResult inner = potrf_batched_fixed<T>(q, uplo, padded, fixed);
+
+  if (q.full()) {
+    // Copy the useful triangle back and propagate info.
+    for (int i = 0; i < count; ++i) {
+      auto dst = batch.matrix(i);
+      auto src = padded.matrix(i);
+      const index_t n = dst.rows();
+      for (index_t c = 0; c < n; ++c)
+        for (index_t r = 0; r < n; ++r) dst(r, c) = src(r, c);
+      const int inner_info = padded.info()[static_cast<std::size_t>(i)];
+      batch.info()[static_cast<std::size_t>(i)] =
+          inner_info > static_cast<int>(n) ? 0 : inner_info;
+    }
+  }
+
+  PaddedPotrfResult result;
+  // The device clock already accounts for the inner factorization; report
+  // the call's whole device-time span.
+  result.seconds = std::max(q.time() - t0, inner.seconds);
+  result.useful_flops = batch.potrf_flops();
+  result.executed_flops = static_cast<double>(count) * flops::potrf(max_n);
+  return result;
+}
+
+template PaddedPotrfResult potrf_vbatched_via_padding<float>(Queue&, Uplo, Batch<float>&, int,
+                                                             const PotrfOptions&);
+template PaddedPotrfResult potrf_vbatched_via_padding<double>(Queue&, Uplo, Batch<double>&,
+                                                              int, const PotrfOptions&);
+
+}  // namespace vbatch

@@ -1,0 +1,36 @@
+// The zero-padding adapter (paper §IV-F).
+//
+// "There exist libraries developed and optimized for batch computation but
+// for fixed-size matrices only ... the users need to pad the matrices with
+// zeros in order to make them fixed-size." This adapter does exactly that:
+// it embeds each n_i×n_i matrix in the top-left corner of an Nmax×Nmax
+// matrix whose remaining diagonal is the identity (keeping it SPD), runs
+// the fixed-size batched factorization, and copies the factors back.
+//
+// The adapter allocates count×Nmax² device elements — which is what makes
+// the paper's padding curves run out of GPU memory ("truncated due to
+// running out of the GPU memory").
+#pragma once
+
+#include "vbatch/core/potrf_vbatched.hpp"
+
+namespace vbatch {
+
+struct PaddedPotrfResult {
+  double seconds = 0.0;
+  double useful_flops = 0.0;    ///< sum of per-matrix factorization flops
+  double executed_flops = 0.0;  ///< count × potrf(Nmax) actually performed
+  /// Effective rate on the paper's metric: useful flops over elapsed time.
+  [[nodiscard]] double gflops() const noexcept {
+    return seconds > 0.0 ? useful_flops / seconds * 1e-9 : 0.0;
+  }
+};
+
+/// Factors a variable-size batch through zero-padding to max_n. Throws
+/// Status::OutOfDeviceMemory when the padded copies exceed device memory.
+/// In Full mode the factors are copied back into `batch`.
+template <typename T>
+PaddedPotrfResult potrf_vbatched_via_padding(Queue& q, Uplo uplo, Batch<T>& batch, int max_n,
+                                             const PotrfOptions& opts = {});
+
+}  // namespace vbatch

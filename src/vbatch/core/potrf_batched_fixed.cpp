@@ -1,0 +1,30 @@
+#include "vbatch/core/potrf_batched_fixed.hpp"
+
+#include "vbatch/util/error.hpp"
+
+namespace vbatch {
+
+template <typename T>
+PotrfResult potrf_batched_fixed(Queue& q, Uplo uplo, Batch<T>& batch,
+                                const PotrfOptions& opts) {
+  const auto sizes = batch.sizes();
+  const int n = sizes.front();
+  for (int s : sizes) require(s == n, "potrf_batched_fixed: sizes differ (use potrf_vbatched)");
+
+  // Fixed-size batches need neither implicit sorting (all sizes equal) nor
+  // per-size windows; the ETM never fires except on potf2 failures.
+  PotrfOptions fixed = opts;
+  fixed.implicit_sorting = false;
+  return potrf_vbatched_max<T>(q, uplo, batch, n, fixed);
+}
+
+template PotrfResult potrf_batched_fixed<float>(Queue&, Uplo, Batch<float>&,
+                                                const PotrfOptions&);
+template PotrfResult potrf_batched_fixed<double>(Queue&, Uplo, Batch<double>&,
+                                                 const PotrfOptions&);
+template PotrfResult potrf_batched_fixed<std::complex<float>>(
+    Queue&, Uplo, Batch<std::complex<float>>&, const PotrfOptions&);
+template PotrfResult potrf_batched_fixed<std::complex<double>>(
+    Queue&, Uplo, Batch<std::complex<double>>&, const PotrfOptions&);
+
+}  // namespace vbatch

@@ -1,0 +1,17 @@
+// Fixed-size batched Cholesky — the pre-existing MAGMA functionality the
+// paper extends (§III-D: "For simplicity, fused kernels were initially
+// developed for fixed-size batched operations") and the baseline behind
+// Fig. 4 and the padding comparison of Figs. 8/9.
+#pragma once
+
+#include "vbatch/core/potrf_vbatched.hpp"
+
+namespace vbatch {
+
+/// Factors `count` matrices of identical order n. `path` selects the fused
+/// or separated implementation (Auto applies the crossover policy).
+template <typename T>
+PotrfResult potrf_batched_fixed(Queue& q, Uplo uplo, Batch<T>& batch,
+                                const PotrfOptions& opts = {});
+
+}  // namespace vbatch

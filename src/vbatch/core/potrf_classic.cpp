@@ -1,0 +1,94 @@
+#include "vbatch/core/potrf_classic.hpp"
+
+#include <algorithm>
+
+#include "vbatch/kernels/aux_kernels.hpp"
+#include "vbatch/kernels/classic_kernels.hpp"
+#include "vbatch/kernels/gemm_vbatched.hpp"
+#include "vbatch/util/error.hpp"
+#include "vbatch/util/flops.hpp"
+
+namespace vbatch {
+
+template <typename T>
+PotrfResult potrf_batched_classic(Queue& q, Uplo uplo, Batch<T>& batch,
+                                  const ClassicOptions& opts) {
+  sim::Device& dev = q.device();
+  auto prob = batch.problem();
+  const int batch_count = prob.count();
+  for (int i = 0; i < batch_count; ++i) prob.info[static_cast<std::size_t>(i)] = 0;
+
+  PotrfResult result;
+  result.path_taken = PotrfPath::Separated;
+  result.flops = flops::potrf_batch(prob.n);
+  const int max_n = kernels::imax_reduce(dev, prob.n);
+  if (max_n == 0) return result;
+
+  int nb = opts.nb;
+  if (nb <= 0) nb = std::clamp((max_n / 8) / 8 * 8, 8, 64);
+
+  std::vector<int> trail(static_cast<std::size_t>(batch_count));
+  std::vector<int> kdim(static_cast<std::size_t>(batch_count));
+
+  double seconds = 0.0;
+  for (int j = 0; j < max_n; j += nb) {
+    kernels::ClassicPotf2Args<T> tile;
+    tile.batch = {prob.ptrs, prob.n, prob.lda};
+    tile.uplo = uplo;
+    tile.offset = j;
+    tile.nb = nb;
+    tile.info = prob.info;
+    seconds += kernels::launch_classic_potf2(dev, tile);
+
+    const int max_m2 = max_n - j - nb;
+    if (max_m2 <= 0) continue;
+
+    kernels::ClassicTrsmArgs<T> trsm;
+    trsm.batch = {prob.ptrs, prob.n, prob.lda};
+    trsm.uplo = uplo;
+    trsm.offset = j;
+    trsm.nb = nb;
+    trsm.info = prob.info;
+    seconds += kernels::launch_classic_trsm(dev, trsm);
+
+    // Trailing update through the generic large-tile syrk, with the usual
+    // aux kernels for size arithmetic and pointer displacement — none of
+    // the customization the fused kernel applies (§III-D).
+    seconds += kernels::shift_sizes(dev, prob.n, trail, j + nb);
+    int live = 0;
+    for (int i = 0; i < batch_count; ++i) {
+      kdim[static_cast<std::size_t>(i)] = trail[static_cast<std::size_t>(i)] > 0 ? nb : 0;
+      if (trail[static_cast<std::size_t>(i)] > 0) ++live;
+    }
+    if (live == 0) break;
+
+    std::span<T* const> base{prob.ptrs, static_cast<std::size_t>(batch_count)};
+    const auto sub_ptrs = uplo == Uplo::Lower
+                              ? kernels::displace_ptrs<T>(dev, base, prob.lda, j + nb, j)
+                              : kernels::displace_ptrs<T>(dev, base, prob.lda, j, j + nb);
+    const auto trail_ptrs = kernels::displace_ptrs<T>(dev, base, prob.lda, j + nb, j + nb);
+
+    kernels::SyrkVbatchedArgs<T> syrk;
+    syrk.uplo = uplo;
+    syrk.trans = uplo == Uplo::Lower ? Trans::NoTrans : Trans::Trans;
+    syrk.n = trail;
+    syrk.k = kdim;
+    syrk.max_n = max_m2;
+    syrk.alpha = T(-1);
+    syrk.beta = T(1);
+    syrk.a = sub_ptrs.data();
+    syrk.lda = prob.lda;
+    syrk.c = trail_ptrs.data();
+    syrk.ldc = prob.lda;
+    seconds += kernels::launch_syrk_vbatched(dev, syrk);
+  }
+  result.seconds = seconds;
+  return result;
+}
+
+template PotrfResult potrf_batched_classic<float>(Queue&, Uplo, Batch<float>&,
+                                                  const ClassicOptions&);
+template PotrfResult potrf_batched_classic<double>(Queue&, Uplo, Batch<double>&,
+                                                   const ClassicOptions&);
+
+}  // namespace vbatch

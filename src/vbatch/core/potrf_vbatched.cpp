@@ -1,0 +1,96 @@
+// Public vbatched Cholesky entry points (paper §III-A interfaces).
+#include "vbatch/core/potrf_vbatched.hpp"
+
+#include "vbatch/core/crossover.hpp"
+#include "vbatch/kernels/aux_kernels.hpp"
+#include "vbatch/util/error.hpp"
+#include "vbatch/util/flops.hpp"
+
+namespace vbatch {
+
+template <typename T>
+PotrfResult potrf_vbatched_max(Queue& q, Uplo uplo, const VbatchedProblem<T>& prob, int max_n,
+                               const PotrfOptions& opts) {
+  require(prob.count() > 0, "potrf_vbatched: empty batch");
+  require(static_cast<int>(prob.lda.size()) == prob.count() &&
+              static_cast<int>(prob.info.size()) == prob.count(),
+          "potrf_vbatched: metadata array size mismatch");
+  for (int i = 0; i < prob.count(); ++i) {
+    require(prob.lda[static_cast<std::size_t>(i)] >= std::max(1, prob.n[static_cast<std::size_t>(i)]),
+            "potrf_vbatched: lda < n");
+    prob.info[static_cast<std::size_t>(i)] = 0;
+  }
+
+  PotrfResult result;
+  result.flops = flops::potrf_batch(prob.n);
+
+  const Precision prec = precision_v<T>;
+  bool fused = false;
+  switch (opts.path) {
+    case PotrfPath::Fused: fused = true; break;
+    case PotrfPath::Separated: fused = false; break;
+    case PotrfPath::Auto:
+      fused = use_fused(q.spec(), prec, max_n, opts.crossover);
+      break;
+  }
+
+  if (fused) {
+    result.path_taken = PotrfPath::Fused;
+    result.seconds = detail::potrf_fused_run<T>(q, uplo, prob, max_n, opts.etm,
+                                                opts.implicit_sorting, opts.fused_nb,
+                                                opts.sort_window);
+  } else {
+    result.path_taken = PotrfPath::Separated;
+    result.seconds = detail::potrf_separated_run<T>(q, uplo, prob, max_n, opts.separated_nb,
+                                                    opts.streamed_syrk, opts.num_streams);
+  }
+  return result;
+}
+
+template <typename T>
+PotrfResult potrf_vbatched_max(Queue& q, Uplo uplo, Batch<T>& batch, int max_n,
+                               const PotrfOptions& opts) {
+  return potrf_vbatched_max<T>(q, uplo, batch.problem(), max_n, opts);
+}
+
+template <typename T>
+PotrfResult potrf_vbatched(Queue& q, Uplo uplo, Batch<T>& batch, const PotrfOptions& opts) {
+  // LAPACK-like interface: compute the maximum with a device reduction
+  // kernel, then delegate (§III-A: "The latter wraps the first interface
+  // and calls GPU kernels to compute these maximums"). The reduction's
+  // (negligible) time is part of this call and is reported with it.
+  auto prob = batch.problem();
+  const double t0 = q.time();
+  const int max_n = kernels::imax_reduce(q.device(), prob.n);
+  require(max_n >= 1, "potrf_vbatched: all matrices are empty");
+  PotrfResult result = potrf_vbatched_max<T>(q, uplo, prob, max_n, opts);
+  result.seconds = q.time() - t0;
+  return result;
+}
+
+template PotrfResult potrf_vbatched_max<float>(Queue&, Uplo, const VbatchedProblem<float>&,
+                                               int, const PotrfOptions&);
+template PotrfResult potrf_vbatched_max<double>(Queue&, Uplo, const VbatchedProblem<double>&,
+                                                int, const PotrfOptions&);
+template PotrfResult potrf_vbatched_max<float>(Queue&, Uplo, Batch<float>&, int,
+                                               const PotrfOptions&);
+template PotrfResult potrf_vbatched_max<double>(Queue&, Uplo, Batch<double>&, int,
+                                                const PotrfOptions&);
+template PotrfResult potrf_vbatched<float>(Queue&, Uplo, Batch<float>&, const PotrfOptions&);
+template PotrfResult potrf_vbatched<double>(Queue&, Uplo, Batch<double>&, const PotrfOptions&);
+template PotrfResult potrf_vbatched_max<std::complex<float>>(
+    Queue&, Uplo, const VbatchedProblem<std::complex<float>>&, int, const PotrfOptions&);
+template PotrfResult potrf_vbatched_max<std::complex<double>>(
+    Queue&, Uplo, const VbatchedProblem<std::complex<double>>&, int, const PotrfOptions&);
+template PotrfResult potrf_vbatched_max<std::complex<float>>(
+    Queue&, Uplo, Batch<std::complex<float>>&, int, const PotrfOptions&);
+template PotrfResult potrf_vbatched_max<std::complex<double>>(
+    Queue&, Uplo, Batch<std::complex<double>>&, int, const PotrfOptions&);
+template PotrfResult potrf_vbatched<std::complex<float>>(Queue&, Uplo,
+                                                         Batch<std::complex<float>>&,
+                                                         const PotrfOptions&);
+template PotrfResult potrf_vbatched<std::complex<double>>(Queue&, Uplo,
+                                                          Batch<std::complex<double>>&,
+                                                          const PotrfOptions&);
+
+}  // namespace vbatch

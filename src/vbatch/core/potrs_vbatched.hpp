@@ -1,0 +1,34 @@
+// vbatched triangular solves after Cholesky (xPOTRS) and the combined
+// factor-and-solve (xPOSV) — the "solve routines" the paper's framework is
+// a foundation for (§I, §V).
+#pragma once
+
+#include <span>
+
+#include "vbatch/core/batch.hpp"
+#include "vbatch/core/getrf_vbatched.hpp"  // FactorResult
+#include "vbatch/core/potrf_vbatched.hpp"
+#include "vbatch/core/queue.hpp"
+
+namespace vbatch {
+
+/// Solves A_i X_i = B_i for every matrix, where `factors` holds the
+/// Cholesky factors (output of potrf_vbatched) and `rhs` the right-hand
+/// sides (n_i × nrhs_i, overwritten with the solutions).
+template <typename T>
+FactorResult potrs_vbatched(Queue& q, Uplo uplo, Batch<T>& factors, RectBatch<T>& rhs);
+
+/// Factor + solve in one call (xPOSV). Returns the combined result; the
+/// factorization options behave as in potrf_vbatched.
+template <typename T>
+FactorResult posv_vbatched(Queue& q, Uplo uplo, Batch<T>& a, RectBatch<T>& rhs,
+                           const PotrfOptions& opts = {});
+
+/// SPD inverse from the Cholesky factors (xPOTRI): overwrites the `uplo`
+/// triangle of every factor with the same triangle of A_i⁻¹ (trtri of the
+/// factor followed by the lauum triangular product). Matrices whose
+/// factorization reported info != 0 are skipped.
+template <typename T>
+FactorResult potri_vbatched(Queue& q, Uplo uplo, Batch<T>& factors);
+
+}  // namespace vbatch

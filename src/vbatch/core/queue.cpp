@@ -1,0 +1,10 @@
+#include "vbatch/core/queue.hpp"
+
+namespace vbatch {
+
+Queue::Queue(sim::DeviceSpec spec, sim::ExecMode mode)
+    : device_(std::make_unique<sim::Device>(std::move(spec), mode)) {}
+
+Queue::~Queue() = default;
+
+}  // namespace vbatch

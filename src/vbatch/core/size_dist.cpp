@@ -1,0 +1,51 @@
+#include "vbatch/core/size_dist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vbatch/util/error.hpp"
+
+namespace vbatch {
+
+std::vector<int> uniform_sizes(Rng& rng, int count, int nmax) {
+  require(count > 0 && nmax >= 1, "uniform_sizes: bad arguments");
+  std::vector<int> sizes(static_cast<std::size_t>(count));
+  for (auto& s : sizes) s = static_cast<int>(rng.uniform_int(1, nmax));
+  return sizes;
+}
+
+std::vector<int> gaussian_sizes(Rng& rng, int count, int nmax) {
+  require(count > 0 && nmax >= 1, "gaussian_sizes: bad arguments");
+  const double mean = std::floor(static_cast<double>(nmax) / 2.0);
+  const double stddev = static_cast<double>(nmax) / 6.0;
+  std::vector<int> sizes(static_cast<std::size_t>(count));
+  for (auto& s : sizes) {
+    const double v = rng.gaussian(mean, stddev);
+    s = std::clamp(static_cast<int>(std::lround(v)), 1, nmax);
+  }
+  return sizes;
+}
+
+std::vector<int> make_sizes(SizeDist dist, Rng& rng, int count, int nmax) {
+  return dist == SizeDist::Uniform ? uniform_sizes(rng, count, nmax)
+                                   : gaussian_sizes(rng, count, nmax);
+}
+
+SizeStats size_stats(const std::vector<int>& sizes) {
+  SizeStats st;
+  if (sizes.empty()) return st;
+  st.min = *std::min_element(sizes.begin(), sizes.end());
+  st.max = *std::max_element(sizes.begin(), sizes.end());
+  double sum = 0.0;
+  for (int s : sizes) sum += s;
+  st.mean = sum / static_cast<double>(sizes.size());
+  double var = 0.0;
+  for (int s : sizes) {
+    const double d = s - st.mean;
+    var += d * d;
+  }
+  st.stddev = std::sqrt(var / static_cast<double>(sizes.size()));
+  return st;
+}
+
+}  // namespace vbatch

@@ -1,0 +1,39 @@
+// Matrix-size distribution generators (paper §IV-B, Fig. 3).
+//
+// Two pseudo-random generators shape the vbatched test batches: a uniform
+// distribution over [1, Nmax] and a Gaussian centred at ⌊Nmax/2⌋ with few
+// sizes near the interval boundaries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vbatch/util/rng.hpp"
+
+namespace vbatch {
+
+enum class SizeDist : std::uint8_t { Uniform, Gaussian };
+
+[[nodiscard]] constexpr const char* to_string(SizeDist d) noexcept {
+  return d == SizeDist::Uniform ? "uniform" : "gaussian";
+}
+
+/// Sizes drawn uniformly from [1, nmax].
+[[nodiscard]] std::vector<int> uniform_sizes(Rng& rng, int count, int nmax);
+
+/// Sizes drawn from N(⌊nmax/2⌋, (nmax/6)²), clamped to [1, nmax].
+[[nodiscard]] std::vector<int> gaussian_sizes(Rng& rng, int count, int nmax);
+
+/// Dispatch on the enum.
+[[nodiscard]] std::vector<int> make_sizes(SizeDist dist, Rng& rng, int count, int nmax);
+
+/// Simple summary statistics used by tests and Fig. 3's bench.
+struct SizeStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  int min = 0;
+  int max = 0;
+};
+[[nodiscard]] SizeStats size_stats(const std::vector<int>& sizes);
+
+}  // namespace vbatch

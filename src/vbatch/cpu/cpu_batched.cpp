@@ -1,0 +1,105 @@
+#include "vbatch/cpu/cpu_batched.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/cpu/thread_pool.hpp"
+#include "vbatch/util/flops.hpp"
+
+namespace vbatch::cpu {
+
+namespace {
+
+// Shared pool for Full-mode numerics; sized to the host, not to the
+// modelled CPU (the model decides the reported time).
+ThreadPool& host_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace
+
+template <typename T>
+CpuBatchResult potrf_batched_per_core(const CpuSpec& spec, Schedule schedule, Uplo uplo,
+                                      std::span<const int> n, T* const* a,
+                                      std::span<const int> lda, std::span<int> info,
+                                      bool execute) {
+  const int count = static_cast<int>(n.size());
+  CpuBatchResult result;
+  result.flops = flops::potrf_batch(n);
+
+  // Per-matrix modelled task times (single core + dispatch overhead).
+  std::vector<double> task(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const int ni = n[static_cast<std::size_t>(i)];
+    task[static_cast<std::size_t>(i)] =
+        spec.core_seconds(precision_v<T>, ni, flops::potrf(ni)) + spec.task_overhead_us * 1e-6;
+  }
+
+  // Makespan of the chosen schedule over the modelled 16 cores.
+  std::vector<double> core_time(static_cast<std::size_t>(spec.cores), 0.0);
+  if (schedule == Schedule::Static) {
+    for (int i = 0; i < count; ++i)
+      core_time[static_cast<std::size_t>(i % spec.cores)] += task[static_cast<std::size_t>(i)];
+  } else {
+    // Dynamic: each matrix goes to the earliest-available core, in batch
+    // order — list scheduling, the behaviour of an OpenMP dynamic loop.
+    for (int i = 0; i < count; ++i) {
+      auto it = std::min_element(core_time.begin(), core_time.end());
+      *it += task[static_cast<std::size_t>(i)];
+    }
+  }
+  result.seconds = *std::max_element(core_time.begin(), core_time.end());
+
+  if (execute) {
+    host_pool().parallel_for(count, [&](int i) {
+      const int ni = n[static_cast<std::size_t>(i)];
+      MatrixView<T> ai(a[i], ni, ni, lda[static_cast<std::size_t>(i)]);
+      info[static_cast<std::size_t>(i)] = blas::potrf<T>(uplo, ai);
+    });
+  }
+  return result;
+}
+
+template <typename T>
+CpuBatchResult potrf_batched_multithreaded(const CpuSpec& spec, Uplo uplo,
+                                           std::span<const int> n, T* const* a,
+                                           std::span<const int> lda, std::span<int> info,
+                                           bool execute) {
+  const int count = static_cast<int>(n.size());
+  CpuBatchResult result;
+  result.flops = flops::potrf_batch(n);
+  for (int i = 0; i < count; ++i) {
+    const int ni = n[static_cast<std::size_t>(i)];
+    result.seconds += spec.multithreaded_seconds(precision_v<T>, ni, flops::potrf(ni));
+  }
+  if (execute) {
+    host_pool().parallel_for(count, [&](int i) {
+      const int ni = n[static_cast<std::size_t>(i)];
+      MatrixView<T> ai(a[i], ni, ni, lda[static_cast<std::size_t>(i)]);
+      info[static_cast<std::size_t>(i)] = blas::potrf<T>(uplo, ai);
+    });
+  }
+  return result;
+}
+
+template CpuBatchResult potrf_batched_per_core<float>(const CpuSpec&, Schedule, Uplo,
+                                                      std::span<const int>, float* const*,
+                                                      std::span<const int>, std::span<int>,
+                                                      bool);
+template CpuBatchResult potrf_batched_per_core<double>(const CpuSpec&, Schedule, Uplo,
+                                                       std::span<const int>, double* const*,
+                                                       std::span<const int>, std::span<int>,
+                                                       bool);
+template CpuBatchResult potrf_batched_multithreaded<float>(const CpuSpec&, Uplo,
+                                                           std::span<const int>, float* const*,
+                                                           std::span<const int>, std::span<int>,
+                                                           bool);
+template CpuBatchResult potrf_batched_multithreaded<double>(const CpuSpec&, Uplo,
+                                                            std::span<const int>,
+                                                            double* const*,
+                                                            std::span<const int>,
+                                                            std::span<int>, bool);
+
+}  // namespace vbatch::cpu

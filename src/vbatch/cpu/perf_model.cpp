@@ -1,0 +1,45 @@
+#include "vbatch/cpu/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vbatch::cpu {
+
+double CpuSpec::core_peak_gflops(Precision p) const noexcept {
+  const double fpc =
+      p == Precision::Single ? sp_flops_per_cycle_per_core : dp_flops_per_cycle_per_core;
+  return fpc * clock_ghz;
+}
+
+double CpuSpec::total_peak_gflops(Precision p) const noexcept {
+  return core_peak_gflops(p) * cores;
+}
+
+double CpuSpec::lapack_efficiency(Precision p, int n) const noexcept {
+  if (n <= 0) return 1.0;
+  const double emax = p == Precision::Single ? sp_emax : dp_emax;
+  const double n0 = p == Precision::Single ? sp_n0 : dp_n0;
+  const double pw = p == Precision::Single ? sp_p : dp_p;
+  return emax / (1.0 + std::pow(n0 / static_cast<double>(n), pw));
+}
+
+double CpuSpec::parallel_efficiency(int n) const noexcept {
+  if (n <= 0) return 1.0;
+  const double r = par_n1 / static_cast<double>(n);
+  return 1.0 / (1.0 + r * r);
+}
+
+double CpuSpec::core_seconds(Precision p, int n, double flops) const noexcept {
+  const double rate = core_peak_gflops(p) * 1e9 * lapack_efficiency(p, n);
+  return flops / std::max(rate, 1.0);
+}
+
+double CpuSpec::multithreaded_seconds(Precision p, int n, double flops) const noexcept {
+  const double rate =
+      total_peak_gflops(p) * 1e9 * lapack_efficiency(p, n) * parallel_efficiency(n);
+  return flops / std::max(rate, 1.0) + fork_join_us * 1e-6;
+}
+
+CpuSpec CpuSpec::dual_e5_2670() { return CpuSpec{}; }
+
+}  // namespace vbatch::cpu

@@ -1,0 +1,71 @@
+#include "vbatch/cpu/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace vbatch::cpu {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  threads = std::clamp(threads, 1u, 64u);
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      if (--in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(int count, const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  auto next = std::make_shared<std::atomic<int>>(0);
+  const unsigned workers = std::min<unsigned>(size(), static_cast<unsigned>(count));
+  for (unsigned w = 0; w < workers; ++w) {
+    submit([next, count, &fn] {
+      for (;;) {
+        const int i = next->fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  wait_idle();
+}
+
+}  // namespace vbatch::cpu

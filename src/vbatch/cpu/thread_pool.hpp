@@ -1,0 +1,46 @@
+// A minimal work-stealing-free thread pool used to execute the CPU
+// baselines' real numerics in Full mode (the modelled timing is computed
+// separately by CpuSpec; see cpu_batched.hpp).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vbatch::cpu {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads = std::thread::hardware_concurrency());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; tasks run in FIFO order across workers.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void wait_idle();
+
+  [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Convenience: runs fn(i) for i in [0, count) across the pool and waits.
+  void parallel_for(int count, const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  int in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace vbatch::cpu

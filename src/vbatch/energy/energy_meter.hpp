@@ -1,0 +1,37 @@
+// Energy-to-solution accounting (paper §IV-G): "the integration of the
+// power measurements over time". The meter integrates a PowerModel over a
+// run — per-kernel for GPU runs (utilisation from each kernel's achieved
+// throughput against peak) and as a single interval for modelled CPU runs.
+// A run on one device also charges the other device's idle power, matching
+// the paper's "total amount of energy consumed by both hardware CPU and
+// GPU".
+#pragma once
+
+#include "vbatch/energy/power_model.hpp"
+#include "vbatch/sim/device_spec.hpp"
+#include "vbatch/sim/timeline.hpp"
+
+namespace vbatch::energy {
+
+struct EnergyResult {
+  double joules = 0.0;
+  double seconds = 0.0;
+  [[nodiscard]] double avg_watts() const noexcept {
+    return seconds > 0.0 ? joules / seconds : 0.0;
+  }
+};
+
+/// Integrates GPU power over a slice of the device timeline (records with
+/// start >= t0), adding the CPU's idle draw for the same wall time.
+[[nodiscard]] EnergyResult gpu_run_energy(const sim::DeviceSpec& spec, const PowerModel& gpu,
+                                          const PowerModel& cpu_idle,
+                                          const sim::Timeline& timeline, Precision prec,
+                                          double t0 = 0.0);
+
+/// Energy of a modelled CPU run achieving `gflops` over `seconds`, adding
+/// the GPU's idle draw.
+[[nodiscard]] EnergyResult cpu_run_energy(const PowerModel& cpu, const PowerModel& gpu_idle,
+                                          double seconds, double achieved_gflops,
+                                          double peak_gflops);
+
+}  // namespace vbatch::energy

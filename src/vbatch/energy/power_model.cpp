@@ -1,0 +1,21 @@
+#include "vbatch/energy/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vbatch::energy {
+
+double PowerModel::watts(double utilization) const noexcept {
+  const double u = std::clamp(utilization, 0.0, 1.0);
+  return idle_watts + (max_watts - idle_watts) * std::pow(u, util_exponent);
+}
+
+PowerModel PowerModel::k40c() {
+  return PowerModel{"Tesla K40c (modelled)", 25.0, 235.0, 0.6};
+}
+
+PowerModel PowerModel::dual_e5_2670() {
+  return PowerModel{"2x E5-2670 + DRAM (modelled)", 70.0, 290.0, 0.6};
+}
+
+}  // namespace vbatch::energy

@@ -1,0 +1,27 @@
+// Power models standing in for the paper's PAPI (CPU/RAPL) and NVML (GPU)
+// measurements (§IV-G). Power is idle + utilisation-scaled dynamic power;
+// utilisation follows achieved arithmetic throughput sub-linearly, because
+// data movement and control burn energy even at low flop efficiency.
+#pragma once
+
+#include "vbatch/util/types.hpp"
+
+namespace vbatch::energy {
+
+struct PowerModel {
+  const char* name = "";
+  double idle_watts = 0.0;
+  double max_watts = 0.0;   ///< board/package power at full load (TDP-ish)
+  double util_exponent = 0.6;
+
+  /// Instantaneous power at the given utilisation in [0, 1].
+  [[nodiscard]] double watts(double utilization) const noexcept;
+
+  /// Tesla K40c board power (235 W TDP, ~25 W idle).
+  [[nodiscard]] static PowerModel k40c();
+
+  /// Two E5-2670 packages + DRAM (2×115 W TDP + memory, ~70 W idle).
+  [[nodiscard]] static PowerModel dual_e5_2670();
+};
+
+}  // namespace vbatch::energy

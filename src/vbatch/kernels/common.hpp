@@ -1,0 +1,77 @@
+// Shared declarations for the simulated device kernels.
+//
+// Every vbatched kernel follows the paper's conventions (§III-A):
+//   * matrix data is addressed through a device array of pointers;
+//   * per-matrix sizes and leading dimensions are device int arrays — the
+//     simulation keeps host mirrors of those arrays (spans below) so that
+//     cost reports can be produced without dereferencing device memory in
+//     TimingOnly mode;
+//   * the kernel grid is shaped by the *maximum* size in the batch, and
+//     blocks with no work terminate through an ETM.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "vbatch/sim/device.hpp"
+#include "vbatch/util/matrix_view.hpp"
+#include "vbatch/util/types.hpp"
+
+namespace vbatch::kernels {
+
+/// Rounds `threads` up to a whole number of warps, clamped to the device
+/// block limit.
+[[nodiscard]] inline int round_up_warp(const sim::DeviceSpec& spec, int threads) noexcept {
+  const int w = spec.warp_size;
+  const int rounded = std::max(w, ((threads + w - 1) / w) * w);
+  return std::min(rounded, spec.max_threads_per_block);
+}
+
+/// Non-owning description of a vbatched operand set: a device pointer array
+/// plus host mirrors of the device size/ld arrays.
+template <typename T>
+struct BatchArgs {
+  T* const* ptrs = nullptr;      ///< device array of matrix pointers
+  std::span<const int> n;        ///< host mirror of the device size array
+  std::span<const int> lda;      ///< host mirror of the device ld array
+  [[nodiscard]] int count() const noexcept { return static_cast<int>(n.size()); }
+
+  /// View of matrix `i` as rows×cols with its own leading dimension.
+  [[nodiscard]] MatrixView<T> view(int i, index_t rows, index_t cols) const noexcept {
+    return MatrixView<T>(ptrs[i], rows, cols, lda[static_cast<std::size_t>(i)]);
+  }
+};
+
+/// Pointer displacement on the device (paper §III-A: "any pointer
+/// displacement ... need[s] to be performed on the whole array" by a GPU
+/// kernel). Builds out[i] = base[i] + row_off + col_off * lda[i]; the
+/// element-wise kernel's cost is modelled through a launch.
+template <typename T>
+std::vector<T*> displace_ptrs(sim::Device& dev, std::span<T* const> base,
+                              std::span<const int> lda, index_t row_off, index_t col_off) {
+  const int count = static_cast<int>(base.size());
+  sim::LaunchConfig cfg;
+  cfg.name = "aux_displace_ptrs";
+  cfg.block_threads = 256;
+  cfg.grid_blocks = std::max(1, (count + 255) / 256);
+  cfg.precision = Precision::Single;
+  dev.launch(cfg, [count](const sim::ExecContext&, int block) {
+    sim::BlockCost c;
+    const int lo = block * 256;
+    const int elems = std::clamp(count - lo, 0, 256);
+    c.active_threads = elems;
+    c.live_threads = 256;
+    c.flops = 2.0 * elems;
+    c.bytes = static_cast<double>(elems) * (sizeof(T*) * 2 + sizeof(int));
+    return c;
+  });
+
+  std::vector<T*> out(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    out[i] = base[i] + row_off + col_off * static_cast<index_t>(lda[i]);
+  }
+  return out;
+}
+
+}  // namespace vbatch::kernels

@@ -1,0 +1,90 @@
+#include "vbatch/kernels/fused_potrf.hpp"
+
+#include <algorithm>
+
+#include "vbatch/kernels/fused_step_math.hpp"
+#include "vbatch/util/error.hpp"
+
+namespace vbatch::kernels {
+
+std::size_t fused_shared_mem(int block_threads, int nb, std::size_t elem_size) {
+  // Panel (block_threads × nb) + nb×nb staging tile for the B operand of the
+  // customized rank-k update (double buffering reuses the same tile).
+  return (static_cast<std::size_t>(block_threads) * nb + static_cast<std::size_t>(nb) * nb) *
+         elem_size;
+}
+
+int fused_max_size(const sim::DeviceSpec& spec, int nb, std::size_t elem_size) {
+  // Largest panel height m such that the block still launches; thread count
+  // is the second bound (one thread per panel row).
+  const auto limit = spec.shared_mem_per_block;
+  const int by_smem = static_cast<int>(limit / (static_cast<std::size_t>(nb) * elem_size)) - nb;
+  return std::min(by_smem, spec.max_threads_per_block);
+}
+
+int choose_fused_nb(const sim::DeviceSpec& spec, int max_n, std::size_t elem_size) {
+  // Prefer the widest panel that still fits the whole batch; wider panels
+  // amortize more launches per factorization and deepen the fused pipeline,
+  // matching the configurations behind the paper's reported ETM/sorting
+  // gaps. (bench/ablation_nb_sweep quantifies the occupancy price the wide
+  // panels pay at moderate sizes.) A panel wider than the largest matrix
+  // only wastes shared memory, so nb is also clamped to max_n (rounded up
+  // to 8).
+  const int cap = std::max(8, (max_n + 7) / 8 * 8);
+  for (int nb : {32, 24, 16, 8}) {
+    if (nb > cap) continue;
+    if (max_n <= fused_max_size(spec, nb, elem_size)) return nb;
+  }
+  return 8;
+}
+
+template <typename T>
+double launch_fused_step(sim::Device& dev, const FusedStepArgs<T>& args) {
+  const int batch = args.batch.count();
+  const int covered = args.active.empty() ? batch : static_cast<int>(args.active.size());
+  require(covered > 0, "fused step: empty launch");
+  require(args.block_threads > 0, "fused step: block_threads not set");
+
+  sim::LaunchConfig cfg;
+  cfg.name = "fused_potrf_step";
+  cfg.grid_blocks = covered;
+  cfg.block_threads = args.block_threads;
+  cfg.shared_mem = fused_shared_mem(args.block_threads, args.nb, sizeof(T));
+  cfg.precision = precision_v<T>;
+
+  const auto& a = args.batch;
+  return dev.launch(cfg, [&args, &a](const sim::ExecContext& ctx, int block) -> sim::BlockCost {
+    const int i = args.active.empty() ? block : args.active[static_cast<std::size_t>(block)];
+    const int n = a.n[static_cast<std::size_t>(i)];
+    const index_t j = static_cast<index_t>(args.step) * args.nb;
+
+    sim::BlockCost cost;
+    cost.live_threads = args.block_threads;
+
+    // ETM: this matrix is fully factorized (or previously failed) — the
+    // whole block exits. Both ETM flavours terminate whole idle blocks.
+    if (j >= n || args.info[static_cast<std::size_t>(i)] != 0) {
+      cost.early_exit = true;
+      return cost;
+    }
+
+    fused_step_cost(cost, n, args.step, args.nb, args.block_threads, args.etm, sizeof(T));
+
+    if (ctx.full()) {
+      const index_t lda = a.lda[static_cast<std::size_t>(i)];
+      MatrixView<T> A(a.ptrs[i], n, n, lda);
+      const int info = fused_step_math<T>(args.uplo, A, args.step, args.nb);
+      if (info != 0) args.info[static_cast<std::size_t>(i)] = info;
+    }
+    return cost;
+  });
+}
+
+template double launch_fused_step<float>(sim::Device&, const FusedStepArgs<float>&);
+template double launch_fused_step<double>(sim::Device&, const FusedStepArgs<double>&);
+template double launch_fused_step<std::complex<float>>(
+    sim::Device&, const FusedStepArgs<std::complex<float>>&);
+template double launch_fused_step<std::complex<double>>(
+    sim::Device&, const FusedStepArgs<std::complex<double>>&);
+
+}  // namespace vbatch::kernels

@@ -1,0 +1,76 @@
+// The numerical payload and cost report of one fused left-looking Cholesky
+// step (§III-D), shared between the vbatched fused kernel
+// (launch_fused_step) and the separated path's panel kernel
+// (launch_potf2_panel), which the paper builds by reusing the fused kernel
+// on NB-wide diagonal panels (§III-E1).
+#pragma once
+
+#include <algorithm>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/sim/kernel_launch.hpp"
+#include "vbatch/util/flops.hpp"
+#include "vbatch/util/matrix_view.hpp"
+#include "vbatch/util/types.hpp"
+
+namespace vbatch::kernels {
+
+/// Fills the cost report for a live fused-step block: an n×n matrix at
+/// factorization step `step` of blocking `nb`, with `block_threads` live
+/// threads and the chosen ETM.
+inline void fused_step_cost(sim::BlockCost& cost, index_t n, int step, int nb,
+                            int block_threads, EtmMode etm, std::size_t elem_size) {
+  const index_t j = static_cast<index_t>(step) * nb;
+  const index_t m = n - j;
+  const index_t ib = std::min<index_t>(nb, m);
+
+  cost.live_threads = block_threads;
+  cost.active_threads = static_cast<int>(std::min<index_t>(m, block_threads));
+  if (etm == EtmMode::Aggressive) cost.live_threads = cost.active_threads;
+
+  // Customized rank-k update (B ⊂ A read once, Fig. 2), potf2, trsm.
+  cost.flops = flops::gemm(m, ib, j) + flops::potrf(ib) + flops::trsm(m - ib, ib, false);
+  // Read the m×j left factor once, read + write the m×ib panel.
+  cost.bytes = static_cast<double>(m * j + 2 * m * ib) * elem_size;
+  // Double-buffered update stages plus the fused potf2/trsm column steps.
+  cost.sync_steps = static_cast<int>(j / nb + ib + 2);
+  cost.serial_ops = static_cast<double>(2 * ib);  // sqrt + reciprocal chain
+}
+
+/// Executes the real arithmetic of one fused step on the matrix view `A`
+/// (order n, leading dimension A.ld()). Returns LAPACK-style local info
+/// relative to the whole matrix (step offset already applied), or 0.
+template <typename T>
+int fused_step_math(Uplo uplo, MatrixView<T> A, int step, int nb) {
+  const index_t n = A.rows();
+  const index_t j = static_cast<index_t>(step) * nb;
+  const index_t m = n - j;
+  const index_t ib = std::min<index_t>(nb, m);
+  int local_info = 0;
+  if (uplo == Uplo::Lower) {
+    auto panel = A.block(j, j, m, ib);
+    if (j > 0) {
+      blas::gemm<T>(Trans::NoTrans, Trans::Trans, T(-1), A.block(j, 0, m, j),
+                    A.block(j, 0, ib, j), T(1), panel);
+    }
+    local_info = blas::potf2<T>(Uplo::Lower, panel.block(0, 0, ib, ib));
+    if (local_info == 0 && m > ib) {
+      blas::trsm<T>(Side::Right, Uplo::Lower, Trans::Trans, Diag::NonUnit, T(1),
+                    panel.block(0, 0, ib, ib), panel.block(ib, 0, m - ib, ib));
+    }
+  } else {
+    auto row = A.block(j, j, ib, m);
+    if (j > 0) {
+      blas::gemm<T>(Trans::Trans, Trans::NoTrans, T(-1), A.block(0, j, j, ib),
+                    A.block(0, j, j, m), T(1), row);
+    }
+    local_info = blas::potf2<T>(Uplo::Upper, row.block(0, 0, ib, ib));
+    if (local_info == 0 && m > ib) {
+      blas::trsm<T>(Side::Left, Uplo::Upper, Trans::Trans, Diag::NonUnit, T(1),
+                    row.block(0, 0, ib, ib), row.block(0, ib, ib, m - ib));
+    }
+  }
+  return local_info == 0 ? 0 : static_cast<int>(j) + local_info;
+}
+
+}  // namespace vbatch::kernels

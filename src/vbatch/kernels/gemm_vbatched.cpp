@@ -1,0 +1,225 @@
+#include "vbatch/kernels/gemm_vbatched.hpp"
+
+#include <algorithm>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/util/error.hpp"
+#include "vbatch/util/flops.hpp"
+
+namespace vbatch::kernels {
+
+namespace {
+
+// Cost of one live TM×TN tile-block computing a tm×tn clip with inner dim k.
+sim::BlockCost tile_cost(const GemmTiling& t, index_t tm, index_t tn, index_t k,
+                         std::size_t elem_size, bool triangular_tile = false) {
+  sim::BlockCost cost;
+  cost.live_threads = t.threads;
+  // Work is distributed over the tile; a clipped tile keeps proportionally
+  // fewer threads busy (never below one warp).
+  const double frac =
+      static_cast<double>(tm * tn) / (static_cast<double>(t.tm) * static_cast<double>(t.tn));
+  cost.active_threads = std::max(32, static_cast<int>(t.threads * frac));
+  double fl = flops::gemm(tm, tn, k);
+  if (triangular_tile) fl *= 0.5;
+  cost.flops = fl;
+  cost.bytes = static_cast<double>((tm + tn) * k + 2 * tm * tn) * elem_size;
+  cost.sync_steps = static_cast<int>((k + t.tk - 1) / t.tk) + 2;
+  return cost;
+}
+
+}  // namespace
+
+template <typename T>
+double launch_gemm_vbatched(sim::Device& dev, const GemmVbatchedArgs<T>& args) {
+  const int batch = static_cast<int>(args.m.size());
+  require(batch > 0, "gemm_vbatched: empty batch");
+  require(args.max_m > 0 && args.max_n > 0, "gemm_vbatched: max dims not set");
+
+  const GemmTiling& t = args.tiling;
+  const int tiles_m = (args.max_m + t.tm - 1) / t.tm;
+  const int tiles_n = (args.max_n + t.tn - 1) / t.tn;
+
+  sim::LaunchConfig cfg;
+  cfg.name = "vbatched_gemm";
+  cfg.grid_blocks = batch * tiles_m * tiles_n;
+  cfg.block_threads = t.threads;
+  cfg.shared_mem = t.shared_mem(sizeof(T));
+  cfg.precision = precision_v<T>;
+
+  return dev.launch(cfg, [&args, tiles_m, tiles_n, &t](const sim::ExecContext& ctx,
+                                                       int block) -> sim::BlockCost {
+    const int per_matrix = tiles_m * tiles_n;
+    const int i = block / per_matrix;
+    const int tile = block % per_matrix;
+    const index_t ti = tile % tiles_m;  // tile row
+    const index_t tj = tile / tiles_m;  // tile col
+
+    const index_t mi = args.m[static_cast<std::size_t>(i)];
+    const index_t ni = args.n[static_cast<std::size_t>(i)];
+    const index_t ki = args.k[static_cast<std::size_t>(i)];
+
+    const index_t r0 = ti * t.tm;
+    const index_t c0 = tj * t.tn;
+    if (r0 >= mi || c0 >= ni || mi == 0 || ni == 0) {
+      sim::BlockCost cost;
+      cost.live_threads = t.threads;
+      cost.early_exit = true;  // ETM-classic
+      return cost;
+    }
+
+    const index_t tm = std::min<index_t>(t.tm, mi - r0);
+    const index_t tn = std::min<index_t>(t.tn, ni - c0);
+    sim::BlockCost cost = tile_cost(t, tm, tn, ki, sizeof(T));
+
+    if (ctx.full() && ki >= 0) {
+      const index_t lda = args.lda[static_cast<std::size_t>(i)];
+      const index_t ldb = args.ldb[static_cast<std::size_t>(i)];
+      const index_t ldc = args.ldc[static_cast<std::size_t>(i)];
+      // op(A) is mi×ki, op(B) is ki×ni; slice the tile's operands.
+      ConstMatrixView<T> a_tile =
+          args.trans_a == Trans::NoTrans
+              ? ConstMatrixView<T>(args.a[i] + r0, tm, ki, lda)
+              : ConstMatrixView<T>(args.a[i] + r0 * lda, ki, tm, lda);
+      ConstMatrixView<T> b_tile =
+          args.trans_b == Trans::NoTrans
+              ? ConstMatrixView<T>(args.b[i] + c0 * ldb, ki, tn, ldb)
+              : ConstMatrixView<T>(args.b[i] + c0, tn, ki, ldb);
+      MatrixView<T> c_tile(args.c[i] + r0 + c0 * ldc, tm, tn, ldc);
+      blas::gemm<T>(args.trans_a, args.trans_b, args.alpha, a_tile, b_tile, args.beta, c_tile);
+    }
+    return cost;
+  });
+}
+
+namespace {
+
+// Shared implementation of one syrk tile block (used by both the vbatched
+// grid and the streamed per-matrix kernels).
+template <typename T>
+sim::BlockCost syrk_tile_block(const SyrkVbatchedArgs<T>& args, const sim::ExecContext& ctx,
+                               int i, index_t ti, index_t tj) {
+  const GemmTiling& t = args.tiling;
+  const index_t ni = args.n[static_cast<std::size_t>(i)];
+  const index_t ki = args.k[static_cast<std::size_t>(i)];
+
+  const index_t r0 = ti * t.tm;
+  const index_t c0 = tj * t.tn;
+
+  // Decision layer (§III-E3): blocks strictly outside the target triangle
+  // terminate, as do blocks beyond this matrix's size.
+  const bool outside_matrix = r0 >= ni || c0 >= ni || ni == 0;
+  const bool wrong_side = args.uplo == Uplo::Lower ? (c0 > r0 + t.tm - 1) : (r0 > c0 + t.tn - 1);
+  if (outside_matrix || wrong_side) {
+    sim::BlockCost cost;
+    cost.live_threads = t.threads;
+    cost.early_exit = true;
+    return cost;
+  }
+
+  const index_t tm = std::min<index_t>(t.tm, ni - r0);
+  const index_t tn = std::min<index_t>(t.tn, ni - c0);
+  const bool diagonal_tile = ti == tj;
+  sim::BlockCost cost = tile_cost(t, tm, tn, ki, sizeof(T), diagonal_tile);
+
+  if (ctx.full()) {
+    const index_t lda = args.lda[static_cast<std::size_t>(i)];
+    const index_t ldc = args.ldc[static_cast<std::size_t>(i)];
+    MatrixView<T> c_tile(args.c[i] + r0 + c0 * ldc, tm, tn, ldc);
+    if (diagonal_tile) {
+      ConstMatrixView<T> a_rows = args.trans == Trans::NoTrans
+                                      ? ConstMatrixView<T>(args.a[i] + r0, tm, ki, lda)
+                                      : ConstMatrixView<T>(args.a[i] + r0 * lda, ki, tm, lda);
+      blas::syrk<T>(args.uplo, args.trans, args.alpha, a_rows, args.beta, c_tile);
+    } else {
+      ConstMatrixView<T> a_rows = args.trans == Trans::NoTrans
+                                      ? ConstMatrixView<T>(args.a[i] + r0, tm, ki, lda)
+                                      : ConstMatrixView<T>(args.a[i] + r0 * lda, ki, tm, lda);
+      ConstMatrixView<T> a_cols = args.trans == Trans::NoTrans
+                                      ? ConstMatrixView<T>(args.a[i] + c0, tn, ki, lda)
+                                      : ConstMatrixView<T>(args.a[i] + c0 * lda, ki, tn, lda);
+      // Off-diagonal tile: plain gemm with Bᵀ taken from A's other rows.
+      blas::gemm<T>(args.trans == Trans::NoTrans ? Trans::NoTrans : Trans::Trans,
+                    args.trans == Trans::NoTrans ? Trans::Trans : Trans::NoTrans, args.alpha,
+                    a_rows, a_cols, args.beta, c_tile);
+    }
+  }
+  return cost;
+}
+
+}  // namespace
+
+template <typename T>
+double launch_syrk_vbatched(sim::Device& dev, const SyrkVbatchedArgs<T>& args) {
+  const int batch = static_cast<int>(args.n.size());
+  require(batch > 0, "syrk_vbatched: empty batch");
+  require(args.max_n > 0, "syrk_vbatched: max_n not set");
+
+  const GemmTiling& t = args.tiling;
+  const int tiles = (args.max_n + t.tm - 1) / t.tm;
+
+  sim::LaunchConfig cfg;
+  cfg.name = "vbatched_syrk";
+  cfg.grid_blocks = batch * tiles * tiles;
+  cfg.block_threads = t.threads;
+  cfg.shared_mem = t.shared_mem(sizeof(T));
+  cfg.precision = precision_v<T>;
+
+  return dev.launch(cfg, [&args, tiles](const sim::ExecContext& ctx, int block) {
+    const int per_matrix = tiles * tiles;
+    const int i = block / per_matrix;
+    const int tile = block % per_matrix;
+    return syrk_tile_block(args, ctx, i, tile % tiles, tile / tiles);
+  });
+}
+
+template <typename T>
+double launch_syrk_streamed(sim::Device& dev, const SyrkVbatchedArgs<T>& args, int num_streams) {
+  const int batch = static_cast<int>(args.n.size());
+  require(batch > 0, "syrk_streamed: empty batch");
+  const GemmTiling& t = args.tiling;
+
+  std::vector<sim::LaunchConfig> configs;
+  std::vector<sim::BlockFn> fns;
+  configs.reserve(static_cast<std::size_t>(batch));
+  fns.reserve(static_cast<std::size_t>(batch));
+
+  for (int i = 0; i < batch; ++i) {
+    const int ni = args.n[static_cast<std::size_t>(i)];
+    if (ni <= 0) continue;  // host-side skip: one kernel per live matrix
+    const int tiles = (ni + t.tm - 1) / t.tm;
+    sim::LaunchConfig cfg;
+    cfg.name = "streamed_syrk";
+    cfg.grid_blocks = tiles * tiles;
+    cfg.block_threads = t.threads;
+    cfg.shared_mem = t.shared_mem(sizeof(T));
+    cfg.precision = precision_v<T>;
+    configs.push_back(cfg);
+    fns.push_back([&args, i, tiles](const sim::ExecContext& ctx, int block) {
+      return syrk_tile_block(args, ctx, i, block % tiles, block / tiles);
+    });
+  }
+  if (configs.empty()) return 0.0;
+  return dev.launch_concurrent(configs, fns, num_streams);
+}
+
+template double launch_gemm_vbatched<float>(sim::Device&, const GemmVbatchedArgs<float>&);
+template double launch_gemm_vbatched<double>(sim::Device&, const GemmVbatchedArgs<double>&);
+template double launch_syrk_vbatched<float>(sim::Device&, const SyrkVbatchedArgs<float>&);
+template double launch_syrk_vbatched<double>(sim::Device&, const SyrkVbatchedArgs<double>&);
+template double launch_syrk_streamed<float>(sim::Device&, const SyrkVbatchedArgs<float>&, int);
+template double launch_syrk_streamed<double>(sim::Device&, const SyrkVbatchedArgs<double>&, int);
+template double launch_gemm_vbatched<std::complex<float>>(
+    sim::Device&, const GemmVbatchedArgs<std::complex<float>>&);
+template double launch_gemm_vbatched<std::complex<double>>(
+    sim::Device&, const GemmVbatchedArgs<std::complex<double>>&);
+template double launch_syrk_vbatched<std::complex<float>>(
+    sim::Device&, const SyrkVbatchedArgs<std::complex<float>>&);
+template double launch_syrk_vbatched<std::complex<double>>(
+    sim::Device&, const SyrkVbatchedArgs<std::complex<double>>&);
+template double launch_syrk_streamed<std::complex<float>>(
+    sim::Device&, const SyrkVbatchedArgs<std::complex<float>>&, int);
+template double launch_syrk_streamed<std::complex<double>>(
+    sim::Device&, const SyrkVbatchedArgs<std::complex<double>>&, int);
+
+}  // namespace vbatch::kernels

@@ -1,0 +1,47 @@
+// vbatched QR kernels (paper §V future work; block Householder scheme of
+// Haidar et al., "A Framework for Batched and GPU-Resident Factorization
+// Algorithms Applied to Block Householder Transformations").
+//
+// Two kernels: the panel factorization (geqr2 of an m×NB panel, one block
+// per matrix) and the trailing-matrix update applying the panel's
+// reflectors to TN-wide column strips (gemm-shaped grid, ETM-classic).
+#pragma once
+
+#include <span>
+
+#include "vbatch/kernels/common.hpp"
+#include "vbatch/kernels/gemm_vbatched.hpp"
+
+namespace vbatch::kernels {
+
+template <typename T>
+struct GeqrfPanelArgs {
+  T* const* a = nullptr;          ///< per-matrix base pointers
+  std::span<const int> lda;
+  std::span<const int> m, n;      ///< per-matrix dims
+  int offset = 0;                 ///< panel column offset (j)
+  int NB = 32;
+  T* const* tau = nullptr;        ///< per-matrix reflector scalars (length min(m,n))
+};
+
+/// Factors each live panel with unblocked Householder QR. Returns seconds.
+template <typename T>
+double launch_geqrf_panel(sim::Device& dev, const GeqrfPanelArgs<T>& args);
+
+template <typename T>
+struct LarfbArgs {
+  T* const* a = nullptr;
+  std::span<const int> lda;
+  std::span<const int> m, n;
+  int offset = 0;                 ///< panel column offset whose reflectors are applied
+  int NB = 32;
+  int max_m = 0, max_n = 0;
+  T* const* tau = nullptr;
+  GemmTiling tiling{};
+};
+
+/// Applies the panel's block of reflectors to the trailing columns.
+template <typename T>
+double launch_larfb_update(sim::Device& dev, const LarfbArgs<T>& args);
+
+}  // namespace vbatch::kernels

@@ -1,0 +1,64 @@
+// vbatched LU kernels (paper §V future work: "extension of this work to the
+// LU and QR factorizations ... where many of the BLAS kernels proposed here
+// can be reused out of the box").
+//
+// The LU driver reuses launch_gemm_vbatched for the trailing update; this
+// header adds the LU-specific pieces: the pivoted panel factorization, the
+// row-interchange kernel, and the unit-lower triangular solve of the U12
+// block row.
+#pragma once
+
+#include <span>
+
+#include "vbatch/kernels/common.hpp"
+#include "vbatch/kernels/gemm_vbatched.hpp"
+
+namespace vbatch::kernels {
+
+template <typename T>
+struct GetrfPanelArgs {
+  BatchArgs<T> batch;             ///< full matrices; n[i]×n[i] (square LU)
+  std::span<const int> m;         ///< per-matrix rows (≥ n for rectangular)
+  int offset = 0;                 ///< panel column offset (j)
+  int NB = 32;                    ///< panel width
+  int* const* ipiv = nullptr;     ///< per-matrix device pivot arrays (1-based, global rows)
+  std::span<int> info;
+};
+
+/// Factors the m_i−j × min(NB, n_i−j) panel of each live matrix with partial
+/// pivoting (one thread block per matrix, panel staged through shared
+/// memory). Pivot indices are stored globally. Returns kernel seconds.
+template <typename T>
+double launch_getrf_panel(sim::Device& dev, const GetrfPanelArgs<T>& args);
+
+template <typename T>
+struct LaswpArgs {
+  BatchArgs<T> batch;
+  std::span<const int> m;
+  int k1 = 0, k2 = 0;             ///< pivot range [k1, k2) applied
+  int col0 = 0, col1 = 0;         ///< column range the swaps touch
+  int max_cols = 0;
+  int* const* ipiv = nullptr;
+};
+
+/// Applies row interchanges to the given column range (vbatched xLASWP).
+template <typename T>
+double launch_laswp(sim::Device& dev, const LaswpArgs<T>& args);
+
+template <typename T>
+struct LuTrsmArgs {
+  T* const* l11 = nullptr;        ///< per-matrix pointer to the unit-lower ib×ib block
+  std::span<const int> lda;
+  std::span<const int> ib;        ///< panel width per matrix (0 = inactive)
+  T* const* b = nullptr;          ///< per-matrix pointer to the ib×n2 block row
+  std::span<const int> ldb;
+  std::span<const int> n2;        ///< trailing columns per matrix
+  int max_ib = 0, max_n2 = 0;
+  GemmTiling tiling{};
+};
+
+/// Solves L11 · X = B (Left, Lower, NoTrans, Unit) for the U12 block row.
+template <typename T>
+double launch_lu_trsm(sim::Device& dev, const LuTrsmArgs<T>& args);
+
+}  // namespace vbatch::kernels

@@ -1,0 +1,69 @@
+#include "vbatch/kernels/potf2_panel.hpp"
+
+#include <algorithm>
+
+#include "vbatch/kernels/fused_potrf.hpp"
+#include "vbatch/kernels/fused_step_math.hpp"
+#include "vbatch/util/error.hpp"
+
+namespace vbatch::kernels {
+
+// §III-E1: "we reuse the fused kernel described in Section III-D in order
+// to factorize a square panel of size NB, where NB > nb" — the panel
+// factorization is a driver loop of fused-step launches restricted to the
+// NB×NB diagonal block, with ETM-classic terminating blocks whose matrix
+// is already past the offset (or whose panel finished early).
+template <typename T>
+double launch_potf2_panel(sim::Device& dev, const Potf2PanelArgs<T>& args) {
+  const int batch = args.batch.count();
+  require(batch > 0, "potf2_panel: empty batch");
+  require(args.NB > 0 && args.nb_inner > 0, "potf2_panel: bad blocking");
+
+  const auto& a = args.batch;
+  double seconds = 0.0;
+
+  for (int step = 0; step * args.nb_inner < args.NB; ++step) {
+    sim::LaunchConfig cfg;
+    cfg.name = "vbatched_potf2_panel";
+    cfg.grid_blocks = batch;
+    cfg.block_threads = round_up_warp(dev.spec(), args.NB - step * args.nb_inner);
+    cfg.shared_mem = fused_shared_mem(cfg.block_threads, args.nb_inner, sizeof(T));
+    cfg.precision = precision_v<T>;
+
+    seconds += dev.launch(cfg, [&args, &a, step, threads = cfg.block_threads](
+                                   const sim::ExecContext& ctx, int i) -> sim::BlockCost {
+      const int n = a.n[static_cast<std::size_t>(i)];
+      sim::BlockCost cost;
+      cost.live_threads = threads;
+
+      const index_t ib = std::clamp<index_t>(n - args.offset, 0, args.NB);
+      const index_t js = static_cast<index_t>(step) * args.nb_inner;
+      if (ib <= 0 || js >= ib || args.info[static_cast<std::size_t>(i)] != 0) {
+        cost.early_exit = true;  // ETM-classic
+        return cost;
+      }
+
+      fused_step_cost(cost, ib, step, args.nb_inner, threads, EtmMode::Classic, sizeof(T));
+
+      if (ctx.full()) {
+        const index_t lda = a.lda[static_cast<std::size_t>(i)];
+        // The panel's diagonal block factored as its own ib×ib matrix.
+        MatrixView<T> diag(a.ptrs[i] + args.offset + static_cast<index_t>(args.offset) * lda,
+                           ib, ib, lda);
+        const int info = fused_step_math<T>(args.uplo, diag, step, args.nb_inner);
+        if (info != 0) args.info[static_cast<std::size_t>(i)] = args.offset + info;
+      }
+      return cost;
+    });
+  }
+  return seconds;
+}
+
+template double launch_potf2_panel<float>(sim::Device&, const Potf2PanelArgs<float>&);
+template double launch_potf2_panel<double>(sim::Device&, const Potf2PanelArgs<double>&);
+template double launch_potf2_panel<std::complex<float>>(
+    sim::Device&, const Potf2PanelArgs<std::complex<float>>&);
+template double launch_potf2_panel<std::complex<double>>(
+    sim::Device&, const Potf2PanelArgs<std::complex<double>>&);
+
+}  // namespace vbatch::kernels

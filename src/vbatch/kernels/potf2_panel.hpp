@@ -1,0 +1,29 @@
+// vbatched panel factorization kernel (paper §III-E1, Approach 2).
+//
+// Factors the NB×NB diagonal block of each live matrix at a given offset by
+// reusing the fused-step machinery *inside* one kernel: the block loops over
+// nb-wide internal steps, keeping an NB×nb panel in shared memory. Matrices
+// already past the offset exit through ETM-classic.
+#pragma once
+
+#include <span>
+
+#include "vbatch/kernels/common.hpp"
+
+namespace vbatch::kernels {
+
+template <typename T>
+struct Potf2PanelArgs {
+  BatchArgs<T> batch;
+  Uplo uplo = Uplo::Lower;
+  int offset = 0;    ///< global diagonal offset of the panel (j)
+  int NB = 64;       ///< panel size (ib_i = clamp(n_i - offset, 0, NB))
+  int nb_inner = 16; ///< internal fused blocking
+  std::span<int> info;
+};
+
+/// Launches the panel factorization. Returns modelled kernel seconds.
+template <typename T>
+double launch_potf2_panel(sim::Device& dev, const Potf2PanelArgs<T>& args);
+
+}  // namespace vbatch::kernels

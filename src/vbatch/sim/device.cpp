@@ -1,0 +1,174 @@
+#include "vbatch/sim/device.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "vbatch/util/error.hpp"
+
+namespace vbatch::sim {
+
+Device::Device(DeviceSpec spec, ExecMode mode) : spec_(std::move(spec)), mode_(mode) {}
+
+Device::~Device() = default;
+
+void* Device::device_malloc(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  if (mem_used_ + bytes > spec_.global_mem_bytes) {
+    throw_error(Status::OutOfDeviceMemory,
+                "device allocation of " + std::to_string(bytes) + " bytes exceeds capacity (" +
+                    std::to_string(mem_used_) + " of " +
+                    std::to_string(spec_.global_mem_bytes) + " in use)");
+  }
+  mem_used_ += bytes;
+  if (mode_ == ExecMode::TimingOnly) {
+    void* tag = reinterpret_cast<void*>(fake_next_);
+    fake_next_ += (bytes + 0xFF) & ~std::uintptr_t{0xFF};
+    fake_allocs_.emplace(tag, bytes);
+    return tag;
+  }
+  auto storage = std::make_unique<char[]>(bytes);
+  void* p = storage.get();
+  allocs_.emplace(p, std::make_pair(std::move(storage), bytes));
+  return p;
+}
+
+void Device::device_free(void* p) {
+  if (p == nullptr) return;
+  if (auto it = allocs_.find(p); it != allocs_.end()) {
+    mem_used_ -= it->second.second;
+    allocs_.erase(it);
+    return;
+  }
+  if (auto it = fake_allocs_.find(p); it != fake_allocs_.end()) {
+    mem_used_ -= it->second;
+    fake_allocs_.erase(it);
+    return;
+  }
+  throw_error(Status::InvalidArgument, "device_free of unknown pointer");
+}
+
+std::vector<BlockCost> Device::run_blocks(const LaunchConfig& cfg, const BlockFn& fn) {
+  require(cfg.grid_blocks >= 0, "launch: negative grid");
+  std::vector<BlockCost> costs(static_cast<std::size_t>(cfg.grid_blocks));
+  const ExecContext ctx{mode_};
+
+  // Grid blocks are independent by CUDA semantics, so Full-mode numerics can
+  // run across host threads. Keep it serial for small grids where thread
+  // start-up would dominate.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (mode_ == ExecMode::TimingOnly || cfg.grid_blocks < 64 || hw == 1) {
+    for (int b = 0; b < cfg.grid_blocks; ++b) costs[static_cast<std::size_t>(b)] = fn(ctx, b);
+    return costs;
+  }
+
+  std::atomic<int> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const int b = next.fetch_add(1, std::memory_order_relaxed);
+      if (b >= cfg.grid_blocks) return;
+      costs[static_cast<std::size_t>(b)] = fn(ctx, b);
+    }
+  };
+  std::vector<std::thread> threads;
+  const unsigned nthreads = std::min<unsigned>(hw, 16);
+  threads.reserve(nthreads);
+  for (unsigned t = 0; t < nthreads; ++t) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  return costs;
+}
+
+double Device::launch(const LaunchConfig& cfg, const BlockFn& fn) {
+  const auto costs = run_blocks(cfg, fn);
+  const KernelTiming timing = schedule_kernel(spec_, cfg, costs);
+
+  KernelRecord rec;
+  rec.name = cfg.name;
+  rec.start = clock_;
+  rec.end = clock_ + timing.seconds;
+  rec.grid_blocks = cfg.grid_blocks;
+  rec.block_threads = cfg.block_threads;
+  rec.shared_mem = cfg.shared_mem;
+  rec.resident_per_sm = timing.resident_per_sm;
+  rec.flops = timing.total_flops;
+  rec.bytes = timing.total_bytes;
+  rec.early_exits = timing.early_exits;
+  timeline_.add(std::move(rec));
+
+  clock_ += timing.seconds;
+  return timing.seconds;
+}
+
+double Device::launch_concurrent(const std::vector<LaunchConfig>& configs,
+                                 const std::vector<BlockFn>& fns, int num_streams) {
+  require(configs.size() == fns.size(), "launch_concurrent: configs/fns size mismatch");
+  require(num_streams >= 1, "launch_concurrent: need at least one stream");
+  num_streams = std::min(num_streams, spec_.max_concurrent_streams);
+  if (configs.empty()) return 0.0;
+
+  // Shared slot pool sized by the first kernel's occupancy (the streamed
+  // pattern launches homogeneous kernels). Per-stream ordering: kernel k on
+  // stream s starts after both its host enqueue time and the previous kernel
+  // on s completes.
+  const BlockShape shape{configs[0].block_threads, configs[0].shared_mem};
+  const int resident = blocks_per_sm(spec_, shape);
+  if (resident == 0) {
+    throw_error(Status::LaunchFailure, "streamed kernel shape exceeds device limits");
+  }
+  const int slots = spec_.num_sms * resident;
+  std::vector<double> slot_free(static_cast<std::size_t>(slots), 0.0);
+  std::vector<double> stream_ready(static_cast<std::size_t>(num_streams), 0.0);
+
+  // Blocks from all streams co-occupy the device; their lane/bandwidth
+  // share follows the effective residency of the pooled grid.
+  long total_blocks = 0;
+  for (const auto& c : configs) total_blocks += c.grid_blocks;
+  const int eff_resident = std::clamp(
+      static_cast<int>((total_blocks + spec_.num_sms - 1) / spec_.num_sms), 1, resident);
+
+  const double enqueue = spec_.stream_enqueue_overhead_us * 1e-6;
+  const double dispatch = spec_.block_dispatch_cycles * spec_.cycle_seconds();
+  double makespan = 0.0;
+  const double start_clock = clock_;
+
+  for (std::size_t k = 0; k < configs.size(); ++k) {
+    const auto costs = run_blocks(configs[k], fns[k]);
+    const int stream = static_cast<int>(k % static_cast<std::size_t>(num_streams));
+    const double host_time = static_cast<double>(k + 1) * enqueue;
+    const double kernel_start = std::max(host_time, stream_ready[static_cast<std::size_t>(stream)]);
+
+    double kernel_end = kernel_start;
+    double flops = 0.0, bytes = 0.0;
+    int exits = 0;
+    for (const BlockCost& b : costs) {
+      auto it = std::min_element(slot_free.begin(), slot_free.end());
+      const double begin = std::max(*it, kernel_start);
+      const double dur = dispatch + block_seconds(spec_, configs[k].precision, eff_resident, b);
+      *it = begin + dur;
+      kernel_end = std::max(kernel_end, *it);
+      flops += b.flops;
+      bytes += b.bytes;
+      if (b.early_exit) ++exits;
+    }
+    stream_ready[static_cast<std::size_t>(stream)] = kernel_end;
+    makespan = std::max(makespan, kernel_end);
+
+    KernelRecord rec;
+    rec.name = configs[k].name;
+    rec.start = start_clock + kernel_start;
+    rec.end = start_clock + kernel_end;
+    rec.grid_blocks = configs[k].grid_blocks;
+    rec.block_threads = configs[k].block_threads;
+    rec.shared_mem = configs[k].shared_mem;
+    rec.resident_per_sm = resident;
+    rec.flops = flops;
+    rec.bytes = bytes;
+    rec.early_exits = exits;
+    timeline_.add(std::move(rec));
+  }
+
+  clock_ += makespan;
+  return makespan;
+}
+
+}  // namespace vbatch::sim

@@ -1,0 +1,98 @@
+// The simulated GPU device: memory arena, kernel execution, streams, clock.
+//
+// Device is the substitution for the paper's Tesla K40c (DESIGN.md §2). It
+// owns
+//   * a capacity-checked memory arena standing in for the 12 GB of GDDR5
+//     (the padding baseline of §IV-F genuinely runs out of it),
+//   * a device clock advanced by the scheduler model for every launch,
+//   * a timeline of kernel records,
+//   * stream-based concurrent kernel execution (used by the streamed syrk
+//     alternative of §III-E.3).
+//
+// In ExecMode::Full, launches run every block functor (the real numerics)
+// on the host — in parallel across blocks, which is safe because CUDA
+// semantics already require grid blocks to be independent. In
+// ExecMode::TimingOnly the functors are invoked with a context telling them
+// to skip the math and only report costs; allocations are then virtual
+// (tracked against capacity but not backed by host memory).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "vbatch/sim/device_spec.hpp"
+#include "vbatch/sim/kernel_launch.hpp"
+#include "vbatch/sim/scheduler.hpp"
+#include "vbatch/sim/timeline.hpp"
+
+namespace vbatch::sim {
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec = DeviceSpec::k40c(), ExecMode mode = ExecMode::Full);
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const DeviceSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] ExecMode mode() const noexcept { return mode_; }
+  void set_mode(ExecMode mode) noexcept { mode_ = mode; }
+
+  // --- Memory arena -------------------------------------------------------
+
+  /// Allocates `bytes` of device memory. Throws Status::OutOfDeviceMemory
+  /// when the arena capacity (spec().global_mem_bytes) is exceeded. In
+  /// TimingOnly mode the returned pointer is a unique tag that must not be
+  /// dereferenced (kernels skip their numerical payload in that mode).
+  [[nodiscard]] void* device_malloc(std::size_t bytes);
+  void device_free(void* p);
+
+  template <typename T>
+  [[nodiscard]] T* device_malloc_array(std::size_t count) {
+    return static_cast<T*>(device_malloc(count * sizeof(T)));
+  }
+
+  [[nodiscard]] std::size_t mem_used() const noexcept { return mem_used_; }
+  [[nodiscard]] std::size_t mem_capacity() const noexcept { return spec_.global_mem_bytes; }
+
+  // --- Execution ----------------------------------------------------------
+
+  /// Launches a kernel synchronously: runs all block functors (Full mode),
+  /// schedules the reported costs, advances the device clock, records the
+  /// kernel in the timeline. Returns the modelled kernel duration (s).
+  double launch(const LaunchConfig& cfg, const BlockFn& fn);
+
+  /// Launches `configs.size()` kernels distributed round-robin over
+  /// `num_streams` streams with concurrent execution (the streamed syrk
+  /// pattern): the host pays an enqueue overhead per kernel, kernels on
+  /// different streams share the device's block slots. Returns total wall
+  /// time from first enqueue to last completion.
+  double launch_concurrent(const std::vector<LaunchConfig>& configs,
+                           const std::vector<BlockFn>& fns, int num_streams);
+
+  /// Device-model clock in seconds since construction / last reset.
+  [[nodiscard]] double time() const noexcept { return clock_; }
+  void reset_time() noexcept { clock_ = 0.0; }
+
+  [[nodiscard]] const Timeline& timeline() const noexcept { return timeline_; }
+  void clear_timeline() { timeline_.clear(); }
+
+ private:
+  std::vector<BlockCost> run_blocks(const LaunchConfig& cfg, const BlockFn& fn);
+
+  DeviceSpec spec_;
+  ExecMode mode_;
+  std::size_t mem_used_ = 0;
+  double clock_ = 0.0;
+  Timeline timeline_;
+  // Real allocations (Full mode) and their sizes; TimingOnly allocations are
+  // tag pointers tracked in fake_allocs_.
+  std::unordered_map<void*, std::pair<std::unique_ptr<char[]>, std::size_t>> allocs_;
+  std::unordered_map<void*, std::size_t> fake_allocs_;
+  std::uintptr_t fake_next_ = 0x1000;
+};
+
+}  // namespace vbatch::sim

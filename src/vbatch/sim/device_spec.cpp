@@ -1,0 +1,39 @@
+#include "vbatch/sim/device_spec.hpp"
+
+namespace vbatch::sim {
+
+double DeviceSpec::peak_gflops(Precision p) const noexcept {
+  return static_cast<double>(num_sms) * lanes_per_sm(p) * flops_per_lane_per_cycle * clock_ghz;
+}
+
+int DeviceSpec::lanes_per_sm(Precision p) const noexcept {
+  return p == Precision::Single ? sp_lanes_per_sm : dp_lanes_per_sm;
+}
+
+DeviceSpec DeviceSpec::k40c() {
+  DeviceSpec s;
+  s.name = "Tesla K40c (simulated)";
+  // Defaults above are the K40c values; peak: 15*192*2*0.745 = 4.29 SP Tflop/s,
+  // 15*64*2*0.745 = 1.43 DP Tflop/s — matching the published board figures.
+  return s;
+}
+
+DeviceSpec DeviceSpec::p100() {
+  DeviceSpec s;
+  s.name = "Tesla P100 (simulated)";
+  s.num_sms = 56;
+  s.max_threads_per_sm = 2048;
+  s.max_blocks_per_sm = 32;
+  s.shared_mem_per_sm = 64 * 1024;
+  s.shared_mem_per_block = 48 * 1024;
+  s.clock_ghz = 1.328;
+  s.sp_lanes_per_sm = 64;  // Pascal SM: 64 SP + 32 DP cores
+  s.dp_lanes_per_sm = 32;
+  s.mem_bandwidth_gbps = 732.0 * 0.8;  // HBM2, ECC overhead smaller
+  s.global_mem_bytes = 16ull * 1024 * 1024 * 1024;
+  s.kernel_launch_overhead_us = 4.0;
+  // Peaks: 56*64*2*1.328 = 9.52 SP Tflop/s, 56*32*2*1.328 = 4.76 DP Tflop/s.
+  return s;
+}
+
+}  // namespace vbatch::sim

@@ -1,0 +1,78 @@
+// Hardware description consumed by the device simulator.
+//
+// The reproduction substitutes the paper's Tesla K40c with a deterministic
+// performance model (DESIGN.md §2). A DeviceSpec carries the architectural
+// parameters that drive every modelled effect: SM count and occupancy
+// limits (ETM benefits, fusion's shared-memory penalty), per-precision lane
+// counts (SP/DP throughput gap), memory bandwidth (roofline), and the
+// launch/dispatch overheads that make kernel fusion profitable for small
+// matrices in the first place.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "vbatch/util/types.hpp"
+
+namespace vbatch::sim {
+
+struct DeviceSpec {
+  std::string name;
+
+  // --- Topology & occupancy limits (CUDA compute capability 3.5 values) ---
+  int num_sms = 15;
+  int max_threads_per_sm = 2048;
+  int max_blocks_per_sm = 16;
+  int max_threads_per_block = 1024;
+  int warp_size = 32;
+  std::size_t shared_mem_per_sm = 48 * 1024;
+  std::size_t shared_mem_per_block = 48 * 1024;
+
+  // --- Throughput ---
+  double clock_ghz = 0.745;
+  int sp_lanes_per_sm = 192;  // Kepler SMX single-precision cores
+  int dp_lanes_per_sm = 64;   // double-precision units
+  double flops_per_lane_per_cycle = 2.0;  // FMA
+  double mem_bandwidth_gbps = 288.0 * 0.75;  // ECC-on achievable bandwidth
+  std::size_t global_mem_bytes = 12ull * 1024 * 1024 * 1024;
+
+  // --- Overheads (calibration constants; see DESIGN.md §5 and the
+  //     calibration notes in EXPERIMENTS.md) ---
+  double kernel_launch_overhead_us = 5.0;   // host-side launch latency
+  double stream_enqueue_overhead_us = 2.0;  // async enqueue cost per kernel
+  double block_dispatch_cycles = 300.0;     // GigaThread engine per-block cost
+  double block_exit_cycles = 200.0;         // cost of an ETM early exit
+  double sync_cost_cycles = 48.0;           // __syncthreads + skeleton per step
+  double serial_op_cycles = 36.0;           // latency of a dependent sqrt/div
+  double global_latency_cycles = 400.0;     // global-memory round-trip latency
+  // Fraction of issue bandwidth an idle-but-live thread burns relative to a
+  // working one (ETM-classic drag; ETM-aggressive removes it). Idle threads
+  // replay the kernel's control skeleton: loop bounds, predicate tests,
+  // barrier arrivals.
+  double idle_thread_drag = 0.8;
+
+  int max_concurrent_streams = 32;
+
+  // --- Host link (used by the hybrid CPU+GPU baseline, §IV-F) ---
+  double pcie_bandwidth_gbps = 6.0;  // PCIe gen3 x16 achievable
+  double pcie_latency_us = 8.0;      // per-transfer latency
+
+  /// Peak arithmetic throughput in Gflop/s for the given precision.
+  [[nodiscard]] double peak_gflops(Precision p) const noexcept;
+
+  /// Arithmetic lanes per SM for the given precision.
+  [[nodiscard]] int lanes_per_sm(Precision p) const noexcept;
+
+  /// Seconds per core clock cycle.
+  [[nodiscard]] double cycle_seconds() const noexcept { return 1e-9 / clock_ghz; }
+
+  /// Tesla K40c (Kepler GK110B), the paper's GPU (§IV-A).
+  [[nodiscard]] static DeviceSpec k40c();
+
+  /// Tesla P100 (Pascal GP100) — a newer-generation preset for studying how
+  /// the paper's techniques transfer across architectures (more SMs, higher
+  /// bandwidth, cheaper launches).
+  [[nodiscard]] static DeviceSpec p100();
+};
+
+}  // namespace vbatch::sim

@@ -1,0 +1,7 @@
+#include "vbatch/sim/kernel_launch.hpp"
+
+namespace vbatch::sim {
+
+// BlockCost/LaunchConfig are aggregates; this TU only anchors the header.
+
+}  // namespace vbatch::sim

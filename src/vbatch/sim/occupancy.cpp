@@ -1,0 +1,35 @@
+#include "vbatch/sim/occupancy.hpp"
+
+#include <algorithm>
+
+namespace vbatch::sim {
+
+int blocks_per_sm(const DeviceSpec& spec, const BlockShape& shape) noexcept {
+  if (shape.threads <= 0 || shape.threads > spec.max_threads_per_block) return 0;
+  if (shape.shared_mem > spec.shared_mem_per_block) return 0;
+
+  // Threads are allocated in whole warps.
+  const int warps = (shape.threads + spec.warp_size - 1) / spec.warp_size;
+  const int thread_limit = spec.max_threads_per_sm / (warps * spec.warp_size);
+
+  const int smem_limit =
+      shape.shared_mem == 0
+          ? spec.max_blocks_per_sm
+          : static_cast<int>(spec.shared_mem_per_sm / shape.shared_mem);
+
+  return std::max(0, std::min({thread_limit, smem_limit, spec.max_blocks_per_sm}));
+}
+
+int device_slots(const DeviceSpec& spec, const BlockShape& shape) noexcept {
+  return spec.num_sms * blocks_per_sm(spec, shape);
+}
+
+double occupancy_fraction(const DeviceSpec& spec, const BlockShape& shape) noexcept {
+  const int resident = blocks_per_sm(spec, shape);
+  if (resident == 0) return 0.0;
+  const int warps = (shape.threads + spec.warp_size - 1) / spec.warp_size;
+  return static_cast<double>(resident * warps * spec.warp_size) /
+         static_cast<double>(spec.max_threads_per_sm);
+}
+
+}  // namespace vbatch::sim

@@ -1,0 +1,28 @@
+// CUDA-style occupancy calculation: how many thread blocks of a given shape
+// fit concurrently on one SM. This is the mechanism behind the paper's
+// observation that the fused kernel loses at larger sizes — its m×nb shared
+// memory panel lowers residency (§III-D, §IV-C).
+#pragma once
+
+#include <cstddef>
+
+#include "vbatch/sim/device_spec.hpp"
+
+namespace vbatch::sim {
+
+struct BlockShape {
+  int threads = 0;
+  std::size_t shared_mem = 0;
+};
+
+/// Number of blocks of this shape resident per SM (0 if the shape cannot
+/// launch at all, e.g. shared memory above the per-block limit).
+[[nodiscard]] int blocks_per_sm(const DeviceSpec& spec, const BlockShape& shape) noexcept;
+
+/// Total concurrent block slots across the device.
+[[nodiscard]] int device_slots(const DeviceSpec& spec, const BlockShape& shape) noexcept;
+
+/// Achieved occupancy as a fraction of max resident threads (diagnostic).
+[[nodiscard]] double occupancy_fraction(const DeviceSpec& spec, const BlockShape& shape) noexcept;
+
+}  // namespace vbatch::sim

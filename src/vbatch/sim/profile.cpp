@@ -1,0 +1,48 @@
+#include "vbatch/sim/profile.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <ostream>
+
+namespace vbatch::sim {
+
+std::vector<KernelProfile> profile_timeline(const Timeline& timeline) {
+  std::map<std::string, KernelProfile> agg;
+  for (const auto& rec : timeline.records()) {
+    KernelProfile& p = agg[rec.name];
+    p.name = rec.name;
+    ++p.launches;
+    p.seconds += rec.end - rec.start;
+    p.flops += rec.flops;
+    p.bytes += rec.bytes;
+    p.blocks += rec.grid_blocks;
+    p.early_exits += rec.early_exits;
+    p.resident_sum += rec.resident_per_sm;
+  }
+  std::vector<KernelProfile> out;
+  out.reserve(agg.size());
+  for (auto& [name, p] : agg) out.push_back(std::move(p));
+  std::sort(out.begin(), out.end(),
+            [](const KernelProfile& a, const KernelProfile& b) { return a.seconds > b.seconds; });
+  return out;
+}
+
+void print_profile(std::ostream& os, const std::vector<KernelProfile>& profiles) {
+  double total = 0.0;
+  for (const auto& p : profiles) total += p.seconds;
+  os << std::left << std::setw(28) << "kernel" << std::right << std::setw(8) << "time%"
+     << std::setw(10) << "launches" << std::setw(12) << "time(us)" << std::setw(10) << "GF/s"
+     << std::setw(10) << "GB/s" << std::setw(10) << "res/SM" << std::setw(9) << "exits%"
+     << '\n';
+  os << std::string(97, '-') << '\n';
+  for (const auto& p : profiles) {
+    os << std::left << std::setw(28) << p.name << std::right << std::fixed
+       << std::setprecision(1) << std::setw(8) << (total > 0 ? p.seconds / total * 100.0 : 0.0)
+       << std::setw(10) << p.launches << std::setw(12) << p.seconds * 1e6 << std::setw(10)
+       << p.gflops() << std::setw(10) << p.gbytes_per_s() << std::setw(10) << p.avg_resident()
+       << std::setw(9) << p.exit_fraction() * 100.0 << '\n';
+  }
+}
+
+}  // namespace vbatch::sim

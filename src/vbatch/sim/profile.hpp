@@ -1,0 +1,48 @@
+// Kernel-level profiling over a device timeline — the nvprof-style view of
+// a simulated run. Aggregates per kernel name: launch counts, time share,
+// achieved Gflop/s and bandwidth, average residency and the fraction of
+// blocks that exited through an ETM. Tests use it for scheduling
+// assertions; tools/vbatch_cli exposes it to users.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "vbatch/sim/device_spec.hpp"
+#include "vbatch/sim/timeline.hpp"
+
+namespace vbatch::sim {
+
+struct KernelProfile {
+  std::string name;
+  int launches = 0;
+  double seconds = 0.0;
+  double flops = 0.0;
+  double bytes = 0.0;
+  long blocks = 0;
+  long early_exits = 0;
+  double resident_sum = 0.0;  ///< Σ per-launch residency (for the average)
+
+  [[nodiscard]] double gflops() const noexcept {
+    return seconds > 0.0 ? flops / seconds * 1e-9 : 0.0;
+  }
+  [[nodiscard]] double gbytes_per_s() const noexcept {
+    return seconds > 0.0 ? bytes / seconds * 1e-9 : 0.0;
+  }
+  [[nodiscard]] double avg_resident() const noexcept {
+    return launches > 0 ? resident_sum / launches : 0.0;
+  }
+  [[nodiscard]] double exit_fraction() const noexcept {
+    return blocks > 0 ? static_cast<double>(early_exits) / static_cast<double>(blocks) : 0.0;
+  }
+};
+
+/// Aggregates the timeline per kernel name, sorted by descending time.
+[[nodiscard]] std::vector<KernelProfile> profile_timeline(const Timeline& timeline);
+
+/// Renders an nvprof-style table: time share, launches, Gflop/s, GB/s,
+/// average residency, ETM exit fraction.
+void print_profile(std::ostream& os, const std::vector<KernelProfile>& profiles);
+
+}  // namespace vbatch::sim

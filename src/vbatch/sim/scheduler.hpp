@@ -1,0 +1,54 @@
+// The block-level SM scheduler: turns per-block cost reports into kernel
+// execution time on a DeviceSpec.
+//
+// Model (DESIGN.md §2, §5):
+//  * Occupancy gives `slots` = num_sms × blocks-resident-per-SM concurrent
+//    block slots. Blocks are dispatched in grid order to the earliest-free
+//    slot (greedy list scheduling). The makespan over slots is the kernel's
+//    execution time — this is where load imbalance between differently
+//    sized matrices, and hence the benefit of implicit sorting, appears.
+//  * A block's duration combines
+//      - compute: flops / (lane share), where the lane share is
+//        min(active threads, per-SM lanes / resident blocks) — small
+//        matrices cannot use many lanes (the parallelism deficiency that
+//        motivates batching),
+//      - an idle-thread drag for ETM-classic: idle-but-live threads replay
+//        the control skeleton and consume issue bandwidth,
+//      - serial dependency chains (sqrt/div in potf2),
+//      - barrier/skeleton overhead per fused step,
+//      - memory: bytes / (bandwidth share per resident block); compute and
+//        memory overlap (double buffering, §III-D), so the block takes the
+//        max of the two,
+//      - ETM early exits cost `block_exit_cycles` only.
+//  * The kernel pays a host launch overhead once.
+#pragma once
+
+#include <vector>
+
+#include "vbatch/sim/device_spec.hpp"
+#include "vbatch/sim/kernel_launch.hpp"
+#include "vbatch/sim/occupancy.hpp"
+
+namespace vbatch::sim {
+
+/// Result of scheduling one kernel.
+struct KernelTiming {
+  double seconds = 0.0;        ///< total kernel time including launch overhead
+  double exec_seconds = 0.0;   ///< makespan of the block schedule only
+  int slots = 0;               ///< concurrent block slots used
+  int resident_per_sm = 0;     ///< occupancy result
+  double total_flops = 0.0;
+  double total_bytes = 0.0;
+  int early_exits = 0;
+};
+
+/// Duration of a single block given the device and residency context.
+[[nodiscard]] double block_seconds(const DeviceSpec& spec, Precision prec, int resident,
+                                   const BlockCost& cost);
+
+/// Greedy list-schedule of all blocks onto the device's slots.
+[[nodiscard]] KernelTiming schedule_kernel(const DeviceSpec& spec, const LaunchConfig& cfg,
+                                           const std::vector<BlockCost>& blocks,
+                                           bool include_launch_overhead = true);
+
+}  // namespace vbatch::sim

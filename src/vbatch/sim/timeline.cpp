@@ -1,0 +1,24 @@
+#include "vbatch/sim/timeline.hpp"
+
+namespace vbatch::sim {
+
+double Timeline::busy_seconds() const noexcept {
+  double total = 0.0;
+  for (const auto& r : records_) total += r.end - r.start;
+  return total;
+}
+
+double Timeline::total_flops() const noexcept {
+  double total = 0.0;
+  for (const auto& r : records_) total += r.flops;
+  return total;
+}
+
+std::size_t Timeline::count_with_prefix(const std::string& prefix) const noexcept {
+  std::size_t n = 0;
+  for (const auto& r : records_)
+    if (r.name.rfind(prefix, 0) == 0) ++n;
+  return n;
+}
+
+}  // namespace vbatch::sim

@@ -1,0 +1,47 @@
+// Execution timeline: an append-only record of every kernel the simulated
+// device ran, with timing and cost detail. Tests use it to assert scheduling
+// invariants; the energy meter integrates power over it; benches can dump it
+// for inspection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vbatch::sim {
+
+struct KernelRecord {
+  std::string name;
+  double start = 0.0;   ///< device-clock seconds
+  double end = 0.0;
+  int grid_blocks = 0;
+  int block_threads = 0;
+  std::size_t shared_mem = 0;
+  int resident_per_sm = 0;
+  double flops = 0.0;
+  double bytes = 0.0;
+  int early_exits = 0;
+};
+
+class Timeline {
+ public:
+  void add(KernelRecord rec) { records_.push_back(std::move(rec)); }
+  void clear() { records_.clear(); }
+
+  [[nodiscard]] const std::vector<KernelRecord>& records() const noexcept { return records_; }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  /// Total busy time (sum of kernel durations; kernels on streams may
+  /// overlap, in which case busy time can exceed wall time).
+  [[nodiscard]] double busy_seconds() const noexcept;
+
+  /// Total useful flops across all kernels.
+  [[nodiscard]] double total_flops() const noexcept;
+
+  /// Total launches whose name matches `prefix`.
+  [[nodiscard]] std::size_t count_with_prefix(const std::string& prefix) const noexcept;
+
+ private:
+  std::vector<KernelRecord> records_;
+};
+
+}  // namespace vbatch::sim

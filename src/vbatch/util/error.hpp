@@ -1,0 +1,52 @@
+// Error handling for the vbatch library.
+//
+// Two error channels coexist, mirroring LAPACK practice (paper §V mentions
+// LAPACK compliance of error reporting as an open direction):
+//   * programming errors (bad arguments, exhausted device memory) throw
+//     vbatch::Error with a Status code;
+//   * numerical conditions (e.g. a non-SPD matrix in potrf) are reported
+//     per problem through `info` arrays, never via exceptions.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace vbatch {
+
+/// Machine-readable error category carried by vbatch::Error.
+enum class Status {
+  Ok = 0,
+  InvalidArgument,
+  OutOfDeviceMemory,
+  OutOfHostMemory,
+  LaunchFailure,
+  NotSupported,
+  InternalError,
+};
+
+[[nodiscard]] const char* to_string(Status s) noexcept;
+
+/// Exception type thrown for non-numerical failures.
+class Error : public std::runtime_error {
+ public:
+  Error(Status status, const std::string& message)
+      : std::runtime_error(std::string(to_string(status)) + ": " + message),
+        status_(status) {}
+
+  [[nodiscard]] Status status() const noexcept { return status_; }
+
+ private:
+  Status status_;
+};
+
+[[noreturn]] void throw_error(Status status, const std::string& message,
+                              std::source_location loc = std::source_location::current());
+
+/// Validates an argument precondition; throws Status::InvalidArgument on failure.
+inline void require(bool cond, const char* what,
+                    std::source_location loc = std::source_location::current()) {
+  if (!cond) throw_error(Status::InvalidArgument, what, loc);
+}
+
+}  // namespace vbatch

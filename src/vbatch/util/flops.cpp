@@ -1,0 +1,66 @@
+#include "vbatch/util/flops.hpp"
+
+namespace vbatch::flops {
+
+namespace {
+constexpr double d(std::int64_t x) noexcept { return static_cast<double>(x); }
+}
+
+double potrf(std::int64_t n) noexcept {
+  const double fn = d(n);
+  return fn * fn * fn / 3.0 + fn * fn / 2.0 + fn / 6.0;
+}
+
+double getrf(std::int64_t m, std::int64_t n) noexcept {
+  const double fm = d(m), fn = d(n);
+  if (m >= n) {
+    return fm * fn * fn - fn * fn * fn / 3.0 - fn * fn / 2.0 + 5.0 * fn / 6.0;
+  }
+  return fn * fm * fm - fm * fm * fm / 3.0 - fm * fm / 2.0 + 5.0 * fm / 6.0;
+}
+
+double geqrf(std::int64_t m, std::int64_t n) noexcept {
+  const double fm = d(m), fn = d(n);
+  if (m >= n) {
+    return 2.0 * fm * fn * fn - 2.0 * fn * fn * fn / 3.0 + fm * fn + fn * fn + 14.0 * fn / 3.0;
+  }
+  return 2.0 * fn * fm * fm - 2.0 * fm * fm * fm / 3.0 + 3.0 * fn * fm - fm * fm +
+         14.0 * fm / 3.0;
+}
+
+double gemm(std::int64_t m, std::int64_t n, std::int64_t k) noexcept {
+  return 2.0 * d(m) * d(n) * d(k);
+}
+
+double syrk(std::int64_t n, std::int64_t k) noexcept { return d(n) * (d(n) + 1.0) * d(k); }
+
+double trsm(std::int64_t m, std::int64_t n, bool left) noexcept {
+  return left ? d(n) * d(m) * d(m) : d(m) * d(n) * d(n);
+}
+
+double trtri(std::int64_t n) noexcept {
+  const double fn = d(n);
+  return fn * fn * fn / 3.0 + 2.0 * fn / 3.0;
+}
+
+double potrs(std::int64_t n, std::int64_t nrhs) noexcept { return 2.0 * d(n) * d(n) * d(nrhs); }
+
+double potrf_batch(std::span<const int> sizes) noexcept {
+  double total = 0.0;
+  for (int n : sizes) total += potrf(n);
+  return total;
+}
+
+double getrf_batch(std::span<const int> m, std::span<const int> n) noexcept {
+  double total = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i) total += getrf(m[i], n[i]);
+  return total;
+}
+
+double geqrf_batch(std::span<const int> m, std::span<const int> n) noexcept {
+  double total = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i) total += geqrf(m[i], n[i]);
+  return total;
+}
+
+}  // namespace vbatch::flops

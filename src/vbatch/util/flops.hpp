@@ -1,0 +1,43 @@
+// Floating-point operation counts for the factorizations and BLAS kernels.
+//
+// The paper computes Gflop/s as (sum of per-matrix factorization flops) /
+// elapsed time (§IV-B), so identical formulas must be shared between the
+// benches, the simulator cost model and the CPU performance model. The
+// counts follow the standard LAPACK working-note formulas.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace vbatch::flops {
+
+/// Cholesky factorization of an n×n matrix: n³/3 + n²/2 + n/6.
+[[nodiscard]] double potrf(std::int64_t n) noexcept;
+
+/// LU with partial pivoting of an m×n matrix.
+[[nodiscard]] double getrf(std::int64_t m, std::int64_t n) noexcept;
+
+/// Householder QR of an m×n matrix (m >= n).
+[[nodiscard]] double geqrf(std::int64_t m, std::int64_t n) noexcept;
+
+/// General matrix multiply C(m×n) += A(m×k)·B(k×n): 2mnk.
+[[nodiscard]] double gemm(std::int64_t m, std::int64_t n, std::int64_t k) noexcept;
+
+/// Symmetric rank-k update of an n×n triangle: n(n+1)k.
+[[nodiscard]] double syrk(std::int64_t n, std::int64_t k) noexcept;
+
+/// Triangular solve with m×m triangle against m×n (Left) or n×n vs m×n (Right).
+[[nodiscard]] double trsm(std::int64_t m, std::int64_t n, bool left) noexcept;
+
+/// Triangular inversion of an n×n triangle: ~n³/3.
+[[nodiscard]] double trtri(std::int64_t n) noexcept;
+
+/// Triangular solve potrs: 2·n²·nrhs.
+[[nodiscard]] double potrs(std::int64_t n, std::int64_t nrhs) noexcept;
+
+/// Sum of potrf flops over a batch of sizes.
+[[nodiscard]] double potrf_batch(std::span<const int> sizes) noexcept;
+[[nodiscard]] double getrf_batch(std::span<const int> m, std::span<const int> n) noexcept;
+[[nodiscard]] double geqrf_batch(std::span<const int> m, std::span<const int> n) noexcept;
+
+}  // namespace vbatch::flops

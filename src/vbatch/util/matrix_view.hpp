@@ -1,0 +1,76 @@
+// Non-owning column-major matrix views.
+//
+// All numerical kernels in the library operate on MatrixView<T>: a pointer,
+// a row count, a column count and a leading dimension, exactly the quadruple
+// a LAPACK routine receives. Views are cheap to copy and slice; ownership
+// lives in std::vector / device arenas.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+
+namespace vbatch {
+
+using index_t = std::ptrdiff_t;
+
+/// A non-owning view of a column-major matrix with an explicit leading
+/// dimension, as used throughout BLAS/LAPACK. `ld >= rows` is required.
+template <typename T>
+class MatrixView {
+ public:
+  constexpr MatrixView() noexcept = default;
+  constexpr MatrixView(T* data, index_t rows, index_t cols, index_t ld) noexcept
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    assert(rows >= 0 && cols >= 0 && ld >= rows);
+  }
+
+  [[nodiscard]] constexpr T* data() const noexcept { return data_; }
+  [[nodiscard]] constexpr index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] constexpr index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] constexpr index_t ld() const noexcept { return ld_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  /// Element access: column-major, A(i,j) == data[i + j*ld].
+  [[nodiscard]] constexpr T& operator()(index_t i, index_t j) const noexcept {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i + j * ld_];
+  }
+
+  /// Sub-matrix view starting at (i0, j0) with extent (m, n).
+  [[nodiscard]] constexpr MatrixView block(index_t i0, index_t j0, index_t m,
+                                           index_t n) const noexcept {
+    assert(i0 >= 0 && j0 >= 0 && i0 + m <= rows_ && j0 + n <= cols_);
+    return MatrixView(data_ + i0 + j0 * ld_, m, n, ld_);
+  }
+
+  /// View of a single column as a span of `rows()` elements.
+  [[nodiscard]] constexpr std::span<T> col(index_t j) const noexcept {
+    assert(j >= 0 && j < cols_);
+    return {data_ + j * ld_, static_cast<std::size_t>(rows_)};
+  }
+
+  /// Implicit conversion to a const view.
+  constexpr operator MatrixView<const T>() const noexcept
+    requires(!std::is_const_v<T>)
+  {
+    return MatrixView<const T>(data_, rows_, cols_, ld_);
+  }
+
+ private:
+  T* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+};
+
+template <typename T>
+using ConstMatrixView = MatrixView<const T>;
+
+/// Convenience: wrap a dense buffer (ld == rows).
+template <typename T>
+[[nodiscard]] constexpr MatrixView<T> make_view(T* data, index_t rows, index_t cols) noexcept {
+  return MatrixView<T>(data, rows, cols, rows);
+}
+
+}  // namespace vbatch

@@ -1,0 +1,72 @@
+#include "vbatch/util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace vbatch::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::new_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(const std::string& cell) {
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::add(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return add(ss.str());
+}
+
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+Table& Table::add(int value) { return add(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << std::setw(static_cast<int>(widths[c]) + 2) << cell;
+    }
+    os << '\n';
+  };
+  line(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) line(row);
+}
+
+void print_histogram(std::ostream& os, const std::vector<int>& values, int bucket_width,
+                     int max_value, int bar_width) {
+  if (bucket_width <= 0 || max_value <= 0) return;
+  const int nbuckets = (max_value + bucket_width - 1) / bucket_width;
+  std::vector<int> counts(static_cast<std::size_t>(nbuckets), 0);
+  for (int v : values) {
+    if (v < 1 || v > max_value) continue;
+    ++counts[static_cast<std::size_t>((v - 1) / bucket_width)];
+  }
+  const int peak = *std::max_element(counts.begin(), counts.end());
+  for (int b = 0; b < nbuckets; ++b) {
+    const int lo = b * bucket_width + 1;
+    const int hi = std::min((b + 1) * bucket_width, max_value);
+    const int bar = peak > 0 ? counts[static_cast<std::size_t>(b)] * bar_width / peak : 0;
+    os << std::setw(5) << lo << "-" << std::setw(5) << hi << " | " << std::string(bar, '#')
+       << ' ' << counts[static_cast<std::size_t>(b)] << '\n';
+  }
+}
+
+}  // namespace vbatch::util

@@ -1,0 +1,37 @@
+// Plain-text table/series formatting used by the benchmark harness to print
+// the rows/series of the paper's figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vbatch::util {
+
+/// A simple column-aligned text table. Columns are declared up front;
+/// rows accept strings or numbers (formatted with a fixed precision).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row. Cells are appended with `add`.
+  Table& new_row();
+  Table& add(const std::string& cell);
+  Table& add(double value, int precision = 2);
+  Table& add(std::int64_t value);
+  Table& add(int value);
+
+  /// Renders the table with aligned columns to `os`.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a coarse ASCII histogram (used for Fig. 3's size distributions):
+/// one line per bucket with a proportional bar.
+void print_histogram(std::ostream& os, const std::vector<int>& values, int bucket_width,
+                     int max_value, int bar_width = 50);
+
+}  // namespace vbatch::util

@@ -1,0 +1,126 @@
+// Fundamental enumerations and type traits shared across the vbatch library.
+//
+// The enums mirror the classic BLAS/LAPACK character arguments (uplo, trans,
+// side, diag) so that the vbatched interfaces in vbatch/core read like their
+// LAPACK counterparts (cf. paper §III-A).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+
+namespace vbatch {
+
+/// Which triangle of a symmetric/triangular matrix an operation touches.
+enum class Uplo : std::uint8_t { Lower, Upper };
+
+/// Transposition mode of an operand.
+enum class Trans : std::uint8_t { NoTrans, Trans };
+
+/// Side of a triangular multiply/solve.
+enum class Side : std::uint8_t { Left, Right };
+
+/// Whether a triangular matrix has an implicit unit diagonal.
+enum class Diag : std::uint8_t { NonUnit, Unit };
+
+[[nodiscard]] constexpr std::string_view to_string(Uplo u) noexcept {
+  return u == Uplo::Lower ? "lower" : "upper";
+}
+[[nodiscard]] constexpr std::string_view to_string(Trans t) noexcept {
+  return t == Trans::NoTrans ? "notrans" : "trans";
+}
+[[nodiscard]] constexpr std::string_view to_string(Side s) noexcept {
+  return s == Side::Left ? "left" : "right";
+}
+[[nodiscard]] constexpr std::string_view to_string(Diag d) noexcept {
+  return d == Diag::NonUnit ? "nonunit" : "unit";
+}
+
+/// Floating-point precision tag used by benches and the performance models.
+enum class Precision : std::uint8_t { Single, Double };
+
+/// Early Termination Mechanism flavour for vbatched kernels (paper §III-D1).
+/// Classic terminates whole thread blocks with no work; Aggressive also
+/// terminates idle threads inside live blocks (kernel-specific; only the
+/// fused Cholesky kernel supports it).
+enum class EtmMode : std::uint8_t { Classic, Aggressive };
+
+[[nodiscard]] constexpr std::string_view to_string(EtmMode m) noexcept {
+  return m == EtmMode::Classic ? "etm-classic" : "etm-aggressive";
+}
+
+template <typename T>
+struct precision_of;
+template <>
+struct precision_of<float> {
+  static constexpr Precision value = Precision::Single;
+  static constexpr std::string_view name = "single";
+  static constexpr char blas_prefix = 's';
+};
+template <>
+struct precision_of<double> {
+  static constexpr Precision value = Precision::Double;
+  static constexpr std::string_view name = "double";
+  static constexpr char blas_prefix = 'd';
+};
+
+template <>
+struct precision_of<std::complex<float>> {
+  static constexpr Precision value = Precision::Single;
+  static constexpr std::string_view name = "complex-single";
+  static constexpr char blas_prefix = 'c';
+};
+template <>
+struct precision_of<std::complex<double>> {
+  static constexpr Precision value = Precision::Double;
+  static constexpr std::string_view name = "complex-double";
+  static constexpr char blas_prefix = 'z';
+};
+
+template <typename T>
+inline constexpr Precision precision_v = precision_of<T>::value;
+
+template <typename T>
+struct is_complex : std::false_type {};
+template <typename R>
+struct is_complex<std::complex<R>> : std::true_type {};
+template <typename T>
+inline constexpr bool is_complex_v = is_complex<T>::value;
+
+/// The real scalar type underlying T.
+template <typename T>
+struct real_of {
+  using type = T;
+};
+template <typename R>
+struct real_of<std::complex<R>> {
+  using type = R;
+};
+template <typename T>
+using real_t = typename real_of<T>::type;
+
+/// Complex conjugate; identity for real types. The library follows the
+/// Hermitian convention for complex scalars: wherever an algorithm applies
+/// Trans::Trans to a complex operand, the conjugate transpose is meant
+/// (the only case the Cholesky/LU/QR family needs).
+template <typename T>
+[[nodiscard]] constexpr T conj_val(const T& v) noexcept {
+  if constexpr (is_complex_v<T>) {
+    return std::conj(v);
+  } else {
+    return v;
+  }
+}
+
+/// Real part; identity for real types.
+template <typename T>
+[[nodiscard]] constexpr real_t<T> real_val(const T& v) noexcept {
+  if constexpr (is_complex_v<T>) {
+    return v.real();
+  } else {
+    return v;
+  }
+}
+
+}  // namespace vbatch

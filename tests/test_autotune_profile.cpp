@@ -1,0 +1,217 @@
+// Tests for the autotuner (§III-D's tuning), the kernel profiler, and the
+// structured matrix generators.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/core/autotune.hpp"
+#include "vbatch/util/error.hpp"
+#include "vbatch/core/matrix_gen.hpp"
+#include "vbatch/core/size_dist.hpp"
+#include "vbatch/sim/profile.hpp"
+
+namespace {
+
+using namespace vbatch;
+
+// ---------------------------------------------------------------------------
+// Autotune
+// ---------------------------------------------------------------------------
+
+TEST(Autotune, BestBeatsOrMatchesDefaultConfiguration) {
+  Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Rng rng(5);
+  const auto sizes = uniform_sizes(rng, 400, 200);
+
+  const auto tuned = autotune_potrf<double>(q, sizes);
+  EXPECT_GT(tuned.best_gflops, 0.0);
+
+  // Default options on the same batch must not beat the tuner's pick.
+  Queue probe(q.spec(), sim::ExecMode::TimingOnly);
+  Batch<double> batch(probe, sizes);
+  const auto def = potrf_vbatched<double>(probe, Uplo::Lower, batch);
+  EXPECT_GE(tuned.best_gflops, def.gflops() * 0.999);
+}
+
+TEST(Autotune, PicksSeparatedForLargeSizes) {
+  Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Rng rng(6);
+  const auto sizes = uniform_sizes(rng, 200, 1500);  // beyond fused feasibility
+  const auto tuned = autotune_potrf<double>(q, sizes);
+  EXPECT_EQ(tuned.best.path, PotrfPath::Separated);
+}
+
+TEST(Autotune, SweepsMultipleCandidatesWithDescriptions) {
+  Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Rng rng(7);
+  const auto sizes = uniform_sizes(rng, 100, 96);
+  const auto tuned = autotune_potrf<double>(q, sizes);
+  EXPECT_GE(tuned.candidates.size(), 6u);  // 4 nb × sort + separated variants
+  for (const auto& c : tuned.candidates) EXPECT_FALSE(c.describe().empty());
+}
+
+TEST(Autotune, SubsamplingKeepsSweepBounded) {
+  Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Rng rng(8);
+  const auto sizes = uniform_sizes(rng, 50000, 64);
+  TuneSettings settings;
+  settings.max_sample = 128;
+  const auto tuned = autotune_potrf<double>(q, sizes, settings);
+  EXPECT_GT(tuned.best_gflops, 0.0);
+}
+
+TEST(Autotune, EmptySizeListThrows) {
+  Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  EXPECT_THROW(autotune_potrf<double>(q, {}), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Profiler
+// ---------------------------------------------------------------------------
+
+TEST(Profile, AggregatesByKernelName) {
+  sim::Timeline tl;
+  for (int i = 0; i < 3; ++i) {
+    sim::KernelRecord r;
+    r.name = "kernel_a";
+    r.start = i;
+    r.end = i + 0.5;
+    r.grid_blocks = 10;
+    r.early_exits = 2;
+    r.flops = 100;
+    r.bytes = 50;
+    r.resident_per_sm = 4;
+    tl.add(r);
+  }
+  sim::KernelRecord b;
+  b.name = "kernel_b";
+  b.start = 0;
+  b.end = 10.0;
+  b.grid_blocks = 1;
+  b.flops = 7;
+  tl.add(b);
+
+  const auto profiles = sim::profile_timeline(tl);
+  ASSERT_EQ(profiles.size(), 2u);
+  // Sorted by descending time: kernel_b (10 s) first.
+  EXPECT_EQ(profiles[0].name, "kernel_b");
+  EXPECT_EQ(profiles[1].name, "kernel_a");
+  EXPECT_EQ(profiles[1].launches, 3);
+  EXPECT_DOUBLE_EQ(profiles[1].seconds, 1.5);
+  EXPECT_DOUBLE_EQ(profiles[1].flops, 300.0);
+  EXPECT_EQ(profiles[1].blocks, 30);
+  EXPECT_EQ(profiles[1].early_exits, 6);
+  EXPECT_DOUBLE_EQ(profiles[1].exit_fraction(), 0.2);
+  EXPECT_DOUBLE_EQ(profiles[1].avg_resident(), 4.0);
+}
+
+TEST(Profile, PrintsEveryKernel) {
+  Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Rng rng(9);
+  const auto sizes = uniform_sizes(rng, 100, 400);
+  Batch<double> batch(q, sizes);
+  PotrfOptions o;
+  o.path = PotrfPath::Separated;
+  potrf_vbatched<double>(q, Uplo::Lower, batch, o);
+
+  const auto profiles = sim::profile_timeline(q.device().timeline());
+  std::ostringstream os;
+  sim::print_profile(os, profiles);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("vbatched_potf2_panel"), std::string::npos);
+  EXPECT_NE(s.find("vbatched_syrk"), std::string::npos);
+  EXPECT_NE(s.find("vbatched_trsm_sweep"), std::string::npos);
+  EXPECT_NE(s.find("vbatched_trtri_diag"), std::string::npos);
+}
+
+TEST(Profile, TimeSharesSumToOneHundred) {
+  Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Rng rng(10);
+  const auto sizes = uniform_sizes(rng, 200, 128);
+  Batch<double> batch(q, sizes);
+  potrf_vbatched<double>(q, Uplo::Lower, batch);
+  const auto profiles = sim::profile_timeline(q.device().timeline());
+  double total = 0.0;
+  for (const auto& p : profiles) total += p.seconds;
+  EXPECT_NEAR(total, q.time(), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Matrix generators
+// ---------------------------------------------------------------------------
+
+class SpdCondTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpdCondTest, AchievesRequestedCondition) {
+  const double cond = GetParam();
+  Rng rng(11);
+  const int n = 40;
+  std::vector<double> buf(static_cast<std::size_t>(n * n));
+  MatrixView<double> a(buf.data(), n, n, n);
+  make_spd_cond(rng, a, cond);
+
+  // SPD: Cholesky must succeed.
+  auto fac = buf;
+  MatrixView<double> f(fac.data(), n, n, n);
+  ASSERT_EQ(blas::potrf<double>(Uplo::Lower, f), 0);
+
+  const double est = estimate_condition<double>(a);
+  EXPECT_GT(est, cond * 0.5);
+  EXPECT_LT(est, cond * 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Conditions, SpdCondTest, ::testing::Values(1.0, 10.0, 1e3, 1e6));
+
+TEST(MatrixGen, DiagDominantIsSpd) {
+  Rng rng(13);
+  const int n = 30;
+  std::vector<double> buf(static_cast<std::size_t>(n * n));
+  MatrixView<double> a(buf.data(), n, n, n);
+  make_diag_dominant(rng, a, 1.5);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(a(i, j), a(j, i));
+  EXPECT_EQ(blas::potrf<double>(Uplo::Lower, a), 0);
+}
+
+TEST(MatrixGen, TridiagIsSpdAndBanded) {
+  Rng rng(17);
+  const int n = 25;
+  std::vector<double> buf(static_cast<std::size_t>(n * n));
+  MatrixView<double> a(buf.data(), n, n, n);
+  make_tridiag_spd(rng, a);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) {
+      if (std::abs(i - j) > 1) EXPECT_DOUBLE_EQ(a(i, j), 0.0);
+    }
+  EXPECT_EQ(blas::potrf<double>(Uplo::Lower, a), 0);
+}
+
+TEST(MatrixGen, BatchFillFeedsVbatchedFactorization) {
+  Queue q;
+  Rng rng(19);
+  auto sizes = uniform_sizes(rng, 25, 48);
+  Batch<double> batch(q, sizes);
+  fill_batch_spd_cond(rng, batch, 100.0);
+  std::vector<std::vector<double>> originals;
+  for (int i = 0; i < batch.count(); ++i) originals.push_back(batch.copy_matrix(i));
+  potrf_vbatched<double>(q, Uplo::Lower, batch);
+  for (int i = 0; i < batch.count(); ++i) {
+    ASSERT_EQ(batch.info()[static_cast<std::size_t>(i)], 0);
+    const int n = sizes[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    ConstMatrixView<double> orig(originals[static_cast<std::size_t>(i)].data(), n, n, n);
+    EXPECT_LT(blas::potrf_residual<double>(Uplo::Lower, orig, batch.matrix(i)), 1e-12);
+  }
+}
+
+TEST(MatrixGen, IdentityConditionIsOne) {
+  Rng rng(21);
+  const int n = 16;
+  std::vector<double> buf(static_cast<std::size_t>(n * n));
+  MatrixView<double> a(buf.data(), n, n, n);
+  make_spd_cond(rng, a, 1.0);  // all eigenvalues 1 -> A == I up to rounding
+  EXPECT_NEAR(estimate_condition<double>(a), 1.0, 1e-6);
+}
+
+}  // namespace

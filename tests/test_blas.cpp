@@ -1,0 +1,269 @@
+// Correctness tests for the reference BLAS layer, checked against naive
+// triple-loop oracles over randomized inputs, parameterized over shapes and
+// transposition/side/uplo/diag combinations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/util/error.hpp"
+#include "vbatch/util/rng.hpp"
+
+namespace {
+
+using namespace vbatch;
+
+template <typename T>
+std::vector<T> random_matrix(Rng& rng, index_t m, index_t n, index_t ld) {
+  std::vector<T> a(static_cast<std::size_t>(ld * n));
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i)
+      a[static_cast<std::size_t>(i + j * ld)] = static_cast<T>(rng.uniform(-1.0, 1.0));
+  return a;
+}
+
+// Naive oracle: C = alpha op(A) op(B) + beta C.
+template <typename T>
+void naive_gemm(Trans ta, Trans tb, T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
+                MatrixView<T> c) {
+  const index_t m = c.rows(), n = c.cols();
+  const index_t k = ta == Trans::NoTrans ? a.cols() : a.rows();
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) {
+      double sum = 0.0;
+      for (index_t l = 0; l < k; ++l) {
+        const double av = ta == Trans::NoTrans ? a(i, l) : a(l, i);
+        const double bv = tb == Trans::NoTrans ? b(l, j) : b(j, l);
+        sum += av * bv;
+      }
+      c(i, j) = static_cast<T>(alpha * sum + beta * c(i, j));
+    }
+}
+
+double max_diff(ConstMatrixView<double> a, ConstMatrixView<double> b) {
+  double d = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) d = std::max(d, std::abs(a(i, j) - b(i, j)));
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// GEMM, parameterized over shapes and transposes.
+// ---------------------------------------------------------------------------
+
+using GemmParam = std::tuple<int, int, int, Trans, Trans>;
+
+class GemmTest : public ::testing::TestWithParam<GemmParam> {};
+
+TEST_P(GemmTest, MatchesNaive) {
+  const auto [m, n, k, ta, tb] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 73856093 ^ n * 19349663 ^ k * 83492791));
+  const index_t lda = (ta == Trans::NoTrans ? m : k) + 3;
+  const index_t ldb = (tb == Trans::NoTrans ? k : n) + 1;
+  const index_t ldc = m + 2;
+  auto abuf = random_matrix<double>(rng, ta == Trans::NoTrans ? m : k,
+                                    ta == Trans::NoTrans ? k : m, lda);
+  auto bbuf = random_matrix<double>(rng, tb == Trans::NoTrans ? k : n,
+                                    tb == Trans::NoTrans ? n : k, ldb);
+  auto cbuf = random_matrix<double>(rng, m, n, ldc);
+  auto cref = cbuf;
+
+  ConstMatrixView<double> a(abuf.data(), ta == Trans::NoTrans ? m : k,
+                            ta == Trans::NoTrans ? k : m, lda);
+  ConstMatrixView<double> b(bbuf.data(), tb == Trans::NoTrans ? k : n,
+                            tb == Trans::NoTrans ? n : k, ldb);
+  MatrixView<double> c(cbuf.data(), m, n, ldc);
+  MatrixView<double> cr(cref.data(), m, n, ldc);
+
+  blas::gemm<double>(ta, tb, 1.3, a, b, -0.7, c);
+  naive_gemm<double>(ta, tb, 1.3, a, b, -0.7, cr);
+  EXPECT_LT(max_diff(c, cr), 1e-12 * std::max(1, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmTest,
+    ::testing::Combine(::testing::Values(1, 3, 8, 17), ::testing::Values(1, 5, 16),
+                       ::testing::Values(1, 4, 13), ::testing::Values(Trans::NoTrans, Trans::Trans),
+                       ::testing::Values(Trans::NoTrans, Trans::Trans)));
+
+TEST(Gemm, ZeroAlphaScalesCByBeta) {
+  Rng rng(5);
+  auto cbuf = random_matrix<double>(rng, 4, 4, 4);
+  auto orig = cbuf;
+  auto abuf = random_matrix<double>(rng, 4, 4, 4);
+  MatrixView<double> c(cbuf.data(), 4, 4, 4);
+  ConstMatrixView<double> a(abuf.data(), 4, 4, 4);
+  blas::gemm<double>(Trans::NoTrans, Trans::NoTrans, 0.0, a, a, 2.0, c);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 4; ++i)
+      EXPECT_DOUBLE_EQ(c(i, j), 2.0 * orig[static_cast<std::size_t>(i + j * 4)]);
+}
+
+TEST(Gemm, EmptyDimensionsAreNoops) {
+  std::vector<double> buf(4, 1.0);
+  MatrixView<double> c(buf.data(), 2, 2, 2);
+  ConstMatrixView<double> a(buf.data(), 2, 0, 2);
+  ConstMatrixView<double> b(buf.data(), 0, 2, 2);  // k == 0
+  blas::gemm<double>(Trans::NoTrans, Trans::NoTrans, 1.0, a, b, 1.0, c);
+  EXPECT_DOUBLE_EQ(c(0, 0), 1.0);
+}
+
+TEST(Gemm, DimensionMismatchThrows) {
+  std::vector<double> buf(20, 0.0);
+  ConstMatrixView<double> a(buf.data(), 3, 2, 3);
+  ConstMatrixView<double> b(buf.data(), 3, 2, 3);  // inner dims disagree
+  MatrixView<double> c(buf.data(), 3, 2, 3);
+  EXPECT_THROW(blas::gemm<double>(Trans::NoTrans, Trans::NoTrans, 1.0, a, b, 0.0, c),
+               vbatch::Error);
+}
+
+// ---------------------------------------------------------------------------
+// SYRK: only the requested triangle changes, and it matches gemm(A, Aᵀ).
+// ---------------------------------------------------------------------------
+
+using SyrkParam = std::tuple<int, int, Uplo, Trans>;
+
+class SyrkTest : public ::testing::TestWithParam<SyrkParam> {};
+
+TEST_P(SyrkTest, MatchesGemmOnTriangle) {
+  const auto [n, k, uplo, trans] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 31 + k));
+  const index_t ar = trans == Trans::NoTrans ? n : k;
+  const index_t ac = trans == Trans::NoTrans ? k : n;
+  auto abuf = random_matrix<double>(rng, ar, ac, ar);
+  auto cbuf = random_matrix<double>(rng, n, n, n);
+  auto cref = cbuf;
+  const auto corig = cbuf;
+
+  ConstMatrixView<double> a(abuf.data(), ar, ac, ar);
+  MatrixView<double> c(cbuf.data(), n, n, n);
+  MatrixView<double> cr(cref.data(), n, n, n);
+  ConstMatrixView<double> co(corig.data(), n, n, n);
+
+  blas::syrk<double>(uplo, trans, -1.0, a, 0.5, c);
+  naive_gemm<double>(trans, trans == Trans::NoTrans ? Trans::Trans : Trans::NoTrans, -1.0, a, a,
+                     0.5, cr);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      const bool in_tri = uplo == Uplo::Lower ? i >= j : i <= j;
+      if (in_tri) {
+        EXPECT_NEAR(c(i, j), cr(i, j), 1e-12 * k) << i << "," << j;
+      } else {
+        EXPECT_DOUBLE_EQ(c(i, j), co(i, j)) << "off-triangle touched";
+      }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SyrkTest,
+                         ::testing::Combine(::testing::Values(1, 4, 9, 16),
+                                            ::testing::Values(1, 3, 8),
+                                            ::testing::Values(Uplo::Lower, Uplo::Upper),
+                                            ::testing::Values(Trans::NoTrans, Trans::Trans)));
+
+// ---------------------------------------------------------------------------
+// TRSM / TRMM: solve-then-multiply round trips for all 16 combinations.
+// ---------------------------------------------------------------------------
+
+using TriParam = std::tuple<Side, Uplo, Trans, Diag>;
+
+class TrsmTest : public ::testing::TestWithParam<TriParam> {};
+
+TEST_P(TrsmTest, SolveThenMultiplyRoundTrips) {
+  const auto [side, uplo, trans, diag] = GetParam();
+  const index_t m = 9, n = 6;
+  const index_t ka = side == Side::Left ? m : n;
+  Rng rng(99);
+  auto abuf = random_matrix<double>(rng, ka, ka, ka);
+  // Make the triangle well conditioned.
+  MatrixView<double> a(abuf.data(), ka, ka, ka);
+  for (index_t i = 0; i < ka; ++i) a(i, i) = 4.0 + i;
+  auto bbuf = random_matrix<double>(rng, m, n, m);
+  auto borig = bbuf;
+  MatrixView<double> b(bbuf.data(), m, n, m);
+
+  blas::trsm<double>(side, uplo, trans, diag, 2.0, a, b);
+  blas::trmm<double>(side, uplo, trans, diag, 0.5, a, b);
+  MatrixView<double> bo(borig.data(), m, n, m);
+  EXPECT_LT(max_diff(b, bo), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, TrsmTest,
+                         ::testing::Combine(::testing::Values(Side::Left, Side::Right),
+                                            ::testing::Values(Uplo::Lower, Uplo::Upper),
+                                            ::testing::Values(Trans::NoTrans, Trans::Trans),
+                                            ::testing::Values(Diag::NonUnit, Diag::Unit)));
+
+TEST(Trsm, LowerLeftSolvesKnownSystem) {
+  // L = [[2,0],[1,3]], B = L * X with X = [[1],[2]] → B = [[2],[7]].
+  std::vector<double> l{2, 1, 0, 3};
+  std::vector<double> b{2, 7};
+  ConstMatrixView<double> lv(l.data(), 2, 2, 2);
+  MatrixView<double> bv(b.data(), 2, 1, 2);
+  blas::trsm<double>(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 1.0, lv, bv);
+  EXPECT_NEAR(bv(0, 0), 1.0, 1e-15);
+  EXPECT_NEAR(bv(1, 0), 2.0, 1e-15);
+}
+
+// ---------------------------------------------------------------------------
+// TRTRI: A * inv(A) == I on the triangle.
+// ---------------------------------------------------------------------------
+
+class TrtriTest : public ::testing::TestWithParam<std::tuple<int, Uplo, Diag>> {};
+
+TEST_P(TrtriTest, InverseMultipliesToIdentity) {
+  const auto [n, uplo, diag] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 7 + static_cast<int>(uplo)));
+  auto abuf = random_matrix<double>(rng, n, n, n);
+  MatrixView<double> a(abuf.data(), n, n, n);
+  for (index_t i = 0; i < n; ++i) a(i, i) = 3.0 + i;
+  // Zero the opposite triangle so products are clean.
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      const bool in_tri = uplo == Uplo::Lower ? i >= j : i <= j;
+      if (!in_tri) a(i, j) = 0.0;
+    }
+  auto inv = abuf;
+  MatrixView<double> iv(inv.data(), n, n, n);
+  ASSERT_EQ(blas::trtri<double>(uplo, diag, iv), 0);
+
+  // P = A_eff * inv_eff must be the identity, where _eff applies Diag::Unit.
+  std::vector<double> p(static_cast<std::size_t>(n * n), 0.0);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (index_t k = 0; k < n; ++k) {
+        double av = a(i, k), bv = iv(k, j);
+        if (diag == Diag::Unit) {
+          if (i == k) av = 1.0;
+          if (k == j) bv = 1.0;
+        }
+        sum += av * bv;
+      }
+      p[static_cast<std::size_t>(i + j * n)] = sum;
+    }
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j)
+      EXPECT_NEAR(p[static_cast<std::size_t>(i + j * n)], i == j ? 1.0 : 0.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TrtriTest,
+                         ::testing::Combine(::testing::Values(1, 2, 5, 12, 32),
+                                            ::testing::Values(Uplo::Lower, Uplo::Upper),
+                                            ::testing::Values(Diag::NonUnit, Diag::Unit)));
+
+TEST(Trtri, SingularDiagonalReportsIndex) {
+  std::vector<double> a{1, 2, 0, 0};  // A(1,1) == 0
+  MatrixView<double> av(a.data(), 2, 2, 2);
+  EXPECT_EQ(blas::trtri<double>(Uplo::Lower, Diag::NonUnit, av), 2);
+}
+
+TEST(Norms, FrobeniusAndMax) {
+  std::vector<double> a{3, 0, 0, 4};
+  ConstMatrixView<double> av(a.data(), 2, 2, 2);
+  EXPECT_DOUBLE_EQ(blas::norm_fro(av), 5.0);
+  EXPECT_DOUBLE_EQ(blas::norm_max(av), 4.0);
+}
+
+}  // namespace

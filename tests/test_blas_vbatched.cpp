@@ -1,0 +1,262 @@
+// Tests for the public vbatched BLAS layer: numerical agreement with the
+// per-matrix reference across shapes and transposition combinations, the
+// §III-A interface pairs, and the LAPACK-compliant argument checking of
+// paper §V.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/core/arg_check.hpp"
+#include "vbatch/core/blas_vbatched.hpp"
+#include "vbatch/util/error.hpp"
+
+namespace {
+
+using namespace vbatch;
+
+Queue& test_queue() {
+  static Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::Full);
+  return q;
+}
+
+// ---------------------------------------------------------------------------
+// GEMM
+// ---------------------------------------------------------------------------
+
+class GemmVbatchedTest : public ::testing::TestWithParam<std::tuple<Trans, Trans>> {};
+
+TEST_P(GemmVbatchedTest, MatchesPerMatrixReference) {
+  const auto [ta, tb] = GetParam();
+  Queue& q = test_queue();
+  Rng rng(101);
+  const std::vector<int> m{17, 40, 1, 8}, n{25, 12, 1, 70}, k{9, 33, 1, 16};
+
+  auto dims_a_rows = ta == Trans::NoTrans ? m : k;
+  auto dims_a_cols = ta == Trans::NoTrans ? k : m;
+  auto dims_b_rows = tb == Trans::NoTrans ? k : n;
+  auto dims_b_cols = tb == Trans::NoTrans ? n : k;
+
+  RectBatch<double> a(q, dims_a_rows, dims_a_cols);
+  RectBatch<double> b(q, dims_b_rows, dims_b_cols);
+  RectBatch<double> c(q, m, n);
+  a.fill_general(rng);
+  b.fill_general(rng);
+  c.fill_general(rng);
+  std::vector<std::vector<double>> cref;
+  for (int i = 0; i < c.count(); ++i) cref.push_back(c.copy_matrix(i));
+
+  const auto r = gemm_vbatched<double>(q, ta, tb, -1.5, a, b, 0.5, c);
+  EXPECT_GT(r.gflops(), 0.0);
+
+  for (int i = 0; i < c.count(); ++i) {
+    MatrixView<double> expect(cref[static_cast<std::size_t>(i)].data(),
+                              m[static_cast<std::size_t>(i)], n[static_cast<std::size_t>(i)],
+                              m[static_cast<std::size_t>(i)]);
+    blas::gemm<double>(ta, tb, -1.5,
+                       ConstMatrixView<double>(a.matrix(i).data(), a.matrix(i).rows(),
+                                               a.matrix(i).cols(), a.matrix(i).ld()),
+                       ConstMatrixView<double>(b.matrix(i).data(), b.matrix(i).rows(),
+                                               b.matrix(i).cols(), b.matrix(i).ld()),
+                       0.5, expect);
+    auto got = c.matrix(i);
+    for (index_t jc = 0; jc < got.cols(); ++jc)
+      for (index_t ir = 0; ir < got.rows(); ++ir)
+        EXPECT_NEAR(got(ir, jc), expect(ir, jc), 1e-11) << "matrix " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TransCombos, GemmVbatchedTest,
+                         ::testing::Combine(::testing::Values(Trans::NoTrans, Trans::Trans),
+                                            ::testing::Values(Trans::NoTrans, Trans::Trans)));
+
+TEST(GemmVbatched, MaxInterfaceMatchesLapackLike) {
+  Queue& q = test_queue();
+  Rng rng(103);
+  const std::vector<int> m{20, 35}, n{15, 28}, k{10, 22};
+  RectBatch<double> a1(q, m, k), b1(q, k, n), c1(q, m, n);
+  a1.fill_general(rng);
+  b1.fill_general(rng);
+  Rng rng2(103);
+  RectBatch<double> a2(q, m, k), b2(q, k, n), c2(q, m, n);
+  a2.fill_general(rng2);
+  b2.fill_general(rng2);
+
+  gemm_vbatched<double>(q, Trans::NoTrans, Trans::NoTrans, 1.0, a1, b1, 0.0, c1);
+  gemm_vbatched_max<double>(q, Trans::NoTrans, Trans::NoTrans, 1.0, a2, b2, 0.0, c2, 35, 28);
+  for (int i = 0; i < c1.count(); ++i) EXPECT_EQ(c1.copy_matrix(i), c2.copy_matrix(i));
+}
+
+TEST(GemmVbatched, InconsistentInnerDimensionRaisesLapackStyleError) {
+  Queue& q = test_queue();
+  const std::vector<int> m{8, 8}, n{8, 8}, k_a{4, 5}, k_b{4, 6};  // matrix 1 inconsistent
+  RectBatch<double> a(q, m, k_a), b(q, k_b, n), c(q, m, n);
+  try {
+    gemm_vbatched<double>(q, Trans::NoTrans, Trans::NoTrans, 1.0, a, b, 0.0, c);
+    FAIL() << "expected InvalidArgument";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::InvalidArgument);
+    EXPECT_NE(std::string(e.what()).find("batch index 1"), std::string::npos);
+  }
+  // The per-matrix info array identifies the offender with a negative code.
+  EXPECT_EQ(c.info()[0], 0);
+  EXPECT_LT(c.info()[1], 0);
+}
+
+TEST(GemmVbatched, BatchCountMismatchThrows) {
+  Queue& q = test_queue();
+  const std::vector<int> two{4, 4}, one{4};
+  RectBatch<double> a(q, two, two), b(q, two, two), c(q, one, one);
+  EXPECT_THROW(gemm_vbatched<double>(q, Trans::NoTrans, Trans::NoTrans, 1.0, a, b, 0.0, c),
+               Error);
+}
+
+// ---------------------------------------------------------------------------
+// SYRK
+// ---------------------------------------------------------------------------
+
+class SyrkVbatchedApiTest : public ::testing::TestWithParam<std::tuple<Uplo, Trans>> {};
+
+TEST_P(SyrkVbatchedApiTest, MatchesPerMatrixReference) {
+  const auto [uplo, trans] = GetParam();
+  Queue& q = test_queue();
+  Rng rng(107);
+  const std::vector<int> n{12, 30, 5}, k{7, 14, 3};
+  auto a_rows = trans == Trans::NoTrans ? n : k;
+  auto a_cols = trans == Trans::NoTrans ? k : n;
+
+  RectBatch<double> a(q, a_rows, a_cols);
+  Batch<double> c(q, n);
+  a.fill_general(rng);
+  for (int i = 0; i < c.count(); ++i) {
+    fill_general(rng, c.matrix(i).data(), n[static_cast<std::size_t>(i)],
+                 n[static_cast<std::size_t>(i)], c.matrix(i).ld());
+  }
+  std::vector<std::vector<double>> cref;
+  for (int i = 0; i < c.count(); ++i) cref.push_back(c.copy_matrix(i));
+
+  syrk_vbatched<double>(q, uplo, trans, 2.0, a, -1.0, c);
+
+  for (int i = 0; i < c.count(); ++i) {
+    const int ni = n[static_cast<std::size_t>(i)];
+    MatrixView<double> expect(cref[static_cast<std::size_t>(i)].data(), ni, ni, ni);
+    blas::syrk<double>(uplo, trans, 2.0,
+                       ConstMatrixView<double>(a.matrix(i).data(), a.matrix(i).rows(),
+                                               a.matrix(i).cols(), a.matrix(i).ld()),
+                       -1.0, expect);
+    auto got = c.matrix(i);
+    for (index_t jc = 0; jc < ni; ++jc)
+      for (index_t ir = 0; ir < ni; ++ir) {
+        const bool in_tri = uplo == Uplo::Lower ? ir >= jc : ir <= jc;
+        if (in_tri) EXPECT_NEAR(got(ir, jc), expect(ir, jc), 1e-11) << "matrix " << i;
+      }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Combos, SyrkVbatchedApiTest,
+                         ::testing::Combine(::testing::Values(Uplo::Lower, Uplo::Upper),
+                                            ::testing::Values(Trans::NoTrans, Trans::Trans)));
+
+TEST(SyrkVbatchedApi, DimensionMismatchThrows) {
+  Queue& q = test_queue();
+  const std::vector<int> n{8, 8}, a_rows{8, 9}, k{4, 4};  // op(A) rows != n for matrix 1
+  RectBatch<double> a(q, a_rows, k);
+  Batch<double> c(q, n);
+  EXPECT_THROW(syrk_vbatched<double>(q, Uplo::Lower, Trans::NoTrans, 1.0, a, 1.0, c), Error);
+  EXPECT_LT(c.info()[1], 0);
+}
+
+// ---------------------------------------------------------------------------
+// TRSM / TRMM
+// ---------------------------------------------------------------------------
+
+using TriApiParam = std::tuple<Side, Uplo, Trans, Diag>;
+
+class TrsmVbatchedApiTest : public ::testing::TestWithParam<TriApiParam> {};
+
+TEST_P(TrsmVbatchedApiTest, SolveThenMultiplyRoundTrips) {
+  const auto [side, uplo, trans, diag] = GetParam();
+  Queue& q = test_queue();
+  Rng rng(109);
+  const std::vector<int> m{9, 21, 4}, n{6, 13, 17};
+  const auto ka = side == Side::Left ? m : n;
+
+  Batch<double> a(q, ka);
+  RectBatch<double> b(q, m, n);
+  for (int i = 0; i < a.count(); ++i) {
+    auto av = a.matrix(i);
+    fill_general(rng, av.data(), av.rows(), av.cols(), av.ld());
+    for (index_t d = 0; d < av.rows(); ++d) av(d, d) = 4.0 + static_cast<double>(d);
+  }
+  b.fill_general(rng);
+  std::vector<std::vector<double>> borig;
+  for (int i = 0; i < b.count(); ++i) borig.push_back(b.copy_matrix(i));
+
+  const auto rs = trsm_vbatched<double>(q, side, uplo, trans, diag, 2.0, a, b);
+  EXPECT_GT(rs.seconds, 0.0);
+  trmm_vbatched<double>(q, side, uplo, trans, diag, 0.5, a, b);
+
+  for (int i = 0; i < b.count(); ++i) {
+    auto got = b.matrix(i);
+    MatrixView<double> expect(borig[static_cast<std::size_t>(i)].data(), got.rows(),
+                              got.cols(), got.rows());
+    for (index_t jc = 0; jc < got.cols(); ++jc)
+      for (index_t ir = 0; ir < got.rows(); ++ir)
+        EXPECT_NEAR(got(ir, jc), expect(ir, jc), 1e-10) << "matrix " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, TrsmVbatchedApiTest,
+                         ::testing::Combine(::testing::Values(Side::Left, Side::Right),
+                                            ::testing::Values(Uplo::Lower, Uplo::Upper),
+                                            ::testing::Values(Trans::NoTrans, Trans::Trans),
+                                            ::testing::Values(Diag::NonUnit, Diag::Unit)));
+
+TEST(TrsmVbatchedApi, WrongTriangleOrderThrows) {
+  Queue& q = test_queue();
+  const std::vector<int> m{8, 8}, n{6, 6}, ka{8, 7};  // matrix 1 triangle too small
+  Batch<double> a(q, ka);
+  RectBatch<double> b(q, m, n);
+  EXPECT_THROW(
+      trsm_vbatched<double>(q, Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 1.0, a, b),
+      Error);
+}
+
+// ---------------------------------------------------------------------------
+// ArgCheck unit behaviour
+// ---------------------------------------------------------------------------
+
+TEST(ArgCheck, ReportsFirstOffenderAndCount) {
+  Queue& q = test_queue();
+  const std::vector<int> n{4, -1, 8, -2};
+  const ArgRule rules[] = {{ArgRule::Kind::NonNegative, n, {}, 3, "n"}};
+  std::vector<int> info(4, 0);
+  const auto report = check_args(q.device(), rules, info);
+  EXPECT_EQ(report.violations, 2);
+  EXPECT_EQ(report.first_matrix, 1);
+  EXPECT_EQ(report.first_argument, 3);
+  EXPECT_EQ(info, (std::vector<int>{0, -3, 0, -3}));
+}
+
+TEST(ArgCheck, CleanMetadataPasses) {
+  Queue& q = test_queue();
+  const std::vector<int> n{4, 5}, lda{4, 8};
+  const ArgRule rules[] = {
+      {ArgRule::Kind::NonNegative, n, {}, 1, "n"},
+      {ArgRule::Kind::AtLeastOther, lda, n, 2, "lda"},
+  };
+  const auto report = check_args(q.device(), rules);
+  EXPECT_TRUE(report.ok());
+  EXPECT_NO_THROW(require_args_ok(report, "test"));
+}
+
+TEST(ArgCheck, LaunchesADeviceSweep) {
+  Queue q2(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  const std::vector<int> n(5000, 3);
+  const ArgRule rules[] = {{ArgRule::Kind::NonNegative, n, {}, 1, "n"}};
+  check_args(q2.device(), rules);
+  EXPECT_EQ(q2.device().timeline().count_with_prefix("aux_check_args"), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// Tests for the classic pre-fusion building-block baseline (the Fig. 4
+// comparator), the cost-model's property invariants, and the cross-device
+// presets (K40c vs P100).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/core/potrf_classic.hpp"
+#include "vbatch/core/potrf_vbatched.hpp"
+#include "vbatch/core/size_dist.hpp"
+#include "vbatch/sim/scheduler.hpp"
+
+namespace {
+
+using namespace vbatch;
+
+// ---------------------------------------------------------------------------
+// Classic building-block baseline numerics
+// ---------------------------------------------------------------------------
+
+class ClassicTest : public ::testing::TestWithParam<std::tuple<int, Uplo>> {};
+
+TEST_P(ClassicTest, FactorsFixedBatchCorrectly) {
+  const auto [n, uplo] = GetParam();
+  Queue q;
+  Rng rng(401);
+  Batch<double> batch = Batch<double>::fixed(q, 12, n);
+  batch.fill_spd(rng);
+  std::vector<std::vector<double>> originals;
+  for (int i = 0; i < batch.count(); ++i) originals.push_back(batch.copy_matrix(i));
+
+  const auto r = potrf_batched_classic<double>(q, uplo, batch);
+  EXPECT_GT(r.gflops(), 0.0);
+  for (int i = 0; i < batch.count(); ++i) {
+    ASSERT_EQ(batch.info()[static_cast<std::size_t>(i)], 0);
+    ConstMatrixView<double> orig(originals[static_cast<std::size_t>(i)].data(), n, n, n);
+    EXPECT_LT(blas::potrf_residual<double>(uplo, orig, batch.matrix(i)), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ClassicTest,
+                         ::testing::Combine(::testing::Values(5, 16, 40, 100),
+                                            ::testing::Values(Uplo::Lower, Uplo::Upper)));
+
+TEST(Classic, VariableSizesAndIdenticalFactorsToFused) {
+  Rng size_rng(403);
+  const auto sizes = uniform_sizes(size_rng, 20, 60);
+  Queue q1, q2;
+  Batch<double> b1(q1, sizes), b2(q2, sizes);
+  Rng f1(405), f2(405);
+  b1.fill_spd(f1);
+  b2.fill_spd(f2);
+
+  potrf_batched_classic<double>(q1, Uplo::Lower, b1);
+  PotrfOptions fused;
+  fused.path = PotrfPath::Fused;
+  potrf_vbatched<double>(q2, Uplo::Lower, b2, fused);
+  for (int i = 0; i < b1.count(); ++i) {
+    const int n = sizes[static_cast<std::size_t>(i)];
+    auto a1 = b1.matrix(i);
+    auto a2 = b2.matrix(i);
+    for (int c = 0; c < n; ++c)
+      for (int r = c; r < n; ++r) EXPECT_NEAR(a1(r, c), a2(r, c), 1e-11);
+  }
+}
+
+TEST(Classic, NonSpdReportsGlobalIndex) {
+  Queue q;
+  Rng rng(407);
+  Batch<double> batch = Batch<double>::fixed(q, 3, 24);
+  batch.fill_spd(rng);
+  batch.matrix(1)(20, 20) = -1e9;
+  potrf_batched_classic<double>(q, Uplo::Lower, batch);
+  EXPECT_EQ(batch.info()[0], 0);
+  EXPECT_EQ(batch.info()[1], 21);
+  EXPECT_EQ(batch.info()[2], 0);
+}
+
+TEST(Classic, UsesManyMoreLaunchesThanFused) {
+  // The defining overhead of the pre-fusion approach (§III-D motivation).
+  Rng size_rng(409);
+  const auto sizes = uniform_sizes(size_rng, 50, 96);
+  Queue q1(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Queue q2(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Batch<double> b1(q1, sizes), b2(q2, sizes);
+  potrf_batched_classic<double>(q1, Uplo::Lower, b1);
+  PotrfOptions fused;
+  fused.path = PotrfPath::Fused;
+  fused.implicit_sorting = false;
+  potrf_vbatched<double>(q2, Uplo::Lower, b2, fused);
+  EXPECT_GT(q1.device().timeline().size(), 2 * q2.device().timeline().size());
+}
+
+// ---------------------------------------------------------------------------
+// Cost-model property invariants
+// ---------------------------------------------------------------------------
+
+sim::BlockCost cost_with(double flops, double bytes, int active, int live) {
+  sim::BlockCost c;
+  c.flops = flops;
+  c.bytes = bytes;
+  c.active_threads = active;
+  c.live_threads = live;
+  return c;
+}
+
+TEST(CostModel, MonotoneInFlops) {
+  const auto spec = sim::DeviceSpec::k40c();
+  double prev = 0.0;
+  for (double f : {1e3, 1e4, 1e5, 1e6, 1e7}) {
+    const double t = sim::block_seconds(spec, Precision::Double, 4, cost_with(f, 0, 64, 64));
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CostModel, MonotoneInBytes) {
+  const auto spec = sim::DeviceSpec::k40c();
+  double prev = 0.0;
+  for (double b : {1e4, 1e5, 1e6, 1e7}) {
+    const double t = sim::block_seconds(spec, Precision::Double, 4, cost_with(0, b, 64, 64));
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CostModel, MoreActiveThreadsNeverSlower) {
+  const auto spec = sim::DeviceSpec::k40c();
+  double prev = 1e9;
+  for (int threads : {1, 2, 4, 8, 16, 32, 64}) {
+    const double t =
+        sim::block_seconds(spec, Precision::Double, 1, cost_with(1e6, 0, threads, threads));
+    EXPECT_LE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CostModel, SinglePrecisionFasterThanDouble) {
+  const auto spec = sim::DeviceSpec::k40c();
+  const auto c = cost_with(1e6, 0, 256, 256);
+  EXPECT_LT(sim::block_seconds(spec, Precision::Single, 4, c),
+            sim::block_seconds(spec, Precision::Double, 4, c));
+}
+
+TEST(CostModel, LatencyCyclesAddDirectly) {
+  const auto spec = sim::DeviceSpec::k40c();
+  auto base = cost_with(1e5, 0, 32, 32);
+  const double t0 = sim::block_seconds(spec, Precision::Double, 1, base);
+  base.latency_cycles = 10000.0;
+  const double t1 = sim::block_seconds(spec, Precision::Double, 1, base);
+  EXPECT_NEAR(t1 - t0, 10000.0 * spec.cycle_seconds(), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Device presets
+// ---------------------------------------------------------------------------
+
+TEST(DevicePresets, P100PeaksMatchPublishedFigures) {
+  const auto p = sim::DeviceSpec::p100();
+  EXPECT_NEAR(p.peak_gflops(Precision::Double), 4759.6, 5.0);
+  EXPECT_NEAR(p.peak_gflops(Precision::Single), 9519.1, 10.0);
+  EXPECT_GT(p.mem_bandwidth_gbps, sim::DeviceSpec::k40c().mem_bandwidth_gbps);
+}
+
+TEST(DevicePresets, NewerDeviceRunsTheSameWorkloadFaster) {
+  Rng size_rng(411);
+  const auto sizes = uniform_sizes(size_rng, 500, 256);
+  Queue kepler(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Queue pascal(sim::DeviceSpec::p100(), sim::ExecMode::TimingOnly);
+  Batch<double> b1(kepler, sizes), b2(pascal, sizes);
+  const auto r1 = potrf_vbatched<double>(kepler, Uplo::Lower, b1);
+  const auto r2 = potrf_vbatched<double>(pascal, Uplo::Lower, b2);
+  EXPECT_GT(r2.gflops(), r1.gflops() * 1.5);
+}
+
+TEST(DevicePresets, NumericsIdenticalAcrossDevices) {
+  Rng size_rng(413);
+  const auto sizes = uniform_sizes(size_rng, 15, 50);
+  Queue kepler(sim::DeviceSpec::k40c(), sim::ExecMode::Full);
+  Queue pascal(sim::DeviceSpec::p100(), sim::ExecMode::Full);
+  Batch<double> b1(kepler, sizes), b2(pascal, sizes);
+  Rng f1(415), f2(415);
+  b1.fill_spd(f1);
+  b2.fill_spd(f2);
+  potrf_vbatched<double>(kepler, Uplo::Lower, b1);
+  potrf_vbatched<double>(pascal, Uplo::Lower, b2);
+  for (int i = 0; i < b1.count(); ++i) EXPECT_EQ(b1.copy_matrix(i), b2.copy_matrix(i));
+}
+
+}  // namespace

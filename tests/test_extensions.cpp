@@ -1,0 +1,498 @@
+// Tests for the paper's announced extensions (§V): vbatched LU and QR, and
+// the vbatched solve routines (potrs/posv).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/core/geqrf_vbatched.hpp"
+#include "vbatch/core/getrf_vbatched.hpp"
+#include "vbatch/core/potrs_vbatched.hpp"
+#include "vbatch/core/size_dist.hpp"
+
+namespace {
+
+using namespace vbatch;
+
+// ---------------------------------------------------------------------------
+// LU
+// ---------------------------------------------------------------------------
+
+class GetrfVbatchedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GetrfVbatchedTest, ResidualsSmallAcrossRandomBatch) {
+  const int nmax = GetParam();
+  Queue q;
+  Rng rng(61);
+  auto sizes = uniform_sizes(rng, 25, nmax);
+  Batch<double> batch(q, sizes);
+  if (q.full()) {
+    for (int i = 0; i < batch.count(); ++i) {
+      const int n = sizes[static_cast<std::size_t>(i)];
+      fill_general(rng, batch.matrix(i).data(), n, n, batch.ldas()[static_cast<std::size_t>(i)]);
+    }
+  }
+  std::vector<std::vector<double>> originals;
+  for (int i = 0; i < batch.count(); ++i) originals.push_back(batch.copy_matrix(i));
+
+  PivotArrays ipiv(q, sizes);
+  const auto r = getrf_vbatched<double>(q, batch, ipiv);
+  EXPECT_GT(r.gflops(), 0.0);
+
+  for (int i = 0; i < batch.count(); ++i) {
+    ASSERT_EQ(batch.info()[static_cast<std::size_t>(i)], 0) << "matrix " << i;
+    const int n = sizes[static_cast<std::size_t>(i)];
+    ConstMatrixView<double> orig(originals[static_cast<std::size_t>(i)].data(), n, n, n);
+    const double res = blas::getrf_residual<double>(orig, batch.matrix(i), ipiv.pivots(i));
+    EXPECT_LT(res, 1e-12) << "matrix " << i << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxSizes, GetrfVbatchedTest, ::testing::Values(20, 60, 100));
+
+TEST(GetrfVbatched, MatchesReferenceFactorsExactly) {
+  Queue q;
+  Rng rng(67);
+  std::vector<int> sizes{48, 70};
+  Batch<double> batch(q, sizes);
+  for (int i = 0; i < batch.count(); ++i) {
+    fill_general(rng, batch.matrix(i).data(), sizes[static_cast<std::size_t>(i)],
+                 sizes[static_cast<std::size_t>(i)], sizes[static_cast<std::size_t>(i)]);
+  }
+  std::vector<std::vector<double>> originals;
+  for (int i = 0; i < batch.count(); ++i) originals.push_back(batch.copy_matrix(i));
+
+  PivotArrays ipiv(q, sizes);
+  getrf_vbatched<double>(q, batch, ipiv, {.panel_nb = 32});
+
+  for (int i = 0; i < batch.count(); ++i) {
+    const int n = sizes[static_cast<std::size_t>(i)];
+    std::vector<int> ref_piv(static_cast<std::size_t>(n));
+    MatrixView<double> ref(originals[static_cast<std::size_t>(i)].data(), n, n, n);
+    ASSERT_EQ(blas::getrf<double>(ref, ref_piv, 32), 0);
+    const auto piv = ipiv.pivots(i);
+    for (int k = 0; k < n; ++k) EXPECT_EQ(piv[static_cast<std::size_t>(k)], ref_piv[static_cast<std::size_t>(k)]);
+    auto a = batch.matrix(i);
+    for (int c = 0; c < n; ++c)
+      for (int r = 0; r < n; ++r) EXPECT_NEAR(a(r, c), ref(r, c), 1e-11);
+  }
+}
+
+TEST(GetrfVbatched, SingularMatrixFlagged) {
+  Queue q;
+  std::vector<int> sizes{8, 8};
+  Batch<double> batch(q, sizes);
+  Rng rng(71);
+  fill_general(rng, batch.matrix(0).data(), 8, 8, 8);
+  // Matrix 1 is rank deficient (all ones).
+  auto m1 = batch.matrix(1);
+  for (int c = 0; c < 8; ++c)
+    for (int r = 0; r < 8; ++r) m1(r, c) = 1.0;
+
+  PivotArrays ipiv(q, sizes);
+  getrf_vbatched<double>(q, batch, ipiv);
+  EXPECT_EQ(batch.info()[0], 0);
+  EXPECT_GT(batch.info()[1], 0);
+}
+
+TEST(GetrsVbatched, SolvesAgainstKnownSolutions) {
+  Queue q;
+  Rng rng(91);
+  std::vector<int> sizes{14, 33, 27};
+  std::vector<int> nrhs{2, 1, 3};
+  Batch<double> a(q, sizes);
+  for (int i = 0; i < a.count(); ++i) {
+    const int n = sizes[static_cast<std::size_t>(i)];
+    fill_general(rng, a.matrix(i).data(), n, n, n);
+  }
+  std::vector<std::vector<double>> aorig;
+  for (int i = 0; i < a.count(); ++i) aorig.push_back(a.copy_matrix(i));
+
+  RectBatch<double> b(q, sizes, nrhs);
+  std::vector<std::vector<double>> x_true;
+  for (int i = 0; i < a.count(); ++i) {
+    const int n = sizes[static_cast<std::size_t>(i)];
+    const int r = nrhs[static_cast<std::size_t>(i)];
+    std::vector<double> x(static_cast<std::size_t>(n * r));
+    for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+    ConstMatrixView<double> av(aorig[static_cast<std::size_t>(i)].data(), n, n, n);
+    ConstMatrixView<double> xv(x.data(), n, r, n);
+    blas::gemm<double>(Trans::NoTrans, Trans::NoTrans, 1.0, av, xv, 0.0, b.matrix(i));
+    x_true.push_back(std::move(x));
+  }
+
+  PivotArrays ipiv(q, sizes);
+  getrf_vbatched<double>(q, a, ipiv);
+  const auto r = getrs_vbatched<double>(q, a, ipiv, b);
+  EXPECT_GT(r.seconds, 0.0);
+
+  for (int i = 0; i < a.count(); ++i) {
+    const int n = sizes[static_cast<std::size_t>(i)];
+    const int rr = nrhs[static_cast<std::size_t>(i)];
+    auto bx = b.matrix(i);
+    for (int c = 0; c < rr; ++c)
+      for (int row = 0; row < n; ++row)
+        EXPECT_NEAR(bx(row, c),
+                    x_true[static_cast<std::size_t>(i)][static_cast<std::size_t>(row + c * n)],
+                    1e-8)
+            << "matrix " << i;
+  }
+}
+
+TEST(GetrsVbatched, SkipsSingularMatrices) {
+  Queue q;
+  Rng rng(93);
+  std::vector<int> sizes{10, 10};
+  std::vector<int> nrhs{1, 1};
+  Batch<double> a(q, sizes);
+  fill_general(rng, a.matrix(0).data(), 10, 10, 10);
+  auto m1 = a.matrix(1);
+  for (int c = 0; c < 10; ++c)
+    for (int r = 0; r < 10; ++r) m1(r, c) = 1.0;  // singular
+  RectBatch<double> b(q, sizes, nrhs);
+  b.fill_general(rng);
+  auto b1_before = b.copy_matrix(1);
+
+  PivotArrays ipiv(q, sizes);
+  getrf_vbatched<double>(q, a, ipiv);
+  ASSERT_GT(a.info()[1], 0);
+  getrs_vbatched<double>(q, a, ipiv, b);
+  EXPECT_EQ(b.copy_matrix(1), b1_before);
+}
+
+// ---------------------------------------------------------------------------
+// QR
+// ---------------------------------------------------------------------------
+
+class GeqrfVbatchedTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GeqrfVbatchedTest, ResidualsSmallAcrossRectangularBatch) {
+  const auto [count, nmax] = GetParam();
+  Queue q;
+  Rng rng(73);
+  auto cols = uniform_sizes(rng, count, nmax);
+  std::vector<int> rows(cols.size());
+  for (std::size_t i = 0; i < cols.size(); ++i)
+    rows[i] = cols[i] + static_cast<int>(rng.uniform_int(0, nmax / 2));  // m >= n
+
+  RectBatch<double> batch(q, rows, cols);
+  batch.fill_general(rng);
+  std::vector<std::vector<double>> originals;
+  for (int i = 0; i < batch.count(); ++i) originals.push_back(batch.copy_matrix(i));
+
+  std::vector<int> mn(cols.size());
+  for (std::size_t i = 0; i < cols.size(); ++i) mn[i] = std::min(rows[i], cols[i]);
+  TauArrays<double> tau(q, mn);
+  const auto r = geqrf_vbatched<double>(q, batch, tau);
+  EXPECT_GT(r.gflops(), 0.0);
+
+  for (int i = 0; i < batch.count(); ++i) {
+    const int m = rows[static_cast<std::size_t>(i)];
+    const int n = cols[static_cast<std::size_t>(i)];
+    ConstMatrixView<double> orig(originals[static_cast<std::size_t>(i)].data(), m, n, m);
+    const double res = blas::geqrf_residual<double>(orig, batch.matrix(i), tau.tau(i));
+    EXPECT_LT(res, 1e-12) << "matrix " << i << " m=" << m << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GeqrfVbatchedTest,
+                         ::testing::Values(std::tuple{15, 24}, std::tuple{20, 60},
+                                           std::tuple{10, 90}));
+
+TEST(OrmqrVbatched, QtQisIdentityAction) {
+  // Applying Qᵀ then checking ‖Qᵀb‖ == ‖b‖ (orthogonality preserved).
+  Queue q;
+  Rng rng(95);
+  std::vector<int> m{20, 45}, n{8, 12}, nrhs{3, 2};
+  RectBatch<double> a(q, m, n);
+  a.fill_general(rng);
+  std::vector<int> mn = n;
+  TauArrays<double> tau(q, mn);
+  geqrf_vbatched<double>(q, a, tau);
+
+  RectBatch<double> c(q, m, nrhs);
+  c.fill_general(rng);
+  std::vector<double> norms_before;
+  for (int i = 0; i < c.count(); ++i) {
+    auto v = c.matrix(i);
+    norms_before.push_back(blas::norm_fro<double>(
+        ConstMatrixView<double>(v.data(), v.rows(), v.cols(), v.ld())));
+  }
+  ormqr_vbatched<double>(q, a, tau, c);
+  for (int i = 0; i < c.count(); ++i) {
+    auto v = c.matrix(i);
+    const double after = blas::norm_fro<double>(
+        ConstMatrixView<double>(v.data(), v.rows(), v.cols(), v.ld()));
+    EXPECT_NEAR(after, norms_before[static_cast<std::size_t>(i)], 1e-10);
+  }
+}
+
+TEST(GeqrsVbatched, RecoversExactSolutions) {
+  // Consistent systems (b = A·x): least squares recovers x exactly.
+  Queue q;
+  Rng rng(97);
+  std::vector<int> m{24, 50, 15}, n{6, 20, 15}, nrhs{2, 1, 3};
+  RectBatch<double> a(q, m, n);
+  a.fill_general(rng);
+  // Boost the diagonal so R is well conditioned.
+  for (int i = 0; i < a.count(); ++i) {
+    auto av = a.matrix(i);
+    for (index_t d = 0; d < av.cols(); ++d) av(d, d) += 3.0;
+  }
+  std::vector<std::vector<double>> aorig;
+  for (int i = 0; i < a.count(); ++i) aorig.push_back(a.copy_matrix(i));
+
+  RectBatch<double> b(q, m, nrhs);
+  std::vector<std::vector<double>> x_true;
+  for (int i = 0; i < a.count(); ++i) {
+    const int mi = m[static_cast<std::size_t>(i)];
+    const int ni = n[static_cast<std::size_t>(i)];
+    const int ri = nrhs[static_cast<std::size_t>(i)];
+    std::vector<double> x(static_cast<std::size_t>(ni) * ri);
+    for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+    ConstMatrixView<double> av(aorig[static_cast<std::size_t>(i)].data(), mi, ni, mi);
+    ConstMatrixView<double> xv(x.data(), ni, ri, ni);
+    blas::gemm<double>(Trans::NoTrans, Trans::NoTrans, 1.0, av, xv, 0.0, b.matrix(i));
+    x_true.push_back(std::move(x));
+  }
+
+  std::vector<int> mn = n;
+  TauArrays<double> tau(q, mn);
+  geqrf_vbatched<double>(q, a, tau);
+  const auto r = geqrs_vbatched<double>(q, a, tau, b);
+  EXPECT_GT(r.seconds, 0.0);
+
+  for (int i = 0; i < a.count(); ++i) {
+    const int ni = n[static_cast<std::size_t>(i)];
+    const int ri = nrhs[static_cast<std::size_t>(i)];
+    auto x = b.matrix(i);
+    for (int c = 0; c < ri; ++c)
+      for (int row = 0; row < ni; ++row)
+        EXPECT_NEAR(x(row, c),
+                    x_true[static_cast<std::size_t>(i)][static_cast<std::size_t>(row + c * ni)],
+                    1e-9)
+            << "matrix " << i;
+  }
+}
+
+TEST(GeqrsVbatched, MinimizesResidualForOverdetermined) {
+  // Inconsistent system: the residual must be orthogonal to range(A).
+  Queue q;
+  Rng rng(99);
+  std::vector<int> m{30}, n{5}, nrhs{1};
+  RectBatch<double> a(q, m, n);
+  a.fill_general(rng);
+  auto aorig = a.copy_matrix(0);
+  RectBatch<double> b(q, m, nrhs);
+  b.fill_general(rng);
+  auto borig = b.copy_matrix(0);
+
+  std::vector<int> mn = n;
+  TauArrays<double> tau(q, mn);
+  geqrf_vbatched<double>(q, a, tau);
+  geqrs_vbatched<double>(q, a, tau, b);
+
+  // r = b - A x must satisfy Aᵀ r = 0.
+  ConstMatrixView<double> av(aorig.data(), 30, 5, 30);
+  auto x = b.matrix(0);
+  std::vector<double> res = borig;
+  for (int row = 0; row < 30; ++row)
+    for (int c = 0; c < 5; ++c) res[static_cast<std::size_t>(row)] -= av(row, c) * x(c, 0);
+  for (int c = 0; c < 5; ++c) {
+    double dot = 0.0;
+    for (int row = 0; row < 30; ++row) dot += av(row, c) * res[static_cast<std::size_t>(row)];
+    EXPECT_NEAR(dot, 0.0, 1e-10);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// potrs / posv
+// ---------------------------------------------------------------------------
+
+TEST(PotrsVbatched, SolvesAgainstKnownSolutions) {
+  Queue q;
+  Rng rng(79);
+  std::vector<int> sizes{12, 30, 21};
+  std::vector<int> nrhs{1, 4, 2};
+  Batch<double> a(q, sizes);
+  a.fill_spd(rng);
+  std::vector<std::vector<double>> aorig;
+  for (int i = 0; i < a.count(); ++i) aorig.push_back(a.copy_matrix(i));
+
+  // Build B = A · X_true.
+  RectBatch<double> b(q, sizes, nrhs);
+  std::vector<std::vector<double>> x_true;
+  for (int i = 0; i < a.count(); ++i) {
+    const int n = sizes[static_cast<std::size_t>(i)];
+    const int r = nrhs[static_cast<std::size_t>(i)];
+    std::vector<double> x(static_cast<std::size_t>(n * r));
+    for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+    ConstMatrixView<double> av(aorig[static_cast<std::size_t>(i)].data(), n, n, n);
+    ConstMatrixView<double> xv(x.data(), n, r, n);
+    blas::gemm<double>(Trans::NoTrans, Trans::NoTrans, 1.0, av, xv, 0.0, b.matrix(i));
+    x_true.push_back(std::move(x));
+  }
+
+  potrf_vbatched<double>(q, Uplo::Lower, a);
+  const auto r = potrs_vbatched<double>(q, Uplo::Lower, a, b);
+  EXPECT_GT(r.seconds, 0.0);
+
+  for (int i = 0; i < a.count(); ++i) {
+    const int n = sizes[static_cast<std::size_t>(i)];
+    const int rr = nrhs[static_cast<std::size_t>(i)];
+    auto bx = b.matrix(i);
+    for (int c = 0; c < rr; ++c)
+      for (int row = 0; row < n; ++row)
+        EXPECT_NEAR(bx(row, c),
+                    x_true[static_cast<std::size_t>(i)][static_cast<std::size_t>(row + c * n)],
+                    1e-8);
+  }
+}
+
+TEST(PosvVbatched, FactorsAndSolvesInOneCall) {
+  Queue q;
+  Rng rng(83);
+  std::vector<int> sizes{16, 25};
+  std::vector<int> nrhs{2, 2};
+  Batch<double> a(q, sizes);
+  a.fill_spd(rng);
+  std::vector<std::vector<double>> aorig;
+  for (int i = 0; i < a.count(); ++i) aorig.push_back(a.copy_matrix(i));
+
+  RectBatch<double> b(q, sizes, nrhs);
+  b.fill_general(rng);
+  std::vector<std::vector<double>> borig;
+  for (int i = 0; i < b.count(); ++i) borig.push_back(b.copy_matrix(i));
+
+  const auto r = posv_vbatched<double>(q, Uplo::Lower, a, b);
+  EXPECT_GT(r.flops, 0.0);
+
+  // Check residual ‖A·X − B‖ per matrix.
+  for (int i = 0; i < a.count(); ++i) {
+    const int n = sizes[static_cast<std::size_t>(i)];
+    ConstMatrixView<double> av(aorig[static_cast<std::size_t>(i)].data(), n, n, n);
+    auto x = b.matrix(i);
+    std::vector<double> ax(static_cast<std::size_t>(n * 2));
+    MatrixView<double> axv(ax.data(), n, 2, n);
+    blas::gemm<double>(Trans::NoTrans, Trans::NoTrans, 1.0, av,
+                       ConstMatrixView<double>(x.data(), n, 2, x.ld()), 0.0, axv);
+    for (int c = 0; c < 2; ++c)
+      for (int row = 0; row < n; ++row)
+        EXPECT_NEAR(axv(row, c),
+                    borig[static_cast<std::size_t>(i)][static_cast<std::size_t>(row + c * n)],
+                    1e-8);
+  }
+}
+
+TEST(LauumReference, LowerMatchesExplicitProduct) {
+  Rng rng(201);
+  const int n = 13;
+  std::vector<double> l(static_cast<std::size_t>(n * n), 0.0);
+  MatrixView<double> lv(l.data(), n, n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = j; i < n; ++i) lv(i, j) = rng.uniform(0.5, 2.0);
+  auto work = l;
+  MatrixView<double> wv(work.data(), n, n, n);
+  blas::lauum<double>(Uplo::Lower, wv);
+  // Expected: (LᵀL)(i, j) for i >= j.
+  for (int j = 0; j < n; ++j)
+    for (int i = j; i < n; ++i) {
+      double sum = 0.0;
+      for (int k = i; k < n; ++k) sum += lv(k, i) * lv(k, j);
+      EXPECT_NEAR(wv(i, j), sum, 1e-12) << i << "," << j;
+    }
+}
+
+TEST(LauumReference, UpperMatchesExplicitProduct) {
+  Rng rng(203);
+  const int n = 11;
+  std::vector<double> u(static_cast<std::size_t>(n * n), 0.0);
+  MatrixView<double> uv(u.data(), n, n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i <= j; ++i) uv(i, j) = rng.uniform(0.5, 2.0);
+  auto work = u;
+  MatrixView<double> wv(work.data(), n, n, n);
+  blas::lauum<double>(Uplo::Upper, wv);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i <= j; ++i) {
+      double sum = 0.0;
+      for (int k = j; k < n; ++k) sum += uv(i, k) * uv(j, k);
+      EXPECT_NEAR(wv(i, j), sum, 1e-12) << i << "," << j;
+    }
+}
+
+class PotriVbatchedTest : public ::testing::TestWithParam<Uplo> {};
+
+TEST_P(PotriVbatchedTest, ProducesTrueInverses) {
+  const Uplo uplo = GetParam();
+  Queue q;
+  Rng rng(207);
+  std::vector<int> sizes{9, 26, 17, 1};
+  Batch<double> a(q, sizes);
+  a.fill_spd(rng);
+  std::vector<std::vector<double>> aorig;
+  for (int i = 0; i < a.count(); ++i) aorig.push_back(a.copy_matrix(i));
+
+  potrf_vbatched<double>(q, uplo, a);
+  const auto r = potri_vbatched<double>(q, uplo, a);
+  EXPECT_GT(r.seconds, 0.0);
+
+  // A · A⁻¹ == I using the symmetric completion of the inverse triangle.
+  for (int idx = 0; idx < a.count(); ++idx) {
+    const int n = sizes[static_cast<std::size_t>(idx)];
+    auto inv_tri = a.matrix(idx);
+    std::vector<double> inv(static_cast<std::size_t>(n) * n);
+    MatrixView<double> iv(inv.data(), n, n, n);
+    for (int c = 0; c < n; ++c)
+      for (int rr = 0; rr < n; ++rr) {
+        const bool in_tri = uplo == Uplo::Lower ? rr >= c : rr <= c;
+        iv(rr, c) = in_tri ? inv_tri(rr, c) : inv_tri(c, rr);
+      }
+    ConstMatrixView<double> av(aorig[static_cast<std::size_t>(idx)].data(), n, n, n);
+    for (int c = 0; c < n; ++c)
+      for (int rr = 0; rr < n; ++rr) {
+        double sum = 0.0;
+        for (int k = 0; k < n; ++k) sum += av(rr, k) * iv(k, c);
+        EXPECT_NEAR(sum, rr == c ? 1.0 : 0.0, 1e-9) << "matrix " << idx;
+      }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Uplos, PotriVbatchedTest,
+                         ::testing::Values(Uplo::Lower, Uplo::Upper));
+
+TEST(PotriVbatched, SkipsFailedFactorizations) {
+  Queue q;
+  Rng rng(209);
+  std::vector<int> sizes{8, 8};
+  Batch<double> a(q, sizes);
+  a.fill_spd(rng);
+  a.matrix(1)(4, 4) = -1e9;
+  potrf_vbatched<double>(q, Uplo::Lower, a);
+  ASSERT_GT(a.info()[1], 0);
+  auto before = a.copy_matrix(1);
+  potri_vbatched<double>(q, Uplo::Lower, a);
+  EXPECT_EQ(a.copy_matrix(1), before);
+}
+
+TEST(PotrsVbatched, SkipsFailedFactorizations) {
+  Queue q;
+  Rng rng(89);
+  std::vector<int> sizes{10, 10};
+  std::vector<int> nrhs{1, 1};
+  Batch<double> a(q, sizes);
+  a.fill_spd(rng);
+  a.matrix(1)(5, 5) = -1e9;  // matrix 1 will fail
+  RectBatch<double> b(q, sizes, nrhs);
+  b.fill_general(rng);
+  auto b1_before = b.copy_matrix(1);
+
+  potrf_vbatched<double>(q, Uplo::Lower, a);
+  ASSERT_GT(a.info()[1], 0);
+  potrs_vbatched<double>(q, Uplo::Lower, a, b);
+  // The failed matrix's rhs must be left untouched.
+  EXPECT_EQ(b.copy_matrix(1), b1_before);
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+// Coverage for surfaces not exercised elsewhere: container move semantics,
+// energy timeline slicing, zero-size operands in the general triangular
+// kernels, warp rounding helpers, and error formatting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/core/batch.hpp"
+#include "vbatch/core/potrf_vbatched.hpp"
+#include "vbatch/core/size_dist.hpp"
+#include "vbatch/energy/energy_meter.hpp"
+#include "vbatch/kernels/common.hpp"
+#include "vbatch/kernels/trsm_vbatched.hpp"
+#include "vbatch/util/error.hpp"
+
+namespace {
+
+using namespace vbatch;
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+TEST(BatchContainer, MoveTransfersOwnership) {
+  Queue q;
+  const std::size_t before = q.device().mem_used();
+  {
+    std::vector<int> sizes{8, 16};
+    Batch<double> a(q, sizes);
+    Rng rng(1);
+    a.fill_spd(rng);
+    Batch<double> b(std::move(a));
+    EXPECT_EQ(b.count(), 2);
+    EXPECT_EQ(b.sizes()[1], 16);
+    auto m = b.matrix(1);
+    EXPECT_GT(m(0, 0), 0.0);  // data survived the move
+  }
+  EXPECT_EQ(q.device().mem_used(), before);  // single free, no double free
+}
+
+TEST(BatchContainer, ArenaAccountingRoundTrips) {
+  Queue q;
+  const std::size_t before = q.device().mem_used();
+  {
+    std::vector<int> sizes{32, 64, 0};
+    Batch<double> a(q, sizes);
+    EXPECT_GT(q.device().mem_used(), before);
+  }
+  EXPECT_EQ(q.device().mem_used(), before);
+}
+
+TEST(BatchContainer, ZeroSizeMatrixSupported) {
+  Queue q;
+  std::vector<int> sizes{0, 4};
+  Batch<double> a(q, sizes);
+  EXPECT_EQ(a.max_size(), 4);
+  EXPECT_EQ(a.copy_matrix(0).size(), 0u);
+}
+
+TEST(BatchContainer, NegativeSizeRejected) {
+  Queue q;
+  std::vector<int> sizes{4, -1};
+  EXPECT_THROW(Batch<double>(q, sizes), Error);
+}
+
+TEST(RectBatchContainer, MismatchedDimensionArraysRejected) {
+  Queue q;
+  std::vector<int> m{4, 5}, n{4};
+  EXPECT_THROW(RectBatch<double>(q, m, n), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Energy timeline slicing
+// ---------------------------------------------------------------------------
+
+TEST(EnergySlicing, T0ExcludesEarlierKernels) {
+  Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Rng rng(2);
+  auto sizes = uniform_sizes(rng, 100, 96);
+  Batch<double> b1(q, sizes);
+  potrf_vbatched<double>(q, Uplo::Lower, b1);
+  const double mid = q.time();
+  Batch<double> b2(q, sizes);
+  potrf_vbatched<double>(q, Uplo::Lower, b2);
+
+  const auto whole = energy::gpu_run_energy(q.spec(), energy::PowerModel::k40c(),
+                                            energy::PowerModel::dual_e5_2670(),
+                                            q.device().timeline(), Precision::Double, 0.0);
+  const auto second = energy::gpu_run_energy(q.spec(), energy::PowerModel::k40c(),
+                                             energy::PowerModel::dual_e5_2670(),
+                                             q.device().timeline(), Precision::Double, mid);
+  EXPECT_GT(whole.joules, second.joules);
+  EXPECT_NEAR(second.seconds, whole.seconds - mid, whole.seconds * 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// General triangular kernels, degenerate shapes
+// ---------------------------------------------------------------------------
+
+TEST(TriangularGeneral, ZeroSizeMatricesExitCleanly) {
+  sim::Device dev(sim::DeviceSpec::k40c());
+  Rng rng(3);
+  const std::vector<int> m{0, 6}, n{4, 0};  // one empty per matrix
+  std::vector<std::vector<double>> tris(2), bs(2);
+  std::vector<double*> tp, bp;
+  std::vector<int> lda{1, 6}, ldb{1, 6};
+  tris[0].resize(1);
+  tris[1].resize(36);
+  bs[0].resize(4);
+  bs[1].resize(36);
+  fill_general(rng, tris[1].data(), 6, 6, 6);
+  for (int d = 0; d < 6; ++d) tris[1][static_cast<std::size_t>(d + d * 6)] = 3.0;
+  for (auto& t : tris) tp.push_back(t.data());
+  for (auto& b : bs) bp.push_back(b.data());
+
+  kernels::TriangularVbatchedArgs<double> args;
+  args.side = Side::Left;
+  args.a = tp.data();
+  args.lda = lda;
+  args.b = bp.data();
+  args.ldb = ldb;
+  args.m = m;
+  args.n = n;
+  args.max_m = 6;
+  args.max_n = 4;
+  EXPECT_NO_THROW(kernels::launch_trsm_general(dev, args));
+}
+
+TEST(KernelHelpers, RoundUpWarpBounds) {
+  const auto spec = sim::DeviceSpec::k40c();
+  EXPECT_EQ(kernels::round_up_warp(spec, 1), 32);
+  EXPECT_EQ(kernels::round_up_warp(spec, 32), 32);
+  EXPECT_EQ(kernels::round_up_warp(spec, 33), 64);
+  EXPECT_EQ(kernels::round_up_warp(spec, 5000), spec.max_threads_per_block);
+}
+
+// ---------------------------------------------------------------------------
+// Error formatting
+// ---------------------------------------------------------------------------
+
+TEST(Errors, StatusStringsAndMessageComposition) {
+  EXPECT_STREQ(to_string(Status::OutOfDeviceMemory), "out of device memory");
+  EXPECT_STREQ(to_string(Status::LaunchFailure), "kernel launch failure");
+  try {
+    throw_error(Status::InvalidArgument, "test message");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::InvalidArgument);
+    EXPECT_NE(std::string(e.what()).find("test message"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("invalid argument"), std::string::npos);
+  }
+}
+
+TEST(Errors, RequirePassesAndThrows) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "broken"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Queue basics
+// ---------------------------------------------------------------------------
+
+TEST(Queue, ModesAndClockExposure) {
+  Queue qf(sim::DeviceSpec::k40c(), sim::ExecMode::Full);
+  Queue qt(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  EXPECT_TRUE(qf.full());
+  EXPECT_FALSE(qt.full());
+  EXPECT_DOUBLE_EQ(qf.time(), 0.0);
+  Rng rng(4);
+  auto sizes = uniform_sizes(rng, 10, 32);
+  Batch<double> b(qt, sizes);
+  potrf_vbatched<double>(qt, Uplo::Lower, b);
+  EXPECT_GT(qt.time(), 0.0);
+  EXPECT_DOUBLE_EQ(qf.time(), 0.0);  // queues are independent devices
+}
+
+}  // namespace

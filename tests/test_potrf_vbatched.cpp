@@ -1,0 +1,493 @@
+// End-to-end tests for the vbatched Cholesky: both interfaces, both
+// algorithmic paths, all ETM/sorting variants, fixed-size batches, the
+// padding adapter, crossover dispatch, failure injection and device-memory
+// exhaustion.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/core/crossover.hpp"
+#include "vbatch/core/hybrid.hpp"
+#include "vbatch/core/padding.hpp"
+#include "vbatch/core/potrf_batched_fixed.hpp"
+#include "vbatch/core/potrf_vbatched.hpp"
+#include "vbatch/core/size_dist.hpp"
+#include "vbatch/util/error.hpp"
+
+namespace {
+
+using namespace vbatch;
+
+template <typename T>
+void check_batch_factors(Queue& q, Batch<T>& batch, const std::vector<std::vector<T>>& originals,
+                         Uplo uplo, double tol) {
+  ASSERT_TRUE(q.full());
+  for (int i = 0; i < batch.count(); ++i) {
+    ASSERT_EQ(batch.info()[static_cast<std::size_t>(i)], 0) << "matrix " << i;
+    const int n = batch.sizes()[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    ConstMatrixView<T> orig(originals[static_cast<std::size_t>(i)].data(), n, n, n);
+    const double res = blas::potrf_residual<T>(uplo, orig, batch.matrix(i));
+    EXPECT_LT(res, tol) << "matrix " << i << " (n=" << n << ")";
+  }
+}
+
+template <typename T>
+std::vector<std::vector<T>> snapshot(Batch<T>& batch) {
+  std::vector<std::vector<T>> out;
+  out.reserve(static_cast<std::size_t>(batch.count()));
+  for (int i = 0; i < batch.count(); ++i) out.push_back(batch.copy_matrix(i));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Numerical correctness across every option combination.
+// ---------------------------------------------------------------------------
+
+struct VariantParam {
+  PotrfPath path;
+  EtmMode etm;
+  bool sorting;
+  bool streamed;
+  Uplo uplo;
+};
+
+class PotrfVariantTest : public ::testing::TestWithParam<VariantParam> {};
+
+TEST_P(PotrfVariantTest, FactorsWholeRandomBatch) {
+  const auto p = GetParam();
+  Queue q;
+  Rng rng(2024);
+  auto sizes = uniform_sizes(rng, 60, 96);
+  sizes[0] = 0;  // empty matrix must be handled
+  Batch<double> batch(q, sizes);
+  batch.fill_spd(rng);
+  const auto originals = snapshot(batch);
+
+  PotrfOptions opts;
+  opts.path = p.path;
+  opts.etm = p.etm;
+  opts.implicit_sorting = p.sorting;
+  opts.streamed_syrk = p.streamed;
+  const auto result = potrf_vbatched<double>(q, p.uplo, batch, opts);
+
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.flops, batch.potrf_flops());
+  check_batch_factors(q, batch, originals, p.uplo, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, PotrfVariantTest,
+    ::testing::Values(
+        VariantParam{PotrfPath::Fused, EtmMode::Classic, false, false, Uplo::Lower},
+        VariantParam{PotrfPath::Fused, EtmMode::Aggressive, false, false, Uplo::Lower},
+        VariantParam{PotrfPath::Fused, EtmMode::Classic, true, false, Uplo::Lower},
+        VariantParam{PotrfPath::Fused, EtmMode::Aggressive, true, false, Uplo::Lower},
+        VariantParam{PotrfPath::Fused, EtmMode::Aggressive, true, false, Uplo::Upper},
+        VariantParam{PotrfPath::Separated, EtmMode::Classic, false, false, Uplo::Lower},
+        VariantParam{PotrfPath::Separated, EtmMode::Classic, false, true, Uplo::Lower},
+        VariantParam{PotrfPath::Separated, EtmMode::Classic, false, false, Uplo::Upper},
+        VariantParam{PotrfPath::Auto, EtmMode::Aggressive, true, false, Uplo::Lower}));
+
+TEST(PotrfVbatched, AllVariantsProduceIdenticalFactors) {
+  // ETMs and sorting are scheduling concerns; the arithmetic must be
+  // bit-identical across fused variants.
+  Rng size_rng(7);
+  const auto sizes = uniform_sizes(size_rng, 40, 80);
+  std::vector<std::vector<double>> reference;
+  bool first = true;
+  for (EtmMode etm : {EtmMode::Classic, EtmMode::Aggressive}) {
+    for (bool sorting : {false, true}) {
+      Queue q;
+      Batch<double> batch(q, sizes);
+      Rng fill(99);
+      batch.fill_spd(fill);
+      PotrfOptions opts;
+      opts.path = PotrfPath::Fused;
+      opts.etm = etm;
+      opts.implicit_sorting = sorting;
+      potrf_vbatched<double>(q, Uplo::Lower, batch, opts);
+      auto snap = snapshot(batch);
+      if (first) {
+        reference = std::move(snap);
+        first = false;
+      } else {
+        EXPECT_EQ(snap, reference) << to_string(etm) << " sorting=" << sorting;
+      }
+    }
+  }
+}
+
+TEST(PotrfVbatched, GaussianDistributionBatch) {
+  Queue q;
+  Rng rng(31);
+  auto sizes = gaussian_sizes(rng, 50, 120);
+  Batch<double> batch(q, sizes);
+  batch.fill_spd(rng);
+  const auto originals = snapshot(batch);
+  const auto result = potrf_vbatched<double>(q, Uplo::Lower, batch);
+  EXPECT_GT(result.gflops(), 0.0);
+  check_batch_factors(q, batch, originals, Uplo::Lower, 1e-12);
+}
+
+TEST(PotrfVbatched, SinglePrecision) {
+  Queue q;
+  Rng rng(33);
+  auto sizes = uniform_sizes(rng, 30, 64);
+  Batch<float> batch(q, sizes);
+  batch.fill_spd(rng);
+  const auto originals = snapshot(batch);
+  potrf_vbatched<float>(q, Uplo::Lower, batch);
+  check_batch_factors(q, batch, originals, Uplo::Lower, 2e-5);
+}
+
+class PaddedLdaTest : public ::testing::TestWithParam<PotrfPath> {};
+
+TEST_P(PaddedLdaTest, IndependentLeadingDimensionsRespected) {
+  // §III-A: every matrix has an independent leading dimension. A non-zero
+  // pad makes lda_i != n_i for every matrix; any kernel that conflates the
+  // two corrupts results or the padding.
+  Queue q;
+  Rng rng(222);
+  auto sizes = uniform_sizes(rng, 30, 90);
+  Batch<double> batch(q, sizes, /*lda_pad=*/7);
+  for (int i = 0; i < batch.count(); ++i) {
+    EXPECT_EQ(batch.ldas()[static_cast<std::size_t>(i)],
+              std::max(1, sizes[static_cast<std::size_t>(i)] + 7));
+  }
+  batch.fill_spd(rng);
+  const auto originals = snapshot(batch);
+
+  PotrfOptions opts;
+  opts.path = GetParam();
+  potrf_vbatched<double>(q, Uplo::Lower, batch, opts);
+  check_batch_factors(q, batch, originals, Uplo::Lower, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Paths, PaddedLdaTest,
+                         ::testing::Values(PotrfPath::Fused, PotrfPath::Separated));
+
+// ---------------------------------------------------------------------------
+// Interface pair (§III-A)
+// ---------------------------------------------------------------------------
+
+TEST(PotrfVbatched, MaxInterfaceMatchesLapackLikeInterface) {
+  Rng size_rng(55);
+  const auto sizes = uniform_sizes(size_rng, 25, 70);
+
+  Queue q1, q2;
+  Batch<double> b1(q1, sizes), b2(q2, sizes);
+  Rng f1(5), f2(5);
+  b1.fill_spd(f1);
+  b2.fill_spd(f2);
+
+  potrf_vbatched<double>(q1, Uplo::Lower, b1);
+  potrf_vbatched_max<double>(q2, Uplo::Lower, b2, 70);
+  for (int i = 0; i < b1.count(); ++i) EXPECT_EQ(b1.copy_matrix(i), b2.copy_matrix(i));
+}
+
+TEST(PotrfVbatched, LapackLikeInterfaceLaunchesMaxReduction) {
+  Queue q;
+  Rng rng(11);
+  auto sizes = uniform_sizes(rng, 20, 50);
+  Batch<double> batch(q, sizes);
+  batch.fill_spd(rng);
+  potrf_vbatched<double>(q, Uplo::Lower, batch);
+  EXPECT_GE(q.device().timeline().count_with_prefix("aux_imax_reduce"), 1u);
+}
+
+TEST(PotrfVbatched, MaxOverheadIsNegligible) {
+  // §III-A: "In most cases, the overhead of computing the maximum is
+  // negligible." Compare device times of the two interfaces.
+  Rng size_rng(77);
+  const auto sizes = uniform_sizes(size_rng, 800, 128);
+  Queue q1(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Queue q2(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Batch<double> b1(q1, sizes), b2(q2, sizes);
+  const double t0_1 = q1.time();
+  potrf_vbatched<double>(q1, Uplo::Lower, b1);
+  const double lapack_like = q1.time() - t0_1;
+  const double t0_2 = q2.time();
+  potrf_vbatched_max<double>(q2, Uplo::Lower, b2, 128);
+  const double expert = q2.time() - t0_2;
+  EXPECT_LT(lapack_like, expert * 1.05);
+}
+
+// ---------------------------------------------------------------------------
+// Crossover policy (§IV-E)
+// ---------------------------------------------------------------------------
+
+TEST(Crossover, FeasibilityBoundsExceedCrossover) {
+  const auto spec = sim::DeviceSpec::k40c();
+  EXPECT_GT(fused_feasible_max(spec, Precision::Double), 500);
+  EXPECT_GE(crossover_max_size(spec, Precision::Single),
+            crossover_max_size(spec, Precision::Double));
+  EXPECT_LE(crossover_max_size(spec, Precision::Double),
+            fused_feasible_max(spec, Precision::Double));
+}
+
+TEST(Crossover, AutoPathSelectsByMaxSize) {
+  Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Rng rng(3);
+  {
+    auto sizes = uniform_sizes(rng, 50, 64);
+    Batch<double> small(q, sizes);
+    const auto r = potrf_vbatched<double>(q, Uplo::Lower, small);
+    EXPECT_EQ(r.path_taken, PotrfPath::Fused);
+  }
+  {
+    auto sizes = uniform_sizes(rng, 50, 1500);
+    Batch<double> large(q, sizes);
+    const auto r = potrf_vbatched<double>(q, Uplo::Lower, large);
+    EXPECT_EQ(r.path_taken, PotrfPath::Separated);
+  }
+}
+
+TEST(Crossover, OverrideRespected) {
+  Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Rng rng(4);
+  auto sizes = uniform_sizes(rng, 50, 200);
+  Batch<double> batch(q, sizes);
+  PotrfOptions opts;
+  opts.crossover = 100;  // force separated for a 200-max batch
+  const auto r = potrf_vbatched<double>(q, Uplo::Lower, batch, opts);
+  EXPECT_EQ(r.path_taken, PotrfPath::Separated);
+}
+
+TEST(Crossover, FusedPathRejectsInfeasibleSizes) {
+  Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Rng rng(5);
+  auto sizes = uniform_sizes(rng, 10, 2000);
+  Batch<double> batch(q, sizes);
+  PotrfOptions opts;
+  opts.path = PotrfPath::Fused;
+  EXPECT_THROW(potrf_vbatched<double>(q, Uplo::Lower, batch, opts), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Tuning-option overrides
+// ---------------------------------------------------------------------------
+
+TEST(PotrfOptions, ExplicitBlockingOverridesProduceSameFactors) {
+  Rng size_rng(61);
+  const auto sizes = uniform_sizes(size_rng, 25, 80);
+  std::vector<std::vector<double>> reference;
+  bool first = true;
+  for (int nb : {8, 16, 24}) {
+    Queue q;
+    Batch<double> batch(q, sizes);
+    Rng fill(63);
+    batch.fill_spd(fill);
+    PotrfOptions opts;
+    opts.path = PotrfPath::Fused;
+    opts.fused_nb = nb;
+    potrf_vbatched<double>(q, Uplo::Lower, batch, opts);
+    // Different blockings change the operation order (different rounding),
+    // so compare against the reference factorization numerically.
+    for (int i = 0; i < batch.count(); ++i) {
+      ASSERT_EQ(batch.info()[static_cast<std::size_t>(i)], 0);
+    }
+    auto snap = snapshot(batch);
+    if (first) {
+      reference = snap;
+      first = false;
+    } else {
+      // Compare the lower factors only: like LAPACK, the content above the
+      // diagonal is unspecified after a Lower factorization (the fused
+      // panel update sweeps through it).
+      for (std::size_t i = 0; i < snap.size(); ++i) {
+        const int n = sizes[i];
+        for (int c = 0; c < n; ++c)
+          for (int r = c; r < n; ++r)
+            EXPECT_NEAR(snap[i][static_cast<std::size_t>(r + c * n)],
+                        reference[i][static_cast<std::size_t>(r + c * n)], 1e-10)
+                << "matrix " << i;
+      }
+    }
+  }
+}
+
+TEST(PotrfOptions, SeparatedNbOverrideRespected) {
+  Rng size_rng(65);
+  const auto sizes = uniform_sizes(size_rng, 20, 200);
+  Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Batch<double> batch(q, sizes);
+  PotrfOptions opts;
+  opts.path = PotrfPath::Separated;
+  opts.separated_nb = 32;
+  potrf_vbatched<double>(q, Uplo::Lower, batch, opts);
+  // NB = 32 over max 200 -> ceil(200/32) = 7 panel phases; with the default
+  // NB = 64 there would be only 4. Count the panel launches (one per
+  // internal nb_inner step per phase).
+  const auto panels = q.device().timeline().count_with_prefix("vbatched_potf2_panel");
+  EXPECT_GE(panels, 7u);
+}
+
+TEST(PotrfOptions, SortWindowOverrideChangesLaunchShape) {
+  Rng size_rng(67);
+  const auto sizes = uniform_sizes(size_rng, 600, 128);
+  auto run_with_window = [&](int window) {
+    Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+    Batch<double> batch(q, sizes);
+    PotrfOptions opts;
+    opts.path = PotrfPath::Fused;
+    opts.implicit_sorting = true;
+    opts.sort_window = window;
+    potrf_vbatched<double>(q, Uplo::Lower, batch, opts);
+    return q.device().timeline().count_with_prefix("fused_potrf_step");
+  };
+  // A window as wide as the whole range degenerates to one launch per step;
+  // narrow windows split steps into several launches.
+  EXPECT_GT(run_with_window(16), run_with_window(128));
+}
+
+TEST(PotrfOptions, StreamedSyrkChangesKernelMix) {
+  Rng size_rng(69);
+  const auto sizes = uniform_sizes(size_rng, 50, 400);
+  Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Batch<double> batch(q, sizes);
+  PotrfOptions opts;
+  opts.path = PotrfPath::Separated;
+  opts.streamed_syrk = true;
+  potrf_vbatched<double>(q, Uplo::Lower, batch, opts);
+  EXPECT_GT(q.device().timeline().count_with_prefix("streamed_syrk"), 0u);
+  EXPECT_EQ(q.device().timeline().count_with_prefix("vbatched_syrk"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection
+// ---------------------------------------------------------------------------
+
+class NonSpdTest : public ::testing::TestWithParam<PotrfPath> {};
+
+TEST_P(NonSpdTest, InfoIdentifiesOnlyTheBadMatrix) {
+  Queue q;
+  Rng rng(13);
+  std::vector<int> sizes{40, 56, 48};
+  Batch<double> batch(q, sizes);
+  batch.fill_spd(rng);
+  // Break SPD-ness of matrix 1 at a late pivot.
+  batch.matrix(1)(50, 50) = -1e9;
+  const auto originals = snapshot(batch);
+
+  PotrfOptions opts;
+  opts.path = GetParam();
+  potrf_vbatched<double>(q, Uplo::Lower, batch, opts);
+
+  EXPECT_EQ(batch.info()[0], 0);
+  EXPECT_EQ(batch.info()[1], 51);
+  EXPECT_EQ(batch.info()[2], 0);
+  // Healthy matrices still factored correctly.
+  ConstMatrixView<double> o0(originals[0].data(), 40, 40, 40);
+  EXPECT_LT(blas::potrf_residual<double>(Uplo::Lower, o0, batch.matrix(0)), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Paths, NonSpdTest,
+                         ::testing::Values(PotrfPath::Fused, PotrfPath::Separated));
+
+// ---------------------------------------------------------------------------
+// Fixed-size batched + padding adapter (§IV-F)
+// ---------------------------------------------------------------------------
+
+TEST(PotrfBatchedFixed, FactorsUniformBatch) {
+  Queue q;
+  Rng rng(17);
+  Batch<double> batch = Batch<double>::fixed(q, 20, 48);
+  batch.fill_spd(rng);
+  const auto originals = snapshot(batch);
+  const auto r = potrf_batched_fixed<double>(q, Uplo::Lower, batch);
+  EXPECT_GT(r.gflops(), 0.0);
+  check_batch_factors(q, batch, originals, Uplo::Lower, 1e-12);
+}
+
+TEST(PotrfBatchedFixed, RejectsMixedSizes) {
+  Queue q;
+  std::vector<int> sizes{16, 17};
+  Batch<double> batch(q, sizes);
+  EXPECT_THROW(potrf_batched_fixed<double>(q, Uplo::Lower, batch), Error);
+}
+
+TEST(Padding, FactorsMatchDirectVbatched) {
+  Rng size_rng(19);
+  const auto sizes = uniform_sizes(size_rng, 15, 40);
+
+  Queue q1, q2;
+  Batch<double> direct(q1, sizes), padded(q2, sizes);
+  Rng f1(21), f2(21);
+  direct.fill_spd(f1);
+  padded.fill_spd(f2);
+
+  potrf_vbatched<double>(q1, Uplo::Lower, direct);
+  const auto r = potrf_vbatched_via_padding<double>(q2, Uplo::Lower, padded, 40);
+  EXPECT_GT(r.executed_flops, r.useful_flops);
+
+  for (int i = 0; i < direct.count(); ++i) {
+    const int n = sizes[static_cast<std::size_t>(i)];
+    auto a = direct.matrix(i);
+    auto b = padded.matrix(i);
+    for (int c = 0; c < n; ++c)
+      for (int rr = c; rr < n; ++rr) EXPECT_NEAR(a(rr, c), b(rr, c), 1e-10);
+  }
+}
+
+TEST(Padding, ExhaustsDeviceMemoryLikeThePaper) {
+  // batch=800 at Nmax=2000 in double needs 800·2000²·8 B = 25.6 GB > 12 GB.
+  Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Rng rng(23);
+  auto sizes = uniform_sizes(rng, 800, 2000);
+  Batch<double> batch(q, sizes);
+  try {
+    potrf_vbatched_via_padding<double>(q, Uplo::Lower, batch, 2000);
+    FAIL() << "expected OutOfDeviceMemory";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::OutOfDeviceMemory);
+  }
+  // The direct vbatched factorization of the same batch fits comfortably.
+  EXPECT_NO_THROW(potrf_vbatched<double>(q, Uplo::Lower, batch));
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid baseline
+// ---------------------------------------------------------------------------
+
+TEST(Hybrid, FactorsCorrectlyAndSlowly) {
+  Queue q;
+  Rng rng(29);
+  auto sizes = uniform_sizes(rng, 12, 60);
+  Batch<double> batch(q, sizes);
+  batch.fill_spd(rng);
+  const auto originals = snapshot(batch);
+
+  const auto hybrid = potrf_hybrid_sequence<double>(q, cpu::CpuSpec::dual_e5_2670(),
+                                                    Uplo::Lower, batch);
+  check_batch_factors(q, batch, originals, Uplo::Lower, 1e-12);
+
+  // The hybrid path must be far slower than vbatched on this workload.
+  Queue q2(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Batch<double> b2(q2, sizes);
+  const auto direct = potrf_vbatched<double>(q2, Uplo::Lower, b2);
+  EXPECT_GT(hybrid.seconds, direct.seconds * 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Timing-mode / Full-mode agreement
+// ---------------------------------------------------------------------------
+
+TEST(PotrfVbatched, TimingOnlyMatchesFullModeSeconds) {
+  Rng size_rng(41);
+  const auto sizes = uniform_sizes(size_rng, 30, 80);
+
+  Queue qf(sim::DeviceSpec::k40c(), sim::ExecMode::Full);
+  Queue qt(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Batch<double> bf(qf, sizes), bt(qt, sizes);
+  Rng fill(1);
+  bf.fill_spd(fill);
+
+  const auto rf = potrf_vbatched<double>(qf, Uplo::Lower, bf);
+  const auto rt = potrf_vbatched<double>(qt, Uplo::Lower, bt);
+  EXPECT_NEAR(rf.seconds, rt.seconds, rf.seconds * 1e-9);
+}
+
+}  // namespace

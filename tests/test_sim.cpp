@@ -1,0 +1,316 @@
+// Tests for the device simulator: occupancy calculation, the block
+// scheduler's invariants (the mechanisms behind every performance effect in
+// the paper), the memory arena, streams and the timeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "vbatch/sim/device.hpp"
+#include "vbatch/sim/occupancy.hpp"
+#include "vbatch/sim/scheduler.hpp"
+#include "vbatch/util/error.hpp"
+
+namespace {
+
+using namespace vbatch;
+using namespace vbatch::sim;
+
+DeviceSpec spec() { return DeviceSpec::k40c(); }
+
+TEST(DeviceSpec, K40cPeaks) {
+  const auto s = spec();
+  EXPECT_NEAR(s.peak_gflops(Precision::Double), 1430.4, 1.0);
+  EXPECT_NEAR(s.peak_gflops(Precision::Single), 4291.2, 2.0);
+  EXPECT_GT(s.cycle_seconds(), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Occupancy
+// ---------------------------------------------------------------------------
+
+TEST(Occupancy, ThreadLimited) {
+  // 512-thread blocks, no shared memory: 2048/512 = 4 per SM.
+  EXPECT_EQ(blocks_per_sm(spec(), {512, 0}), 4);
+  EXPECT_EQ(blocks_per_sm(spec(), {1024, 0}), 2);
+}
+
+TEST(Occupancy, SharedMemLimited) {
+  // 64-thread blocks with 24 KB smem: 48K/24K = 2 per SM (threads would allow 16).
+  EXPECT_EQ(blocks_per_sm(spec(), {64, 24 * 1024}), 2);
+}
+
+TEST(Occupancy, BlockCountCapApplies) {
+  // Tiny blocks: capped by max_blocks_per_sm = 16, not 2048/32 = 64.
+  EXPECT_EQ(blocks_per_sm(spec(), {32, 0}), 16);
+}
+
+TEST(Occupancy, InfeasibleShapesReturnZero) {
+  EXPECT_EQ(blocks_per_sm(spec(), {0, 0}), 0);
+  EXPECT_EQ(blocks_per_sm(spec(), {2048, 0}), 0);          // > max threads/block
+  EXPECT_EQ(blocks_per_sm(spec(), {64, 49 * 1024}), 0);    // > smem/block
+}
+
+TEST(Occupancy, WarpGranularity) {
+  // 33 threads occupy 2 warps = 64 thread slots -> 2048/64 = 32, capped at 16.
+  EXPECT_EQ(blocks_per_sm(spec(), {33, 0}), 16);
+  // 1023 threads -> 32 warps -> 2 per SM.
+  EXPECT_EQ(blocks_per_sm(spec(), {1023, 0}), 2);
+}
+
+TEST(Occupancy, FractionBetweenZeroAndOne) {
+  const double f = occupancy_fraction(spec(), {256, 8 * 1024});
+  EXPECT_GT(f, 0.0);
+  EXPECT_LE(f, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Block cost model
+// ---------------------------------------------------------------------------
+
+BlockCost work_block(double flops, int active, int live, double bytes = 0.0) {
+  BlockCost c;
+  c.flops = flops;
+  c.active_threads = active;
+  c.live_threads = live;
+  c.bytes = bytes;
+  return c;
+}
+
+TEST(BlockCost, EarlyExitIsCheap) {
+  BlockCost exit_cost;
+  exit_cost.early_exit = true;
+  exit_cost.live_threads = 256;
+  const double t_exit = block_seconds(spec(), Precision::Double, 4, exit_cost);
+  const double t_work = block_seconds(spec(), Precision::Double, 4,
+                                      work_block(1e6, 256, 256));
+  EXPECT_LT(t_exit, t_work / 50.0);
+}
+
+TEST(BlockCost, IdleThreadsDragClassicBlocks) {
+  // Same useful work; classic keeps 256 threads live with only 32 active.
+  const double aggressive = block_seconds(spec(), Precision::Double, 4,
+                                          work_block(1e6, 32, 32));
+  const double classic = block_seconds(spec(), Precision::Double, 4,
+                                       work_block(1e6, 32, 256));
+  EXPECT_GT(classic, aggressive * 1.2);
+  EXPECT_LT(classic, aggressive * 2.0);
+}
+
+TEST(BlockCost, FewActiveThreadsLimitThroughput) {
+  // 4 active threads compute 8x slower than 32 when lanes allow it.
+  const double few = block_seconds(spec(), Precision::Double, 1, work_block(1e6, 4, 4));
+  const double many = block_seconds(spec(), Precision::Double, 1, work_block(1e6, 32, 32));
+  EXPECT_GT(few, many * 4.0);
+}
+
+TEST(BlockCost, ResidencyDividesLaneShare) {
+  // With 16 resident blocks the DP lane share is 4; solo it's 64.
+  const double crowded = block_seconds(spec(), Precision::Double, 16,
+                                       work_block(1e6, 256, 256));
+  const double solo = block_seconds(spec(), Precision::Double, 1, work_block(1e6, 256, 256));
+  EXPECT_GT(crowded, solo * 4.0);
+}
+
+TEST(BlockCost, MemoryBoundBlocksFollowBandwidth) {
+  // A block moving lots of bytes with little compute is bandwidth-bound.
+  const auto s = spec();
+  BlockCost c = work_block(1e3, 256, 256, 1e6);
+  const double t = block_seconds(s, Precision::Double, 1, c);
+  const double bw_share = s.mem_bandwidth_gbps * 1e9 / s.num_sms;
+  EXPECT_NEAR(t, 1e6 / bw_share, t * 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel scheduling
+// ---------------------------------------------------------------------------
+
+LaunchConfig cfg(int blocks, int threads, std::size_t smem = 0,
+                 Precision p = Precision::Double) {
+  LaunchConfig c;
+  c.name = "test";
+  c.grid_blocks = blocks;
+  c.block_threads = threads;
+  c.shared_mem = smem;
+  c.precision = p;
+  return c;
+}
+
+TEST(Scheduler, MakespanScalesWithWaves) {
+  // 60 slots (4/SM × 15): 120 equal blocks take ~2 waves, 600 take ~10.
+  std::vector<BlockCost> two(120, work_block(1e6, 256, 256));
+  std::vector<BlockCost> ten(600, work_block(1e6, 256, 256));
+  const auto t2 = schedule_kernel(spec(), cfg(120, 512), two, false);
+  const auto t10 = schedule_kernel(spec(), cfg(600, 512), ten, false);
+  EXPECT_NEAR(t10.exec_seconds / t2.exec_seconds, 5.0, 0.5);
+}
+
+TEST(Scheduler, ImbalancedTailHurtsUnsortedOrder) {
+  // Mixed small/large blocks: interleaved order leaves long blocks finishing
+  // alone; sorted-descending order packs them first. Sorted must not lose.
+  std::vector<BlockCost> interleaved;
+  for (int i = 0; i < 300; ++i) {
+    interleaved.push_back(work_block(i % 10 == 0 ? 5e6 : 2e5, 256, 256));
+  }
+  std::vector<BlockCost> sorted = interleaved;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const BlockCost& a, const BlockCost& b) { return a.flops > b.flops; });
+  const auto ti = schedule_kernel(spec(), cfg(300, 256), interleaved, false);
+  const auto ts = schedule_kernel(spec(), cfg(300, 256), sorted, false);
+  EXPECT_LE(ts.exec_seconds, ti.exec_seconds * 1.001);
+}
+
+TEST(Scheduler, LaunchOverheadAppliedOnce) {
+  std::vector<BlockCost> one(1, work_block(1e3, 32, 32));
+  const auto with = schedule_kernel(spec(), cfg(1, 32), one, true);
+  const auto without = schedule_kernel(spec(), cfg(1, 32), one, false);
+  EXPECT_NEAR(with.seconds - without.seconds, spec().kernel_launch_overhead_us * 1e-6, 1e-9);
+}
+
+TEST(Scheduler, InfeasibleLaunchThrows) {
+  std::vector<BlockCost> blocks(1);
+  EXPECT_THROW(schedule_kernel(spec(), cfg(1, 64, 64 * 1024), blocks), vbatch::Error);
+}
+
+TEST(Scheduler, CountsEarlyExitsAndTotals) {
+  std::vector<BlockCost> blocks;
+  for (int i = 0; i < 10; ++i) {
+    if (i % 2 == 0) {
+      BlockCost e;
+      e.early_exit = true;
+      e.live_threads = 64;
+      blocks.push_back(e);
+    } else {
+      blocks.push_back(work_block(100.0, 64, 64, 50.0));
+    }
+  }
+  const auto t = schedule_kernel(spec(), cfg(10, 64), blocks);
+  EXPECT_EQ(t.early_exits, 5);
+  EXPECT_DOUBLE_EQ(t.total_flops, 500.0);
+  EXPECT_DOUBLE_EQ(t.total_bytes, 250.0);
+}
+
+TEST(Scheduler, MoreSmsNeverSlower) {
+  auto small = spec();
+  auto big = spec();
+  big.num_sms = 30;
+  std::vector<BlockCost> blocks(500, work_block(1e6, 256, 256));
+  const auto ts = schedule_kernel(small, cfg(500, 256), blocks, false);
+  const auto tb = schedule_kernel(big, cfg(500, 256), blocks, false);
+  EXPECT_LE(tb.exec_seconds, ts.exec_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// Device: arena, clock, timeline, streams
+// ---------------------------------------------------------------------------
+
+TEST(Device, ArenaAccountsAndFrees) {
+  Device dev(spec());
+  const std::size_t before = dev.mem_used();
+  void* p = dev.device_malloc(1 << 20);
+  EXPECT_EQ(dev.mem_used(), before + (1 << 20));
+  dev.device_free(p);
+  EXPECT_EQ(dev.mem_used(), before);
+}
+
+TEST(Device, ArenaOverflowThrowsOutOfMemory) {
+  Device dev(spec());
+  try {
+    (void)dev.device_malloc(dev.mem_capacity() + 1);
+    FAIL() << "expected OutOfDeviceMemory";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::OutOfDeviceMemory);
+  }
+}
+
+TEST(Device, TimingOnlyAllocationsAreVirtual) {
+  Device dev(spec(), ExecMode::TimingOnly);
+  // 11 GB "allocation" must succeed without touching host memory.
+  void* p = dev.device_malloc(11ull << 30);
+  EXPECT_GT(dev.mem_used(), 10ull << 30);
+  dev.device_free(p);
+  EXPECT_EQ(dev.mem_used(), 0u);
+}
+
+TEST(Device, FreeingUnknownPointerThrows) {
+  Device dev(spec());
+  int x = 0;
+  EXPECT_THROW(dev.device_free(&x), Error);
+}
+
+TEST(Device, LaunchAdvancesClockAndRecords) {
+  Device dev(spec());
+  LaunchConfig c = cfg(10, 64);
+  const double t = dev.launch(c, [](const ExecContext&, int) {
+    return work_block(1e4, 64, 64);
+  });
+  EXPECT_GT(t, 0.0);
+  EXPECT_DOUBLE_EQ(dev.time(), t);
+  ASSERT_EQ(dev.timeline().size(), 1u);
+  EXPECT_EQ(dev.timeline().records()[0].grid_blocks, 10);
+  EXPECT_DOUBLE_EQ(dev.timeline().records()[0].flops, 1e5);
+}
+
+TEST(Device, FullModeRunsFunctorsExactlyOncePerBlock) {
+  Device dev(spec());
+  std::vector<std::atomic<int>> counts(200);
+  LaunchConfig c = cfg(200, 64);
+  dev.launch(c, [&counts](const ExecContext& ctx, int b) {
+    EXPECT_TRUE(ctx.full());
+    counts[static_cast<std::size_t>(b)].fetch_add(1);
+    return work_block(1.0, 1, 64);
+  });
+  for (auto& cnt : counts) EXPECT_EQ(cnt.load(), 1);
+}
+
+TEST(Device, TimingOnlyContextReportsNotFull) {
+  Device dev(spec(), ExecMode::TimingOnly);
+  LaunchConfig c = cfg(4, 64);
+  dev.launch(c, [](const ExecContext& ctx, int) {
+    EXPECT_FALSE(ctx.full());
+    return work_block(1.0, 1, 64);
+  });
+}
+
+TEST(Device, ConcurrentStreamsOverlapKernels) {
+  // 8 kernels of 30 latency-bound blocks each (few active threads, so the
+  // per-block rate does not depend on residency): serially each kernel pays
+  // its own launch overhead and partially-filled waves; on 8 streams the
+  // blocks pool across the slot machine and the tails overlap.
+  Device serial_dev(spec());
+  Device stream_dev(spec());
+  auto fn = [](const ExecContext&, int) { return work_block(2e5, 8, 256); };
+
+  double serial = 0.0;
+  for (int k = 0; k < 8; ++k) serial += serial_dev.launch(cfg(30, 256), fn);
+
+  std::vector<LaunchConfig> cfgs(8, cfg(30, 256));
+  std::vector<BlockFn> fns(8, fn);
+  const double overlapped = stream_dev.launch_concurrent(cfgs, fns, 8);
+  EXPECT_LT(overlapped, serial * 0.7);
+}
+
+TEST(Device, StreamsRespectPerStreamOrdering) {
+  // One stream: kernels serialize; result close to the serial sum.
+  Device dev(spec());
+  auto fn = [](const ExecContext&, int) { return work_block(2e6, 256, 256); };
+  std::vector<LaunchConfig> cfgs(4, cfg(60, 256));
+  std::vector<BlockFn> fns(4, fn);
+  const double t1 = dev.launch_concurrent(cfgs, fns, 1);
+
+  Device dev2(spec());
+  const double t8 = dev2.launch_concurrent(cfgs, fns, 4);
+  EXPECT_GT(t1, t8);
+}
+
+TEST(Timeline, BusyAndPrefixQueries) {
+  Device dev(spec());
+  dev.launch(cfg(5, 64), [](const ExecContext&, int) { return work_block(10.0, 8, 64); });
+  dev.launch(cfg(5, 64), [](const ExecContext&, int) { return work_block(10.0, 8, 64); });
+  EXPECT_EQ(dev.timeline().count_with_prefix("test"), 2u);
+  EXPECT_GT(dev.timeline().busy_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(dev.timeline().total_flops(), 100.0);
+}
+
+}  // namespace

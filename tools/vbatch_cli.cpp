@@ -1,0 +1,182 @@
+// vbatch_cli — command-line driver for the vbatched library.
+//
+// Runs a vbatched Cholesky workload on the simulated device and reports
+// performance, an nvprof-style kernel profile, energy to solution, and
+// (optionally) the autotuner's sweep. Useful for exploring configurations
+// without writing code.
+//
+// Usage:
+//   vbatch_cli [options]
+//     --batch N        batch count              (default 1000)
+//     --nmax N         maximum matrix size      (default 256)
+//     --dist uniform|gaussian                   (default uniform)
+//     --precision s|d                           (default d)
+//     --path auto|fused|separated               (default auto)
+//     --etm classic|aggressive                  (default aggressive)
+//     --no-sort        disable implicit sorting
+//     --tune           run the autotuner first and use its configuration
+//     --profile        print the kernel profile
+//     --energy         print energy to solution vs the CPU baseline
+//     --verify         run in Full mode and check residuals (slower)
+//     --seed N         RNG seed                 (default 2016)
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/core/autotune.hpp"
+#include "vbatch/core/potrf_vbatched.hpp"
+#include "vbatch/core/size_dist.hpp"
+#include "vbatch/cpu/cpu_batched.hpp"
+#include "vbatch/energy/energy_meter.hpp"
+#include "vbatch/sim/profile.hpp"
+
+namespace {
+
+struct CliOptions {
+  int batch = 1000;
+  int nmax = 256;
+  vbatch::SizeDist dist = vbatch::SizeDist::Uniform;
+  bool double_precision = true;
+  vbatch::PotrfOptions potrf;
+  bool tune = false;
+  bool profile = false;
+  bool energy = false;
+  bool verify = false;
+  std::uint64_t seed = 2016;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf("usage: %s [--batch N] [--nmax N] [--dist uniform|gaussian]\n"
+              "          [--precision s|d] [--path auto|fused|separated]\n"
+              "          [--etm classic|aggressive] [--no-sort] [--tune]\n"
+              "          [--profile] [--energy] [--verify] [--seed N]\n",
+              argv0);
+  std::exit(2);
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--batch") o.batch = std::atoi(next());
+    else if (arg == "--nmax") o.nmax = std::atoi(next());
+    else if (arg == "--seed") o.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--dist") {
+      const std::string v = next();
+      if (v == "uniform") o.dist = vbatch::SizeDist::Uniform;
+      else if (v == "gaussian") o.dist = vbatch::SizeDist::Gaussian;
+      else usage(argv[0]);
+    } else if (arg == "--precision") {
+      const std::string v = next();
+      if (v == "s") o.double_precision = false;
+      else if (v == "d") o.double_precision = true;
+      else usage(argv[0]);
+    } else if (arg == "--path") {
+      const std::string v = next();
+      if (v == "auto") o.potrf.path = vbatch::PotrfPath::Auto;
+      else if (v == "fused") o.potrf.path = vbatch::PotrfPath::Fused;
+      else if (v == "separated") o.potrf.path = vbatch::PotrfPath::Separated;
+      else usage(argv[0]);
+    } else if (arg == "--etm") {
+      const std::string v = next();
+      if (v == "classic") o.potrf.etm = vbatch::EtmMode::Classic;
+      else if (v == "aggressive") o.potrf.etm = vbatch::EtmMode::Aggressive;
+      else usage(argv[0]);
+    } else if (arg == "--no-sort") o.potrf.implicit_sorting = false;
+    else if (arg == "--tune") o.tune = true;
+    else if (arg == "--profile") o.profile = true;
+    else if (arg == "--energy") o.energy = true;
+    else if (arg == "--verify") o.verify = true;
+    else usage(argv[0]);
+  }
+  if (o.batch < 1 || o.nmax < 1) usage(argv[0]);
+  return o;
+}
+
+template <typename T>
+int run(const CliOptions& o) {
+  using namespace vbatch;
+  Rng rng(o.seed);
+  const auto sizes = make_sizes(o.dist, rng, o.batch, o.nmax);
+  const auto stats = size_stats(sizes);
+  std::printf("workload: %d matrices, %s sizes in [%d, %d], mean %.1f\n", o.batch,
+              to_string(o.dist), stats.min, stats.max, stats.mean);
+
+  Queue q(sim::DeviceSpec::k40c(),
+          o.verify ? sim::ExecMode::Full : sim::ExecMode::TimingOnly);
+  std::printf("device:   %s (%s mode)\n", q.spec().name.c_str(),
+              o.verify ? "Full numerics" : "TimingOnly");
+
+  PotrfOptions opts = o.potrf;
+  if (o.tune) {
+    const auto tuned = autotune_potrf<T>(q, sizes);
+    std::printf("autotune: %zu candidates\n", tuned.candidates.size());
+    for (const auto& c : tuned.candidates) std::printf("  %s\n", c.describe().c_str());
+    opts = tuned.best;
+    std::printf("selected: %.1f Gflop/s configuration\n", tuned.best_gflops);
+  }
+
+  Batch<T> batch(q, sizes);
+  std::vector<std::vector<T>> originals;
+  if (o.verify) {
+    batch.fill_spd(rng);
+    for (int i = 0; i < batch.count(); ++i) originals.push_back(batch.copy_matrix(i));
+  }
+
+  const PotrfResult r = potrf_vbatched<T>(q, Uplo::Lower, batch, opts);
+  std::printf("potrf_vbatched: path=%s  %.3f Gflop  %.3f ms  ->  %.1f Gflop/s\n",
+              to_string(r.path_taken), r.flops * 1e-9, r.seconds * 1e3, r.gflops());
+
+  if (o.verify) {
+    double worst = 0.0;
+    for (int i = 0; i < batch.count(); ++i) {
+      if (batch.info()[static_cast<std::size_t>(i)] != 0) {
+        std::printf("FAILED: matrix %d info=%d\n", i, batch.info()[static_cast<std::size_t>(i)]);
+        return 1;
+      }
+      const int n = sizes[static_cast<std::size_t>(i)];
+      if (n == 0) continue;
+      ConstMatrixView<T> orig(originals[static_cast<std::size_t>(i)].data(), n, n, n);
+      worst = std::max(worst, blas::potrf_residual<T>(Uplo::Lower, orig, batch.matrix(i)));
+    }
+    std::printf("verify:   worst residual %.2e\n", worst);
+  }
+
+  if (o.profile) {
+    std::printf("\nkernel profile:\n");
+    sim::print_profile(std::cout, sim::profile_timeline(q.device().timeline()));
+  }
+
+  if (o.energy) {
+    const auto gpu_e = energy::gpu_run_energy(q.spec(), energy::PowerModel::k40c(),
+                                              energy::PowerModel::dual_e5_2670(),
+                                              q.device().timeline(), precision_v<T>);
+    const auto cpu_spec = cpu::CpuSpec::dual_e5_2670();
+    std::vector<int> lda(sizes.begin(), sizes.end());
+    std::vector<int> info(sizes.size(), 0);
+    std::vector<T*> null_ptrs(sizes.size(), nullptr);
+    const auto cpu_r = cpu::potrf_batched_per_core<T>(cpu_spec, cpu::Schedule::Dynamic,
+                                                      Uplo::Lower, sizes, null_ptrs.data(), lda,
+                                                      info, false);
+    const auto cpu_e = energy::cpu_run_energy(energy::PowerModel::dual_e5_2670(),
+                                              energy::PowerModel::k40c(), cpu_r.seconds,
+                                              cpu_r.gflops(),
+                                              cpu_spec.total_peak_gflops(precision_v<T>));
+    std::printf("\nenergy to solution: GPU %.2f J (%.1f W avg)  vs  best CPU %.2f J  ->  %.2fx\n",
+                gpu_e.joules, gpu_e.avg_watts(), cpu_e.joules, cpu_e.joules / gpu_e.joules);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions o = parse(argc, argv);
+  return o.double_precision ? run<double>(o) : run<float>(o);
+}
