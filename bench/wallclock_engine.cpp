@@ -1,0 +1,167 @@
+// wallclock_engine — host wall-clock benchmark for the parallel execution
+// engine.
+//
+// The simulated device reports *modelled* kernel times; this bench measures
+// the *host* wall-clock of a Full-mode vbatched Cholesky run at 1 worker
+// thread and at N worker threads. The engine's contract is that the worker
+// count changes only wall-clock, never results: the run asserts that the
+// factors, the info array, and the modelled seconds are bit-identical
+// across thread counts, and exits non-zero if they are not.
+//
+// Output: a human-readable summary on stdout plus one JSON line appended to
+// BENCH_wallclock.json (override with --out). A low speedup (e.g. on a
+// single-core machine) is reported but is NOT an error — only a numerics
+// mismatch fails the run.
+//
+// Usage:
+//   wallclock_engine [--batch N] [--nmax N] [--dist uniform|gaussian]
+//                    [--threads N] [--reps N] [--seed N] [--out FILE]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "vbatch/core/potrf_vbatched.hpp"
+#include "vbatch/core/size_dist.hpp"
+#include "vbatch/util/thread_pool.hpp"
+
+namespace {
+
+using namespace vbatch;
+
+struct Options {
+  int batch = 800;
+  int nmax = 512;
+  SizeDist dist = SizeDist::Uniform;
+  int threads = 0;  // 0 = hardware concurrency
+  int reps = 3;
+  std::uint64_t seed = 2016;
+  std::string out = "BENCH_wallclock.json";
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf("usage: %s [--batch N] [--nmax N] [--dist uniform|gaussian]\n"
+              "          [--threads N] [--reps N] [--seed N] [--out FILE]\n",
+              argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--batch") o.batch = std::atoi(next());
+    else if (arg == "--nmax") o.nmax = std::atoi(next());
+    else if (arg == "--threads") o.threads = std::atoi(next());
+    else if (arg == "--reps") o.reps = std::atoi(next());
+    else if (arg == "--seed") o.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--out") o.out = next();
+    else if (arg == "--dist") {
+      const std::string v = next();
+      if (v == "uniform") o.dist = SizeDist::Uniform;
+      else if (v == "gaussian") o.dist = SizeDist::Gaussian;
+      else usage(argv[0]);
+    } else usage(argv[0]);
+  }
+  if (o.batch < 1 || o.nmax < 1 || o.reps < 1 || o.threads < 0) usage(argv[0]);
+  return o;
+}
+
+// One full run at a fixed worker count: best-of-reps host wall-clock plus
+// the complete result state for bit-identicality checks.
+struct RunResult {
+  double wall_seconds = 0.0;            // best of reps
+  double modelled_seconds = 0.0;        // device-model time, must not vary
+  std::vector<int> info;
+  std::vector<std::vector<double>> factors;
+};
+
+RunResult run_at(const Options& o, const std::vector<int>& sizes, unsigned threads) {
+  util::set_host_threads(threads);
+  Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::Full);
+  Batch<double> batch(q, sizes);
+
+  RunResult r;
+  r.wall_seconds = 1e300;
+  for (int rep = 0; rep < o.reps; ++rep) {
+    Rng rng(o.seed + 1);  // identical data every rep and every thread count
+    batch.fill_spd(rng);
+    const auto t0 = std::chrono::steady_clock::now();
+    const PotrfResult pr = potrf_vbatched<double>(q, Uplo::Lower, batch);
+    const auto t1 = std::chrono::steady_clock::now();
+    r.wall_seconds = std::min(r.wall_seconds, std::chrono::duration<double>(t1 - t0).count());
+    r.modelled_seconds = pr.seconds;
+  }
+  r.info.assign(batch.info().begin(), batch.info().end());
+  for (int i = 0; i < batch.count(); ++i) r.factors.push_back(batch.copy_matrix(i));
+  return r;
+}
+
+bool bit_identical(const RunResult& a, const RunResult& b) {
+  if (a.info != b.info) return false;
+  if (std::memcmp(&a.modelled_seconds, &b.modelled_seconds, sizeof(double)) != 0) return false;
+  if (a.factors.size() != b.factors.size()) return false;
+  for (std::size_t i = 0; i < a.factors.size(); ++i) {
+    if (a.factors[i].size() != b.factors[i].size()) return false;
+    if (std::memcmp(a.factors[i].data(), b.factors[i].data(),
+                    a.factors[i].size() * sizeof(double)) != 0)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned n_threads = o.threads > 0 ? static_cast<unsigned>(o.threads) : hw;
+
+  Rng rng(o.seed);
+  const auto sizes = make_sizes(o.dist, rng, o.batch, o.nmax);
+  std::printf("wallclock_engine: %d matrices, %s sizes up to %d, reps=%d\n", o.batch,
+              to_string(o.dist), o.nmax, o.reps);
+
+  const RunResult base = run_at(o, sizes, 1);
+  const RunResult par = run_at(o, sizes, n_threads);
+
+  const bool identical = bit_identical(base, par);
+  const double speedup = par.wall_seconds > 0.0 ? base.wall_seconds / par.wall_seconds : 0.0;
+
+  std::printf("  threads=1:   wall %8.3f ms  (modelled %.3f ms)\n", base.wall_seconds * 1e3,
+              base.modelled_seconds * 1e3);
+  std::printf("  threads=%-3u: wall %8.3f ms  (modelled %.3f ms)\n", n_threads,
+              par.wall_seconds * 1e3, par.modelled_seconds * 1e3);
+  std::printf("  speedup %.2fx, results %s\n", speedup,
+              identical ? "bit-identical" : "MISMATCH");
+
+  char json[512];
+  std::snprintf(json, sizeof(json),
+                "{\"bench\":\"wallclock_engine\",\"batch\":%d,\"nmax\":%d,\"dist\":\"%s\","
+                "\"reps\":%d,\"threads\":%u,\"wall_seconds_1\":%.6e,"
+                "\"wall_seconds_n\":%.6e,\"speedup\":%.3f,\"modelled_seconds\":%.9e,"
+                "\"bit_identical\":%s}",
+                o.batch, o.nmax, to_string(o.dist), o.reps, n_threads, base.wall_seconds,
+                par.wall_seconds, speedup, base.modelled_seconds,
+                identical ? "true" : "false");
+  std::printf("%s\n", json);
+  if (std::FILE* f = std::fopen(o.out.c_str(), "a")) {
+    std::fprintf(f, "%s\n", json);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "warning: could not open %s for append\n", o.out.c_str());
+  }
+
+  if (!identical) {
+    std::fprintf(stderr, "FAILED: results differ between thread counts\n");
+    return 1;
+  }
+  return 0;
+}

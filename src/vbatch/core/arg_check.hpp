@@ -49,6 +49,23 @@ struct ArgCheckReport {
 ArgCheckReport check_args(sim::Device& dev, std::span<const ArgRule> rules,
                           std::span<int> info = {});
 
+/// Outcome of a combined metadata pass.
+struct ArgSweep {
+  ArgCheckReport report;
+  int max_value = 0;  ///< max over `maxed` (0 when no reduction requested)
+};
+
+/// One-pass metadata sweep for the vbatched entry points: zeroes `info`,
+/// applies the rules (offenders then receive -argument_index), and — when
+/// `maxed` is non-empty — reduces its maximum, all in a single modelled
+/// kernel and a single host loop. This replaces the separate
+/// validation / info-reset / imax_reduce sweeps the entry points used to
+/// pay. The kernel is recorded as `aux_imax_reduce_check` when a reduction
+/// is requested (it subsumes the standalone aux_imax_reduce launch) and as
+/// `aux_check_args` otherwise.
+ArgSweep check_args_reduce(sim::Device& dev, std::span<const ArgRule> rules,
+                           std::span<const int> maxed, std::span<int> info);
+
 /// Raises Status::InvalidArgument with a LAPACK-style message when the
 /// report has violations ("parameter -k had an illegal value for N
 /// matrices, first at batch index j").

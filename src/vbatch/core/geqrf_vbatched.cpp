@@ -52,9 +52,9 @@ FactorResult geqrf_vbatched(Queue& q, RectBatch<T>& batch, TauArrays<T>& tau,
   for (int i = 0; i < count; ++i)
     mn[static_cast<std::size_t>(i)] =
         std::min(m[static_cast<std::size_t>(i)], n[static_cast<std::size_t>(i)]);
-  const int max_mn = kernels::imax_reduce(dev, mn);
-  const int max_m = kernels::imax_reduce(dev, m);
-  const int max_n = kernels::imax_reduce(dev, n);
+  // All three maxima come from one metadata sweep instead of three
+  // back-to-back reduction launches.
+  const auto [max_mn, max_m, max_n] = kernels::imax_reduce3(dev, mn, m, n);
   if (max_mn == 0) return result;
 
   double seconds = 0.0;

@@ -48,6 +48,8 @@ FactorResult getrf_vbatched(Queue& q, Batch<T>& batch, PivotArrays& ipiv,
 
   std::vector<int> trail(static_cast<std::size_t>(batch_count));
   std::vector<int> full_nb(static_cast<std::size_t>(batch_count));
+  // Displaced-pointer scratch, reused across panel steps.
+  std::vector<T*> l11_ptrs, u12_ptrs, l21_ptrs, a22_ptrs;
 
   double seconds = 0.0;
   for (int j = 0; j < max_n; j += NB) {
@@ -98,10 +100,10 @@ FactorResult getrf_vbatched(Queue& q, Batch<T>& batch, PivotArrays& ipiv,
       full_nb[static_cast<std::size_t>(i)] = trail[static_cast<std::size_t>(i)] > 0 ? NB : 0;
 
     std::span<T* const> base{prob.ptrs, static_cast<std::size_t>(batch_count)};
-    const auto l11_ptrs = kernels::displace_ptrs<T>(dev, base, prob.lda, j, j);
-    const auto u12_ptrs = kernels::displace_ptrs<T>(dev, base, prob.lda, j, j + NB);
-    const auto l21_ptrs = kernels::displace_ptrs<T>(dev, base, prob.lda, j + NB, j);
-    const auto a22_ptrs = kernels::displace_ptrs<T>(dev, base, prob.lda, j + NB, j + NB);
+    kernels::displace_ptrs<T>(dev, base, prob.lda, j, j, l11_ptrs);
+    kernels::displace_ptrs<T>(dev, base, prob.lda, j, j + NB, u12_ptrs);
+    kernels::displace_ptrs<T>(dev, base, prob.lda, j + NB, j, l21_ptrs);
+    kernels::displace_ptrs<T>(dev, base, prob.lda, j + NB, j + NB, a22_ptrs);
 
     kernels::LuTrsmArgs<T> trsm;
     trsm.l11 = l11_ptrs.data();

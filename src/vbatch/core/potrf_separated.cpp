@@ -48,6 +48,9 @@ double potrf_separated_run(Queue& q, Uplo uplo, const VbatchedProblem<T>& prob, 
 
   std::vector<int> trail_m(static_cast<std::size_t>(batch));
   std::vector<int> trail_ib(static_cast<std::size_t>(batch));
+  // Displaced-pointer scratch, reused across panel steps (one buffer per
+  // operand for the whole call instead of three allocations per step).
+  std::vector<T*> diag_ptrs, sub_ptrs, trail_ptrs;
 
   for (int j = 0; j < max_n; j += NB) {
     // §III-F: the driver checks whether any matrix still has work; fully
@@ -77,11 +80,13 @@ double potrf_separated_run(Queue& q, Uplo uplo, const VbatchedProblem<T>& prob, 
     if (live_trailing == 0) continue;
 
     std::span<T* const> base{prob.ptrs, static_cast<std::size_t>(batch)};
-    const auto diag_ptrs = kernels::displace_ptrs<T>(dev, base, prob.lda, j, j);
-    const auto sub_ptrs = uplo == Uplo::Lower
-                              ? kernels::displace_ptrs<T>(dev, base, prob.lda, j + NB, j)
-                              : kernels::displace_ptrs<T>(dev, base, prob.lda, j, j + NB);
-    const auto trail_ptrs = kernels::displace_ptrs<T>(dev, base, prob.lda, j + NB, j + NB);
+    kernels::displace_ptrs<T>(dev, base, prob.lda, j, j, diag_ptrs);
+    if (uplo == Uplo::Lower) {
+      kernels::displace_ptrs<T>(dev, base, prob.lda, j + NB, j, sub_ptrs);
+    } else {
+      kernels::displace_ptrs<T>(dev, base, prob.lda, j, j + NB, sub_ptrs);
+    }
+    kernels::displace_ptrs<T>(dev, base, prob.lda, j + NB, j + NB, trail_ptrs);
 
     kernels::TrsmVbatchedArgs<T> trsm;
     trsm.uplo = uplo;

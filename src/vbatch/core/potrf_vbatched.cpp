@@ -1,26 +1,48 @@
 // Public vbatched Cholesky entry points (paper §III-A interfaces).
 #include "vbatch/core/potrf_vbatched.hpp"
 
+#include <array>
+
+#include "vbatch/core/arg_check.hpp"
 #include "vbatch/core/crossover.hpp"
-#include "vbatch/kernels/aux_kernels.hpp"
 #include "vbatch/util/error.hpp"
 #include "vbatch/util/flops.hpp"
 
 namespace vbatch {
 
+namespace {
+
+/// LAPACK-style dimension rules for potrf(uplo, n, A, lda, info):
+/// n >= 0 (argument 2), lda >= max(1, n) (argument 4).
 template <typename T>
-PotrfResult potrf_vbatched_max(Queue& q, Uplo uplo, const VbatchedProblem<T>& prob, int max_n,
-                               const PotrfOptions& opts) {
+std::array<ArgRule, 2> potrf_rules(const VbatchedProblem<T>& prob) {
+  ArgRule rn;
+  rn.kind = ArgRule::Kind::NonNegative;
+  rn.a = prob.n;
+  rn.argument_index = 2;
+  rn.name = "n";
+  ArgRule rl;
+  rl.kind = ArgRule::Kind::AtLeastOther;
+  rl.a = prob.lda;
+  rl.b = prob.n;
+  rl.argument_index = 4;
+  rl.name = "lda";
+  return {rn, rl};
+}
+
+template <typename T>
+void require_metadata_sizes(const VbatchedProblem<T>& prob) {
   require(prob.count() > 0, "potrf_vbatched: empty batch");
   require(static_cast<int>(prob.lda.size()) == prob.count() &&
               static_cast<int>(prob.info.size()) == prob.count(),
           "potrf_vbatched: metadata array size mismatch");
-  for (int i = 0; i < prob.count(); ++i) {
-    require(prob.lda[static_cast<std::size_t>(i)] >= std::max(1, prob.n[static_cast<std::size_t>(i)]),
-            "potrf_vbatched: lda < n");
-    prob.info[static_cast<std::size_t>(i)] = 0;
-  }
+}
 
+/// Path selection and execution; the caller has already validated the
+/// metadata and reset `info`.
+template <typename T>
+PotrfResult dispatch(Queue& q, Uplo uplo, const VbatchedProblem<T>& prob, int max_n,
+                     const PotrfOptions& opts) {
   PotrfResult result;
   result.flops = flops::potrf_batch(prob.n);
 
@@ -47,6 +69,20 @@ PotrfResult potrf_vbatched_max(Queue& q, Uplo uplo, const VbatchedProblem<T>& pr
   return result;
 }
 
+}  // namespace
+
+template <typename T>
+PotrfResult potrf_vbatched_max(Queue& q, Uplo uplo, const VbatchedProblem<T>& prob, int max_n,
+                               const PotrfOptions& opts) {
+  require_metadata_sizes(prob);
+  // One metadata pass validates the rules and resets info (no reduction —
+  // the expert interface takes max_n from the caller, §III-A).
+  const auto rules = potrf_rules(prob);
+  const ArgSweep sweep = check_args_reduce(q.device(), rules, {}, prob.info);
+  require_args_ok(sweep.report, "potrf_vbatched");
+  return dispatch<T>(q, uplo, prob, max_n, opts);
+}
+
 template <typename T>
 PotrfResult potrf_vbatched_max(Queue& q, Uplo uplo, Batch<T>& batch, int max_n,
                                const PotrfOptions& opts) {
@@ -55,15 +91,20 @@ PotrfResult potrf_vbatched_max(Queue& q, Uplo uplo, Batch<T>& batch, int max_n,
 
 template <typename T>
 PotrfResult potrf_vbatched(Queue& q, Uplo uplo, Batch<T>& batch, const PotrfOptions& opts) {
-  // LAPACK-like interface: compute the maximum with a device reduction
-  // kernel, then delegate (§III-A: "The latter wraps the first interface
-  // and calls GPU kernels to compute these maximums"). The reduction's
-  // (negligible) time is part of this call and is reported with it.
+  // LAPACK-like interface: the maximum comes from a device reduction (§III-A:
+  // "The latter wraps the first interface and calls GPU kernels to compute
+  // these maximums"). The reduction shares one metadata sweep with the
+  // argument checks and the info reset — the arrays are read once, not once
+  // per concern. The sweep's (negligible) time is part of this call and is
+  // reported with it.
   auto prob = batch.problem();
+  require_metadata_sizes(prob);
   const double t0 = q.time();
-  const int max_n = kernels::imax_reduce(q.device(), prob.n);
-  require(max_n >= 1, "potrf_vbatched: all matrices are empty");
-  PotrfResult result = potrf_vbatched_max<T>(q, uplo, prob, max_n, opts);
+  const auto rules = potrf_rules(prob);
+  const ArgSweep sweep = check_args_reduce(q.device(), rules, prob.n, prob.info);
+  require_args_ok(sweep.report, "potrf_vbatched");
+  require(sweep.max_value >= 1, "potrf_vbatched: all matrices are empty");
+  PotrfResult result = dispatch<T>(q, uplo, prob, sweep.max_value, opts);
   result.seconds = q.time() - t0;
   return result;
 }

@@ -4,21 +4,15 @@
 #include <vector>
 
 #include "vbatch/blas/blas.hpp"
-#include "vbatch/cpu/thread_pool.hpp"
 #include "vbatch/util/flops.hpp"
+#include "vbatch/util/thread_pool.hpp"
 
 namespace vbatch::cpu {
 
-namespace {
-
-// Shared pool for Full-mode numerics; sized to the host, not to the
-// modelled CPU (the model decides the reported time).
-ThreadPool& host_pool() {
-  static ThreadPool pool;
-  return pool;
-}
-
-}  // namespace
+// Full-mode numerics run on the library-wide worker pool
+// (vbatch::util::host_pool) — sized to the host, not to the modelled CPU;
+// the model decides the reported time.
+using util::host_pool;
 
 template <typename T>
 CpuBatchResult potrf_batched_per_core(const CpuSpec& spec, Schedule schedule, Uplo uplo,

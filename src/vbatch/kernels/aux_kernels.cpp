@@ -54,6 +54,33 @@ int imax_reduce(sim::Device& dev, std::span<const int> host_mirror) {
   return m;
 }
 
+std::array<int, 3> imax_reduce3(sim::Device& dev, std::span<const int> a,
+                                std::span<const int> b, std::span<const int> c) {
+  const int count = static_cast<int>(std::max({a.size(), b.size(), c.size()}));
+  if (count == 0) return {0, 0, 0};
+  int arrays = 0;
+  for (const auto& s : {a, b, c})
+    if (!s.empty()) ++arrays;
+  auto cfg = int_sweep_config("aux_imax_reduce3", count);
+  dev.launch(cfg, [count, arrays](const sim::ExecContext&, int block) {
+    // Same sweep as imax_reduce, but each thread reads one entry of every
+    // array; the per-block partials carry all three running maxima.
+    return int_sweep_cost(count, block, static_cast<double>(arrays - 1) * sizeof(int));
+  });
+  if (cfg.grid_blocks > 1) {
+    auto cfg2 = int_sweep_config("aux_imax_reduce3_stage2", cfg.grid_blocks);
+    cfg2.grid_blocks = 1;
+    dev.launch(cfg2, [blocks = cfg.grid_blocks, arrays](const sim::ExecContext&, int) {
+      return int_sweep_cost(blocks, 0, static_cast<double>(arrays - 1) * sizeof(int));
+    });
+  }
+  std::array<int, 3> out{0, 0, 0};
+  for (int v : a) out[0] = std::max(out[0], v);
+  for (int v : b) out[1] = std::max(out[1], v);
+  for (int v : c) out[2] = std::max(out[2], v);
+  return out;
+}
+
 double shift_sizes(sim::Device& dev, std::span<const int> in, std::span<int> out, int offset) {
   const int count = static_cast<int>(in.size());
   auto cfg = int_sweep_config("aux_shift_sizes", count);

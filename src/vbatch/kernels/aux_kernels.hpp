@@ -8,6 +8,7 @@
 // cases negligible" — bench/aux_overhead quantifies it.
 #pragma once
 
+#include <array>
 #include <span>
 
 #include "vbatch/sim/device.hpp"
@@ -18,6 +19,13 @@ namespace vbatch::kernels {
 /// `host_mirror` supplies the functional values; the launch models the cost
 /// of reading `count` ints through the memory system.
 [[nodiscard]] int imax_reduce(sim::Device& dev, std::span<const int> host_mirror);
+
+/// Reduces the maxima of up to three arrays in one sweep kernel: returns
+/// {max(a), max(b), max(c)}, 0 for an empty span. The QR driver uses it to
+/// fetch max(m), max(n) and max(min(m,n)) with a single metadata pass
+/// instead of three back-to-back reductions.
+[[nodiscard]] std::array<int, 3> imax_reduce3(sim::Device& dev, std::span<const int> a,
+                                              std::span<const int> b, std::span<const int> c);
 
 /// Element-wise clamp-subtract used by the factorization driver between
 /// panel steps: out[i] = max(0, in[i] - offset). Returns the kernel time.

@@ -46,10 +46,12 @@ struct BatchArgs {
 /// Pointer displacement on the device (paper §III-A: "any pointer
 /// displacement ... need[s] to be performed on the whole array" by a GPU
 /// kernel). Builds out[i] = base[i] + row_off + col_off * lda[i]; the
-/// element-wise kernel's cost is modelled through a launch.
+/// element-wise kernel's cost is modelled through a launch. `out` is caller
+/// scratch so the factorization drivers reuse one buffer per operand across
+/// their panel steps instead of allocating per launch.
 template <typename T>
-std::vector<T*> displace_ptrs(sim::Device& dev, std::span<T* const> base,
-                              std::span<const int> lda, index_t row_off, index_t col_off) {
+void displace_ptrs(sim::Device& dev, std::span<T* const> base, std::span<const int> lda,
+                   index_t row_off, index_t col_off, std::vector<T*>& out) {
   const int count = static_cast<int>(base.size());
   sim::LaunchConfig cfg;
   cfg.name = "aux_displace_ptrs";
@@ -67,10 +69,18 @@ std::vector<T*> displace_ptrs(sim::Device& dev, std::span<T* const> base,
     return c;
   });
 
-  std::vector<T*> out(base.size());
+  out.resize(base.size());
   for (std::size_t i = 0; i < base.size(); ++i) {
     out[i] = base[i] + row_off + col_off * static_cast<index_t>(lda[i]);
   }
+}
+
+/// Allocating convenience wrapper for one-shot callers.
+template <typename T>
+std::vector<T*> displace_ptrs(sim::Device& dev, std::span<T* const> base,
+                              std::span<const int> lda, index_t row_off, index_t col_off) {
+  std::vector<T*> out;
+  displace_ptrs(dev, base, lda, row_off, col_off, out);
   return out;
 }
 

@@ -1,12 +1,19 @@
 #include "vbatch/sim/device.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 #include "vbatch/util/error.hpp"
+#include "vbatch/util/thread_pool.hpp"
 
 namespace vbatch::sim {
+
+namespace {
+
+// Grids below this size run serially: pool dispatch costs more than the
+// blocks themselves (the aux metadata sweeps are 1–4 trivial blocks).
+constexpr int kParallelGrainBlocks = 32;
+
+}  // namespace
 
 Device::Device(DeviceSpec spec, ExecMode mode) : spec_(std::move(spec)), mode_(mode) {}
 
@@ -48,39 +55,34 @@ void Device::device_free(void* p) {
   throw_error(Status::InvalidArgument, "device_free of unknown pointer");
 }
 
-std::vector<BlockCost> Device::run_blocks(const LaunchConfig& cfg, const BlockFn& fn) {
+const std::vector<BlockCost>& Device::run_blocks(const LaunchConfig& cfg, const BlockFn& fn) {
   require(cfg.grid_blocks >= 0, "launch: negative grid");
-  std::vector<BlockCost> costs(static_cast<std::size_t>(cfg.grid_blocks));
+  // Reused scratch: assign() keeps capacity across launches, so a driver's
+  // hundreds of same-shaped steps allocate once instead of once per launch.
+  cost_scratch_.assign(static_cast<std::size_t>(cfg.grid_blocks), BlockCost{});
   const ExecContext ctx{mode_};
 
-  // Grid blocks are independent by CUDA semantics, so Full-mode numerics can
-  // run across host threads. Keep it serial for small grids where thread
-  // start-up would dominate.
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  if (mode_ == ExecMode::TimingOnly || cfg.grid_blocks < 64 || hw == 1) {
-    for (int b = 0; b < cfg.grid_blocks; ++b) costs[static_cast<std::size_t>(b)] = fn(ctx, b);
-    return costs;
+  // Grid blocks are independent by CUDA semantics, so Full-mode numerics run
+  // across the shared host worker pool. Every block writes only its own
+  // costs_[b] slot (and, through the functor, its own matrix), so the merge
+  // is in block-index order and results are identical for any worker count.
+  // TimingOnly functors are trivial cost reports — never worth the dispatch.
+  util::ThreadPool& pool = util::host_pool();
+  if (mode_ == ExecMode::TimingOnly || cfg.grid_blocks < kParallelGrainBlocks ||
+      pool.size() == 1) {
+    for (int b = 0; b < cfg.grid_blocks; ++b)
+      cost_scratch_[static_cast<std::size_t>(b)] = fn(ctx, b);
+    return cost_scratch_;
   }
 
-  std::atomic<int> next{0};
-  auto worker = [&] {
-    for (;;) {
-      const int b = next.fetch_add(1, std::memory_order_relaxed);
-      if (b >= cfg.grid_blocks) return;
-      costs[static_cast<std::size_t>(b)] = fn(ctx, b);
-    }
-  };
-  std::vector<std::thread> threads;
-  const unsigned nthreads = std::min<unsigned>(hw, 16);
-  threads.reserve(nthreads);
-  for (unsigned t = 0; t < nthreads; ++t) threads.emplace_back(worker);
-  for (auto& t : threads) t.join();
-  return costs;
+  pool.parallel_for(cfg.grid_blocks,
+                    [&](int b) { cost_scratch_[static_cast<std::size_t>(b)] = fn(ctx, b); });
+  return cost_scratch_;
 }
 
 double Device::launch(const LaunchConfig& cfg, const BlockFn& fn) {
-  const auto costs = run_blocks(cfg, fn);
-  const KernelTiming timing = schedule_kernel(spec_, cfg, costs);
+  const auto& costs = run_blocks(cfg, fn);
+  const KernelTiming timing = schedule_kernel(spec_, cfg, costs, true, &plan_cache_);
 
   KernelRecord rec;
   rec.name = cfg.name;
@@ -111,20 +113,19 @@ double Device::launch_concurrent(const std::vector<LaunchConfig>& configs,
   // stream s starts after both its host enqueue time and the previous kernel
   // on s completes.
   const BlockShape shape{configs[0].block_threads, configs[0].shared_mem};
-  const int resident = blocks_per_sm(spec_, shape);
+  const int resident =
+      plan_cache_.plan(spec_, shape, configs[0].precision).resident_per_sm;
   if (resident == 0) {
     throw_error(Status::LaunchFailure, "streamed kernel shape exceeds device limits");
   }
-  const int slots = spec_.num_sms * resident;
-  std::vector<double> slot_free(static_cast<std::size_t>(slots), 0.0);
+  SlotPool slots(spec_.num_sms * resident);
   std::vector<double> stream_ready(static_cast<std::size_t>(num_streams), 0.0);
 
   // Blocks from all streams co-occupy the device; their lane/bandwidth
   // share follows the effective residency of the pooled grid.
-  long total_blocks = 0;
+  std::int64_t total_blocks = 0;
   for (const auto& c : configs) total_blocks += c.grid_blocks;
-  const int eff_resident = std::clamp(
-      static_cast<int>((total_blocks + spec_.num_sms - 1) / spec_.num_sms), 1, resident);
+  const int eff_resident = effective_residency(total_blocks, spec_.num_sms, resident);
 
   const double enqueue = spec_.stream_enqueue_overhead_us * 1e-6;
   const double dispatch = spec_.block_dispatch_cycles * spec_.cycle_seconds();
@@ -132,7 +133,7 @@ double Device::launch_concurrent(const std::vector<LaunchConfig>& configs,
   const double start_clock = clock_;
 
   for (std::size_t k = 0; k < configs.size(); ++k) {
-    const auto costs = run_blocks(configs[k], fns[k]);
+    const auto& costs = run_blocks(configs[k], fns[k]);
     const int stream = static_cast<int>(k % static_cast<std::size_t>(num_streams));
     const double host_time = static_cast<double>(k + 1) * enqueue;
     const double kernel_start = std::max(host_time, stream_ready[static_cast<std::size_t>(stream)]);
@@ -141,11 +142,8 @@ double Device::launch_concurrent(const std::vector<LaunchConfig>& configs,
     double flops = 0.0, bytes = 0.0;
     int exits = 0;
     for (const BlockCost& b : costs) {
-      auto it = std::min_element(slot_free.begin(), slot_free.end());
-      const double begin = std::max(*it, kernel_start);
       const double dur = dispatch + block_seconds(spec_, configs[k].precision, eff_resident, b);
-      *it = begin + dur;
-      kernel_end = std::max(kernel_end, *it);
+      kernel_end = std::max(kernel_end, slots.assign(dur, kernel_start));
       flops += b.flops;
       bytes += b.bytes;
       if (b.early_exit) ++exits;

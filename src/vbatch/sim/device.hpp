@@ -7,14 +7,20 @@
 //   * a device clock advanced by the scheduler model for every launch,
 //   * a timeline of kernel records,
 //   * stream-based concurrent kernel execution (used by the streamed syrk
-//     alternative of §III-E.3).
+//     alternative of §III-E.3),
+//   * a launch-plan cache memoizing occupancy per launch shape, and a
+//     reusable per-launch BlockCost scratch buffer (docs/simulator.md,
+//     "Execution engine").
 //
 // In ExecMode::Full, launches run every block functor (the real numerics)
-// on the host — in parallel across blocks, which is safe because CUDA
-// semantics already require grid blocks to be independent. In
-// ExecMode::TimingOnly the functors are invoked with a context telling them
-// to skip the math and only report costs; allocations are then virtual
-// (tracked against capacity but not backed by host memory).
+// on the host — partitioned across the shared worker pool
+// (vbatch::util::host_pool), which is safe because CUDA semantics already
+// require grid blocks to be independent. Per-block results are merged in
+// block-index order, so modelled times and factorized bits are identical
+// for any worker count. In ExecMode::TimingOnly the functors are invoked
+// with a context telling them to skip the math and only report costs;
+// allocations are then virtual (tracked against capacity but not backed by
+// host memory).
 #pragma once
 
 #include <cstddef>
@@ -24,6 +30,7 @@
 
 #include "vbatch/sim/device_spec.hpp"
 #include "vbatch/sim/kernel_launch.hpp"
+#include "vbatch/sim/launch_plan.hpp"
 #include "vbatch/sim/scheduler.hpp"
 #include "vbatch/sim/timeline.hpp"
 
@@ -80,14 +87,22 @@ class Device {
   [[nodiscard]] const Timeline& timeline() const noexcept { return timeline_; }
   void clear_timeline() { timeline_.clear(); }
 
+  /// Memoized occupancy plans (diagnostic; see LaunchPlanCache).
+  [[nodiscard]] const LaunchPlanCache& plan_cache() const noexcept { return plan_cache_; }
+
  private:
-  std::vector<BlockCost> run_blocks(const LaunchConfig& cfg, const BlockFn& fn);
+  /// Runs the grid (pool-parallel in Full mode for grids worth the
+  /// dispatch) into cost_scratch_; the result is valid until the next
+  /// launch on this device.
+  const std::vector<BlockCost>& run_blocks(const LaunchConfig& cfg, const BlockFn& fn);
 
   DeviceSpec spec_;
   ExecMode mode_;
   std::size_t mem_used_ = 0;
   double clock_ = 0.0;
   Timeline timeline_;
+  LaunchPlanCache plan_cache_;
+  std::vector<BlockCost> cost_scratch_;
   // Real allocations (Full mode) and their sizes; TimingOnly allocations are
   // tag pointers tracked in fake_allocs_.
   std::unordered_map<void*, std::pair<std::unique_ptr<char[]>, std::size_t>> allocs_;

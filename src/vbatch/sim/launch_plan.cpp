@@ -1,0 +1,20 @@
+#include "vbatch/sim/launch_plan.hpp"
+
+namespace vbatch::sim {
+
+const LaunchPlan& LaunchPlanCache::plan(const DeviceSpec& spec, const BlockShape& shape,
+                                        Precision prec) {
+  const Key key{shape.threads, shape.shared_mem, prec};
+  if (auto it = map_.find(key); it != map_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  LaunchPlan p;
+  p.resident_per_sm = blocks_per_sm(spec, shape);
+  p.slots = spec.num_sms * p.resident_per_sm;
+  p.lanes_per_sm = spec.lanes_per_sm(prec);
+  return map_.emplace(key, p).first->second;
+}
+
+}  // namespace vbatch::sim

@@ -1,0 +1,60 @@
+// Launch-plan cache: memoized occupancy results per (block shape, precision).
+//
+// A factorization driver launches the same few kernel shapes hundreds of
+// times per call (one fused step per nb panel, one trsm sweep per 32-wide
+// diagonal block, ...). The occupancy arithmetic is cheap but not free, and
+// recomputing it on every launch sits on the host critical path between
+// kernels. Each Device owns one cache (its DeviceSpec is immutable, so the
+// spec is not part of the key) and hands it to the scheduler.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "vbatch/sim/device_spec.hpp"
+#include "vbatch/sim/occupancy.hpp"
+
+namespace vbatch::sim {
+
+/// Everything the scheduler derives from a launch shape before looking at
+/// the per-block costs.
+struct LaunchPlan {
+  int resident_per_sm = 0;  ///< occupancy limit for the shape
+  int slots = 0;            ///< num_sms × resident_per_sm
+  int lanes_per_sm = 0;     ///< precision-dependent lane count
+};
+
+class LaunchPlanCache {
+ public:
+  /// Returns the memoized plan for the shape, computing it on first sight.
+  /// The reference stays valid for the cache's lifetime.
+  const LaunchPlan& plan(const DeviceSpec& spec, const BlockShape& shape, Precision prec);
+
+  [[nodiscard]] std::size_t distinct_plans() const noexcept { return map_.size(); }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  void clear() noexcept { map_.clear(), hits_ = 0, misses_ = 0; }
+
+ private:
+  struct Key {
+    int threads;
+    std::size_t shared_mem;
+    Precision prec;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::size_t h = static_cast<std::size_t>(k.threads);
+      h = h * 0x9E3779B97F4A7C15ULL ^ k.shared_mem;
+      h = h * 0x9E3779B97F4A7C15ULL ^ static_cast<std::size_t>(k.prec);
+      return h;
+    }
+  };
+
+  std::unordered_map<Key, LaunchPlan, KeyHash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace vbatch::sim

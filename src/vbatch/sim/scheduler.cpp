@@ -48,10 +48,12 @@ double block_seconds(const DeviceSpec& spec, Precision prec, int resident,
 
 KernelTiming schedule_kernel(const DeviceSpec& spec, const LaunchConfig& cfg,
                              const std::vector<BlockCost>& blocks,
-                             bool include_launch_overhead) {
+                             bool include_launch_overhead, LaunchPlanCache* cache) {
   KernelTiming t;
   const BlockShape shape{cfg.block_threads, cfg.shared_mem};
-  t.resident_per_sm = blocks_per_sm(spec, shape);
+  t.resident_per_sm =
+      cache != nullptr ? cache->plan(spec, shape, cfg.precision).resident_per_sm
+                       : blocks_per_sm(spec, shape);
   if (t.resident_per_sm == 0) {
     throw_error(Status::LaunchFailure,
                 "kernel '" + cfg.name + "' cannot launch: block shape exceeds device limits");
@@ -60,27 +62,19 @@ KernelTiming schedule_kernel(const DeviceSpec& spec, const LaunchConfig& cfg,
 
   const double dispatch = spec.block_dispatch_cycles * spec.cycle_seconds();
 
-  // When the grid is smaller than the device's slot capacity, each SM hosts
-  // fewer blocks than the occupancy limit, so every block enjoys a larger
-  // share of lanes and bandwidth.
-  const int eff_resident = std::clamp(
-      static_cast<int>((static_cast<long>(blocks.size()) + spec.num_sms - 1) / spec.num_sms), 1,
-      t.resident_per_sm);
+  const int eff_resident = effective_residency(static_cast<std::int64_t>(blocks.size()),
+                                               spec.num_sms, t.resident_per_sm);
 
   // Greedy list scheduling: each block goes to the earliest-free slot.
-  // A min-heap over slot free times would be O(n log s); with at most a few
-  // hundred slots a linear scan is fine and keeps the code obvious.
-  std::vector<double> slot_free(static_cast<std::size_t>(t.slots), 0.0);
+  SlotPool slots(t.slots);
   for (const BlockCost& b : blocks) {
-    auto it = std::min_element(slot_free.begin(), slot_free.end());
     const double dur = dispatch + block_seconds(spec, cfg.precision, eff_resident, b);
-    *it += dur;
+    slots.assign(dur);
     t.total_flops += b.flops;
     t.total_bytes += b.bytes;
     if (b.early_exit) ++t.early_exits;
   }
-  t.exec_seconds =
-      blocks.empty() ? 0.0 : *std::max_element(slot_free.begin(), slot_free.end());
+  t.exec_seconds = slots.makespan();
   t.seconds = t.exec_seconds;
   if (include_launch_overhead) t.seconds += spec.kernel_launch_overhead_us * 1e-6;
   return t;

@@ -12,9 +12,9 @@
 #include "vbatch/cpu/cpu_batched.hpp"
 #include "vbatch/cpu/mkl_compat.hpp"
 #include "vbatch/cpu/perf_model.hpp"
-#include "vbatch/cpu/thread_pool.hpp"
 #include "vbatch/energy/energy_meter.hpp"
 #include "vbatch/energy/power_model.hpp"
+#include "vbatch/util/thread_pool.hpp"
 
 namespace {
 
@@ -148,18 +148,39 @@ TEST(MklCompat, SequentialPotrfReportsInfo) {
 }
 
 TEST(ThreadPool, ParallelForCoversAllIndices) {
-  cpu::ThreadPool pool(4);
+  util::ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(500);
   pool.parallel_for(500, [&](int i) { hits[static_cast<std::size_t>(i)].fetch_add(1); });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ThreadPool, WaitIdleBlocksUntilDone) {
-  cpu::ThreadPool pool(2);
+  util::ThreadPool pool(2);
   std::atomic<int> done{0};
   for (int i = 0; i < 10; ++i) pool.submit([&done] { done.fetch_add(1); });
   pool.wait_idle();
   EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // A parallel_for issued from inside a worker must not deadlock on the
+  // shared queue: it runs inline on the calling worker.
+  util::ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(8, [&](int outer) {
+    pool.parallel_for(8, [&](int inner) {
+      hits[static_cast<std::size_t>(outer * 8 + inner)].fetch_add(1);
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HostPoolHonorsSetHostThreads) {
+  const unsigned before = util::host_threads();
+  util::set_host_threads(3);
+  EXPECT_EQ(util::host_threads(), 3u);
+  EXPECT_EQ(util::host_pool().size(), 3u);
+  util::set_host_threads(before);
 }
 
 // ---------------------------------------------------------------------------

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "vbatch/sim/device.hpp"
@@ -199,6 +200,89 @@ TEST(Scheduler, MoreSmsNeverSlower) {
   const auto ts = schedule_kernel(small, cfg(500, 256), blocks, false);
   const auto tb = schedule_kernel(big, cfg(500, 256), blocks, false);
   EXPECT_LE(tb.exec_seconds, ts.exec_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// SlotPool, effective residency, launch-plan cache
+// ---------------------------------------------------------------------------
+
+TEST(SlotPool, AssignsToLeastLoadedSlotWithLowestIndexTies) {
+  // Replicates the linear min-scan it replaced: equal loads resolve to the
+  // lowest slot index, so modelled times are bit-identical to the old code.
+  SlotPool pool(3);
+  EXPECT_DOUBLE_EQ(pool.assign(1.0), 1.0);   // slot 0
+  EXPECT_DOUBLE_EQ(pool.assign(2.0), 2.0);   // slot 1
+  EXPECT_DOUBLE_EQ(pool.assign(3.0), 3.0);   // slot 2
+  EXPECT_DOUBLE_EQ(pool.assign(0.5), 1.5);   // back onto slot 0
+  EXPECT_DOUBLE_EQ(pool.makespan(), 3.0);
+}
+
+TEST(SlotPool, NotBeforeDelaysStart) {
+  SlotPool pool(2);
+  EXPECT_DOUBLE_EQ(pool.assign(1.0, 5.0), 6.0);  // waits until t=5
+  EXPECT_DOUBLE_EQ(pool.assign(1.0), 1.0);       // other slot still free at 0
+}
+
+TEST(SlotPool, MatchesLinearScanOnRandomLoads) {
+  // Heap-based assignment must reproduce std::min_element exactly.
+  SlotPool pool(7);
+  std::vector<double> scan(7, 0.0);
+  std::uint64_t state = 42;
+  for (int i = 0; i < 500; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const double dur = static_cast<double>(state >> 40) * 1e-6;
+    auto it = std::min_element(scan.begin(), scan.end());
+    *it += dur;
+    EXPECT_DOUBLE_EQ(pool.assign(dur), *it);
+  }
+  EXPECT_DOUBLE_EQ(pool.makespan(), *std::max_element(scan.begin(), scan.end()));
+}
+
+TEST(Scheduler, EffectiveResidencyBasics) {
+  EXPECT_EQ(effective_residency(0, 15, 4), 1);
+  EXPECT_EQ(effective_residency(15, 15, 4), 1);   // one wave
+  EXPECT_EQ(effective_residency(30, 15, 4), 2);   // two waves
+  EXPECT_EQ(effective_residency(60, 15, 4), 4);   // saturated
+  EXPECT_EQ(effective_residency(100000, 15, 4), 4);
+}
+
+TEST(Scheduler, EffectiveResidencySurvives32BitGridCounts) {
+  // The old code cast (grid + sms - 1) to long via int arithmetic; a grid
+  // above INT_MAX must not wrap. 3e9 blocks on 15 SMs is deeply saturated.
+  const std::int64_t grid = 3'000'000'000;
+  EXPECT_EQ(effective_residency(grid, 15, 4), 4);
+  EXPECT_EQ(effective_residency(grid, 15, 16), 16);
+  // Just over one wave at huge scale: still 2, no overflow.
+  EXPECT_EQ(effective_residency(static_cast<std::int64_t>(15) * 1'000'000 + 1, 15'000'000, 4),
+            2);
+}
+
+TEST(LaunchPlanCache, MemoizesPlansAndCountsHits) {
+  LaunchPlanCache cache;
+  const BlockShape shape{256, 8 * 1024};
+  const auto& p1 = cache.plan(spec(), shape, Precision::Double);
+  EXPECT_EQ(p1.resident_per_sm, blocks_per_sm(spec(), shape));
+  EXPECT_EQ(p1.slots, spec().num_sms * p1.resident_per_sm);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  const auto& p2 = cache.plan(spec(), shape, Precision::Double);
+  EXPECT_EQ(&p1, &p2);  // same cached entry
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.plan(spec(), {512, 0}, Precision::Single);
+  EXPECT_EQ(cache.distinct_plans(), 2u);
+}
+
+TEST(LaunchPlanCache, DeviceLaunchesPopulateCache) {
+  Device dev(spec(), ExecMode::TimingOnly);
+  auto fn = [](const ExecContext&, int) { return work_block(1e4, 64, 64); };
+  dev.launch(cfg(10, 64), fn);
+  dev.launch(cfg(10, 64), fn);
+  dev.launch(cfg(10, 64), fn);
+  EXPECT_EQ(dev.plan_cache().distinct_plans(), 1u);
+  EXPECT_GE(dev.plan_cache().hits(), 2u);
 }
 
 // ---------------------------------------------------------------------------

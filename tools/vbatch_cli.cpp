@@ -18,6 +18,9 @@
 //     --profile        print the kernel profile
 //     --energy         print energy to solution vs the CPU baseline
 //     --verify         run in Full mode and check residuals (slower)
+//     --threads N      host worker threads for Full-mode numerics
+//                      (default: VBATCH_NUM_THREADS or hardware concurrency;
+//                      results are identical for any thread count)
 //     --seed N         RNG seed                 (default 2016)
 #include <cstdio>
 #include <cstring>
@@ -31,6 +34,7 @@
 #include "vbatch/cpu/cpu_batched.hpp"
 #include "vbatch/energy/energy_meter.hpp"
 #include "vbatch/sim/profile.hpp"
+#include "vbatch/util/thread_pool.hpp"
 
 namespace {
 
@@ -44,6 +48,7 @@ struct CliOptions {
   bool profile = false;
   bool energy = false;
   bool verify = false;
+  int threads = 0;  // 0 = default (VBATCH_NUM_THREADS or hardware)
   std::uint64_t seed = 2016;
 };
 
@@ -51,7 +56,7 @@ struct CliOptions {
   std::printf("usage: %s [--batch N] [--nmax N] [--dist uniform|gaussian]\n"
               "          [--precision s|d] [--path auto|fused|separated]\n"
               "          [--etm classic|aggressive] [--no-sort] [--tune]\n"
-              "          [--profile] [--energy] [--verify] [--seed N]\n",
+              "          [--profile] [--energy] [--verify] [--threads N] [--seed N]\n",
               argv0);
   std::exit(2);
 }
@@ -93,9 +98,10 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--profile") o.profile = true;
     else if (arg == "--energy") o.energy = true;
     else if (arg == "--verify") o.verify = true;
+    else if (arg == "--threads") o.threads = std::atoi(next());
     else usage(argv[0]);
   }
-  if (o.batch < 1 || o.nmax < 1) usage(argv[0]);
+  if (o.batch < 1 || o.nmax < 1 || o.threads < 0) usage(argv[0]);
   return o;
 }
 
@@ -178,5 +184,6 @@ int run(const CliOptions& o) {
 
 int main(int argc, char** argv) {
   const CliOptions o = parse(argc, argv);
+  if (o.threads > 0) vbatch::util::set_host_threads(static_cast<unsigned>(o.threads));
   return o.double_precision ? run<double>(o) : run<float>(o);
 }
