@@ -1,0 +1,339 @@
+// wallclock_blas — host wall-clock benchmark for the BLAS micro-kernel
+// engine (docs/blas.md).
+//
+// Part 1 measures naive-vs-blocked Gflop/s for the level-3 kernels the
+// library's hot paths use — gemm NN, gemm NT (the fused-step rank-k shape),
+// syrk and trsm — over the paper's size range, pinning the dispatch to the
+// *_ref loops and then to the packed engine (micro::Dispatch::ForceRef /
+// ForceBlocked) on identical inputs.
+//
+// Part 2 measures the end-to-end Full-mode wall clock of a vbatched
+// Cholesky run with the engine disabled (ForceRef) and enabled (Auto, the
+// production policy), and re-checks the factorization residual gate
+// ‖A − L·Lᵀ‖_F / (n·‖A‖_F) on every matrix in both configurations.
+//
+// Output: a human-readable table on stdout plus one JSON line appended to
+// BENCH_blas.json (override with --out). The run fails (non-zero exit) only
+// on a numerics problem — a residual above the gate or a nonzero info —
+// never on a low speedup.
+//
+// Usage:
+//   wallclock_blas [--sizes n1,n2,...] [--batch N] [--nmax N]
+//                  [--dist uniform|gaussian] [--reps N] [--seed N]
+//                  [--out FILE]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/blas/microkernel.hpp"
+#include "vbatch/core/potrf_vbatched.hpp"
+#include "vbatch/core/size_dist.hpp"
+#include "vbatch/util/flops.hpp"
+#include "vbatch/util/rng.hpp"
+
+namespace {
+
+using namespace vbatch;
+
+struct Options {
+  std::vector<int> sizes{8, 16, 32, 64, 96, 128, 192, 256, 384, 512};
+  int batch = 300;
+  int nmax = 384;
+  SizeDist dist = SizeDist::Uniform;
+  int reps = 2;
+  std::uint64_t seed = 2016;
+  std::string out = "BENCH_blas.json";
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf("usage: %s [--sizes n1,n2,...] [--batch N] [--nmax N]\n"
+              "          [--dist uniform|gaussian] [--reps N] [--seed N] [--out FILE]\n",
+              argv0);
+  std::exit(2);
+}
+
+std::vector<int> parse_sizes(const std::string& csv) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok = csv.substr(pos, comma == std::string::npos ? csv.size() - pos
+                                                                       : comma - pos);
+    out.push_back(std::atoi(tok.c_str()));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--sizes") o.sizes = parse_sizes(next());
+    else if (arg == "--batch") o.batch = std::atoi(next());
+    else if (arg == "--nmax") o.nmax = std::atoi(next());
+    else if (arg == "--reps") o.reps = std::atoi(next());
+    else if (arg == "--seed") o.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--out") o.out = next();
+    else if (arg == "--dist") {
+      const std::string v = next();
+      if (v == "uniform") o.dist = SizeDist::Uniform;
+      else if (v == "gaussian") o.dist = SizeDist::Gaussian;
+      else usage(argv[0]);
+    } else usage(argv[0]);
+  }
+  if (o.batch < 1 || o.nmax < 1 || o.reps < 1 || o.sizes.empty()) usage(argv[0]);
+  for (int n : o.sizes)
+    if (n < 1) usage(argv[0]);
+  return o;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Times `fn` (which must redo the full operation each call) with enough
+// repetitions to get a stable reading; returns best seconds per call.
+template <typename F>
+double time_op(double flops, int outer_reps, F&& fn) {
+  const int reps = std::clamp(static_cast<int>(5e7 / std::max(flops, 1.0)), 1, 20000);
+  double best = 1e300;
+  for (int rep = 0; rep < outer_reps; ++rep) {
+    const double t0 = now_seconds();
+    for (int r = 0; r < reps; ++r) fn();
+    best = std::min(best, (now_seconds() - t0) / reps);
+  }
+  return best;
+}
+
+struct KernelSeries {
+  std::vector<double> ref_gflops;
+  std::vector<double> blk_gflops;
+};
+
+void append_point(KernelSeries& s, double flops, double ref_sec, double blk_sec) {
+  s.ref_gflops.push_back(flops / ref_sec * 1e-9);
+  s.blk_gflops.push_back(flops / blk_sec * 1e-9);
+}
+
+std::string json_array(const std::vector<double>& v) {
+  std::string out = "[";
+  char buf[32];
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.3f", v[i]);
+    out += buf;
+    if (i + 1 < v.size()) out += ",";
+  }
+  return out + "]";
+}
+
+std::string json_int_array(const std::vector<int>& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out += std::to_string(v[i]);
+    if (i + 1 < v.size()) out += ",";
+  }
+  return out + "]";
+}
+
+struct E2eResult {
+  double wall_seconds = 0.0;
+  double max_residual = 0.0;
+  bool info_clean = true;
+};
+
+E2eResult run_e2e(const Options& o, const std::vector<int>& sizes) {
+  Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::Full);
+  Batch<double> batch(q, sizes);
+  E2eResult r;
+  r.wall_seconds = 1e300;
+  std::vector<std::vector<double>> originals;
+  for (int rep = 0; rep < o.reps; ++rep) {
+    Rng rng(o.seed + 1);
+    batch.fill_spd(rng);
+    if (rep == 0) {
+      originals.clear();
+      for (int i = 0; i < batch.count(); ++i) originals.push_back(batch.copy_matrix(i));
+    }
+    const double t0 = now_seconds();
+    potrf_vbatched<double>(q, Uplo::Lower, batch);
+    r.wall_seconds = std::min(r.wall_seconds, now_seconds() - t0);
+  }
+  for (int info : batch.info())
+    if (info != 0) r.info_clean = false;
+  for (int i = 0; i < batch.count(); ++i) {
+    const int n = sizes[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    const auto factor = batch.copy_matrix(i);
+    const auto& orig = originals[static_cast<std::size_t>(i)];
+    const index_t ld = static_cast<index_t>(factor.size()) / n;
+    r.max_residual = std::max(
+        r.max_residual,
+        blas::potrf_residual<double>(Uplo::Lower,
+                                     ConstMatrixView<double>(orig.data(), n, n, ld),
+                                     ConstMatrixView<double>(factor.data(), n, n, ld)));
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  std::printf("wallclock_blas: sizes");
+  for (int n : o.sizes) std::printf(" %d", n);
+  std::printf(", e2e batch=%d nmax=%d %s, reps=%d\n", o.batch, o.nmax, to_string(o.dist),
+              o.reps);
+
+  KernelSeries gemm_nn, gemm_nt, syrk_s, trsm_s;
+  Rng rng(o.seed);
+
+  std::printf("  %5s | %21s | %21s | %21s | %21s\n", "n", "gemm NN ref/blk Gf/s",
+              "gemm NT ref/blk Gf/s", "syrk ref/blk Gf/s", "trsm ref/blk Gf/s");
+  for (int ni : o.sizes) {
+    const index_t n = ni;
+    const std::size_t nn = static_cast<std::size_t>(n * n);
+    std::vector<double> a(nn), b(nn), c(nn), c0(nn), tri(nn), rhs0(nn);
+    fill_general(rng, a.data(), n, n, n);
+    fill_general(rng, b.data(), n, n, n);
+    fill_general(rng, c0.data(), n, n, n);
+    fill_general(rng, rhs0.data(), n, n, n);
+    fill_general(rng, tri.data(), n, n, n);
+    MatrixView<double> triv(tri.data(), n, n, n);
+    for (index_t d = 0; d < n; ++d) triv(d, d) = 4.0 + static_cast<double>(d);
+
+    ConstMatrixView<double> av(a.data(), n, n, n);
+    ConstMatrixView<double> bv(b.data(), n, n, n);
+    MatrixView<double> cv(c.data(), n, n, n);
+
+    const double gemm_flops = flops::gemm(n, n, n);
+    const double syrk_flops = flops::syrk(n, n);
+    const double trsm_flops = flops::trsm(n, n, false);
+
+    double ref_nn, blk_nn, ref_nt, blk_nt, ref_sy, blk_sy, ref_tr, blk_tr;
+    {
+      blas::micro::DispatchGuard guard(blas::micro::Dispatch::ForceRef);
+      ref_nn = time_op(gemm_flops, o.reps, [&] {
+        blas::gemm<double>(Trans::NoTrans, Trans::NoTrans, 1.0, av, bv, 0.0, cv);
+      });
+      ref_nt = time_op(gemm_flops, o.reps, [&] {
+        blas::gemm<double>(Trans::NoTrans, Trans::Trans, 1.0, av, bv, 0.0, cv);
+      });
+      ref_sy = time_op(syrk_flops, o.reps, [&] {
+        blas::syrk<double>(Uplo::Lower, Trans::NoTrans, 1.0, av, 0.0, cv);
+      });
+      ref_tr = time_op(trsm_flops, o.reps, [&] {
+        c = rhs0;
+        blas::trsm<double>(Side::Right, Uplo::Lower, Trans::Trans, Diag::NonUnit, 1.0, triv,
+                           cv);
+      });
+    }
+    {
+      blas::micro::DispatchGuard guard(blas::micro::Dispatch::ForceBlocked);
+      blk_nn = time_op(gemm_flops, o.reps, [&] {
+        blas::gemm<double>(Trans::NoTrans, Trans::NoTrans, 1.0, av, bv, 0.0, cv);
+      });
+      blk_nt = time_op(gemm_flops, o.reps, [&] {
+        blas::gemm<double>(Trans::NoTrans, Trans::Trans, 1.0, av, bv, 0.0, cv);
+      });
+      blk_sy = time_op(syrk_flops, o.reps, [&] {
+        blas::syrk<double>(Uplo::Lower, Trans::NoTrans, 1.0, av, 0.0, cv);
+      });
+      blk_tr = time_op(trsm_flops, o.reps, [&] {
+        c = rhs0;
+        blas::trsm<double>(Side::Right, Uplo::Lower, Trans::Trans, Diag::NonUnit, 1.0, triv,
+                           cv);
+      });
+    }
+    append_point(gemm_nn, gemm_flops, ref_nn, blk_nn);
+    append_point(gemm_nt, gemm_flops, ref_nt, blk_nt);
+    append_point(syrk_s, syrk_flops, ref_sy, blk_sy);
+    append_point(trsm_s, trsm_flops, ref_tr, blk_tr);
+    std::printf("  %5d | %9.3f/%-9.3f | %9.3f/%-9.3f | %9.3f/%-9.3f | %9.3f/%-9.3f\n", ni,
+                gemm_nn.ref_gflops.back(), gemm_nn.blk_gflops.back(), gemm_nt.ref_gflops.back(),
+                gemm_nt.blk_gflops.back(), syrk_s.ref_gflops.back(), syrk_s.blk_gflops.back(),
+                trsm_s.ref_gflops.back(), trsm_s.blk_gflops.back());
+  }
+
+  // Minimum double-precision gemm speedup over the n >= 64 sizes (the
+  // acceptance band); the NT shape is the fused-step hot path.
+  double min_speedup_nn = 1e300, min_speedup_nt = 1e300;
+  for (std::size_t i = 0; i < o.sizes.size(); ++i) {
+    if (o.sizes[i] < 64) continue;
+    min_speedup_nn = std::min(min_speedup_nn, gemm_nn.blk_gflops[i] / gemm_nn.ref_gflops[i]);
+    min_speedup_nt = std::min(min_speedup_nt, gemm_nt.blk_gflops[i] / gemm_nt.ref_gflops[i]);
+  }
+  if (min_speedup_nn > 1e299) min_speedup_nn = 0.0;
+  if (min_speedup_nt > 1e299) min_speedup_nt = 0.0;
+
+  // End-to-end Full-mode wall clock, engine off vs on.
+  Rng size_rng(o.seed);
+  const auto e2e_sizes = make_sizes(o.dist, size_rng, o.batch, o.nmax);
+  E2eResult e2e_ref, e2e_blk;
+  {
+    blas::micro::DispatchGuard guard(blas::micro::Dispatch::ForceRef);
+    e2e_ref = run_e2e(o, e2e_sizes);
+  }
+  {
+    blas::micro::DispatchGuard guard(blas::micro::Dispatch::Auto);
+    e2e_blk = run_e2e(o, e2e_sizes);
+  }
+  const double e2e_speedup =
+      e2e_blk.wall_seconds > 0.0 ? e2e_ref.wall_seconds / e2e_blk.wall_seconds : 0.0;
+  constexpr double kResidualGate = 1e-8;
+  const bool residual_ok = e2e_ref.max_residual < kResidualGate &&
+                           e2e_blk.max_residual < kResidualGate && e2e_ref.info_clean &&
+                           e2e_blk.info_clean;
+
+  std::printf("  gemm double min speedup (n>=64): NN %.2fx, NT %.2fx\n", min_speedup_nn,
+              min_speedup_nt);
+  std::printf("  e2e Full-mode: ref %.3f s, blocked %.3f s, speedup %.2fx, "
+              "max residual %.2e/%.2e (%s)\n",
+              e2e_ref.wall_seconds, e2e_blk.wall_seconds, e2e_speedup, e2e_ref.max_residual,
+              e2e_blk.max_residual, residual_ok ? "PASS" : "FAIL");
+
+  std::string json = "{\"bench\":\"wallclock_blas\",\"sizes\":" + json_int_array(o.sizes);
+  auto add_series = [&json](const char* name, const KernelSeries& s) {
+    json += std::string(",\"") + name + "_ref_gflops\":" + json_array(s.ref_gflops);
+    json += std::string(",\"") + name + "_blk_gflops\":" + json_array(s.blk_gflops);
+  };
+  add_series("gemm_nn", gemm_nn);
+  add_series("gemm_nt", gemm_nt);
+  add_series("syrk", syrk_s);
+  add_series("trsm", trsm_s);
+  char tail[512];
+  std::snprintf(tail, sizeof(tail),
+                ",\"gemm_min_speedup_nn_64up\":%.3f,\"gemm_min_speedup_nt_64up\":%.3f,"
+                "\"e2e_batch\":%d,\"e2e_nmax\":%d,\"e2e_dist\":\"%s\","
+                "\"e2e_ref_seconds\":%.6e,\"e2e_blocked_seconds\":%.6e,"
+                "\"e2e_speedup\":%.3f,\"e2e_max_residual_ref\":%.3e,"
+                "\"e2e_max_residual_blocked\":%.3e,\"residual_ok\":%s}",
+                min_speedup_nn, min_speedup_nt, o.batch, o.nmax, to_string(o.dist),
+                e2e_ref.wall_seconds, e2e_blk.wall_seconds, e2e_speedup, e2e_ref.max_residual,
+                e2e_blk.max_residual, residual_ok ? "true" : "false");
+  json += tail;
+  std::printf("%s\n", json.c_str());
+  if (std::FILE* f = std::fopen(o.out.c_str(), "a")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "warning: could not open %s for append\n", o.out.c_str());
+  }
+
+  if (!residual_ok) {
+    std::fprintf(stderr, "FAILED: residual gate or info check failed\n");
+    return 1;
+  }
+  return 0;
+}

@@ -25,25 +25,52 @@ namespace vbatch::blas {
 
 /// C = alpha * op(A) * op(B) + beta * C.
 /// op(A) is m×k, op(B) is k×n, C is m×n; dimensions are validated.
+/// Above a small-size cutoff the work runs through the packed register-tiled
+/// engine in microkernel.hpp; below it (or under Dispatch::ForceRef) the
+/// reference loops of gemm_ref are used.
 template <typename T>
 void gemm(Trans trans_a, Trans trans_b, T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b,
           T beta, MatrixView<T> c);
 
+/// Reference (unblocked) gemm: the oracle the conformance suite compares the
+/// micro-kernel engine against. Same semantics as gemm, element-at-a-time.
+template <typename T>
+void gemm_ref(Trans trans_a, Trans trans_b, T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b,
+              T beta, MatrixView<T> c);
+
 /// C = alpha * op(A) * op(A)ᵀ + beta * C, updating only the `uplo` triangle
-/// of the n×n matrix C. op(A) is n×k.
+/// of the n×n matrix C. op(A) is n×k. For complex scalars this is herk
+/// (op(A)·op(A)ᴴ) and the diagonal is kept exactly real. Large triangles
+/// dispatch their off-diagonal rectangles through the micro-kernel engine.
 template <typename T>
 void syrk(Uplo uplo, Trans trans, T alpha, ConstMatrixView<T> a, T beta, MatrixView<T> c);
 
+/// Reference (unblocked) syrk/herk; the testing oracle.
+template <typename T>
+void syrk_ref(Uplo uplo, Trans trans, T alpha, ConstMatrixView<T> a, T beta, MatrixView<T> c);
+
 /// Solves op(A) * X = alpha * B (Left) or X * op(A) = alpha * B (Right)
-/// where A is triangular; B is overwritten with X.
+/// where A is triangular; B is overwritten with X. Large triangles recurse
+/// into gemm updates on the micro-kernel engine.
 template <typename T>
 void trsm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha, ConstMatrixView<T> a,
           MatrixView<T> b);
 
-/// B = alpha * op(A) * B (Left) or B = alpha * B * op(A) (Right), A triangular.
+/// Reference (unblocked) trsm; the testing oracle.
+template <typename T>
+void trsm_ref(Side side, Uplo uplo, Trans trans, Diag diag, T alpha, ConstMatrixView<T> a,
+              MatrixView<T> b);
+
+/// B = alpha * op(A) * B (Left) or B = alpha * B * op(A) (Right), A
+/// triangular. Large triangles recurse into micro-kernel gemm updates.
 template <typename T>
 void trmm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha, ConstMatrixView<T> a,
           MatrixView<T> b);
+
+/// Reference (unblocked) trmm; the testing oracle.
+template <typename T>
+void trmm_ref(Side side, Uplo uplo, Trans trans, Diag diag, T alpha, ConstMatrixView<T> a,
+              MatrixView<T> b);
 
 // ---------------------------------------------------------------------------
 // LAPACK-style factorizations

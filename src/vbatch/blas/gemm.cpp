@@ -1,6 +1,7 @@
 #include <cassert>
 
 #include "vbatch/blas/blas.hpp"
+#include "vbatch/blas/microkernel.hpp"
 #include "vbatch/util/error.hpp"
 
 namespace vbatch::blas {
@@ -14,18 +15,26 @@ inline T op_at(ConstMatrixView<T> a, Trans trans, index_t i, index_t j) noexcept
   return trans == Trans::NoTrans ? a(i, j) : conj_val(a(j, i));
 }
 
-}  // namespace
-
 template <typename T>
-void gemm(Trans trans_a, Trans trans_b, T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b,
-          T beta, MatrixView<T> c) {
+void gemm_check(Trans trans_a, Trans trans_b, ConstMatrixView<T> a, ConstMatrixView<T> b,
+                MatrixView<T> c) {
   const index_t m = c.rows();
   const index_t n = c.cols();
   const index_t k = trans_a == Trans::NoTrans ? a.cols() : a.rows();
-
   require((trans_a == Trans::NoTrans ? a.rows() : a.cols()) == m, "gemm: op(A) rows != C rows");
   require((trans_b == Trans::NoTrans ? b.rows() : b.cols()) == k, "gemm: op(B) rows != k");
   require((trans_b == Trans::NoTrans ? b.cols() : b.rows()) == n, "gemm: op(B) cols != C cols");
+}
+
+}  // namespace
+
+template <typename T>
+void gemm_ref(Trans trans_a, Trans trans_b, T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b,
+              T beta, MatrixView<T> c) {
+  gemm_check(trans_a, trans_b, a, b, c);
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = trans_a == Trans::NoTrans ? a.cols() : a.rows();
 
   if (m == 0 || n == 0) return;
   if (alpha == T(0) || k == 0) {
@@ -35,13 +44,14 @@ void gemm(Trans trans_a, Trans trans_b, T alpha, ConstMatrixView<T> a, ConstMatr
   }
 
   // NN case: accumulate column-by-column with axpy-style inner loops, which
-  // keeps the A access unit-stride (the dominant case in the library).
+  // keeps the A access unit-stride. Every b(l, j) contributes — including
+  // exact zeros — so 0 × NaN/Inf entries of A propagate exactly as in the
+  // straightforward triple loop.
   if (trans_a == Trans::NoTrans && trans_b == Trans::NoTrans) {
     for (index_t j = 0; j < n; ++j) {
       for (index_t i = 0; i < m; ++i) c(i, j) = beta == T(0) ? T(0) : beta * c(i, j);
       for (index_t l = 0; l < k; ++l) {
         const T blj = alpha * b(l, j);
-        if (blj == T(0)) continue;
         const T* acol = &a(0, l);
         T* ccol = &c(0, j);
         for (index_t i = 0; i < m; ++i) ccol[i] += blj * acol[i];
@@ -74,18 +84,35 @@ void gemm(Trans trans_a, Trans trans_b, T alpha, ConstMatrixView<T> a, ConstMatr
   }
 }
 
-template void gemm<float>(Trans, Trans, float, ConstMatrixView<float>, ConstMatrixView<float>,
-                          float, MatrixView<float>);
-template void gemm<double>(Trans, Trans, double, ConstMatrixView<double>,
-                           ConstMatrixView<double>, double, MatrixView<double>);
-template void gemm<std::complex<float>>(Trans, Trans, std::complex<float>,
-                                        ConstMatrixView<std::complex<float>>,
-                                        ConstMatrixView<std::complex<float>>,
-                                        std::complex<float>, MatrixView<std::complex<float>>);
-template void gemm<std::complex<double>>(Trans, Trans, std::complex<double>,
-                                         ConstMatrixView<std::complex<double>>,
-                                         ConstMatrixView<std::complex<double>>,
-                                         std::complex<double>,
-                                         MatrixView<std::complex<double>>);
+template <typename T>
+void gemm(Trans trans_a, Trans trans_b, T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b,
+          T beta, MatrixView<T> c) {
+  gemm_check(trans_a, trans_b, a, b, c);
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = trans_a == Trans::NoTrans ? a.cols() : a.rows();
+
+  const micro::Dispatch d = micro::dispatch();
+  const bool blocked = d == micro::Dispatch::ForceBlocked ||
+                       (d == micro::Dispatch::Auto && micro::use_blocked<T>(m, n, k));
+  if (blocked) {
+    micro::gemm_blocked(trans_a, trans_b, alpha, a, b, beta, c);
+  } else {
+    gemm_ref(trans_a, trans_b, alpha, a, b, beta, c);
+  }
+}
+
+#define VBATCH_INSTANTIATE_GEMM(T)                                                          \
+  template void gemm<T>(Trans, Trans, T, ConstMatrixView<T>, ConstMatrixView<T>, T,         \
+                        MatrixView<T>);                                                     \
+  template void gemm_ref<T>(Trans, Trans, T, ConstMatrixView<T>, ConstMatrixView<T>, T,     \
+                            MatrixView<T>)
+
+VBATCH_INSTANTIATE_GEMM(float);
+VBATCH_INSTANTIATE_GEMM(double);
+VBATCH_INSTANTIATE_GEMM(std::complex<float>);
+VBATCH_INSTANTIATE_GEMM(std::complex<double>);
+
+#undef VBATCH_INSTANTIATE_GEMM
 
 }  // namespace vbatch::blas

@@ -1,0 +1,191 @@
+#include "vbatch/blas/microkernel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#define VBATCH_RESTRICT __restrict__
+
+namespace vbatch::blas::micro {
+
+namespace {
+
+std::atomic<int> g_dispatch{static_cast<int>(Dispatch::Auto)};
+
+// Thread-local packing buffers, one pair per scalar type. They grow to the
+// fixed maximum (MC×KC for A, KC×NC for B, rounded up to whole slivers) on
+// first use and are reused by every subsequent call on the same thread.
+template <typename T>
+std::vector<T>& pack_buffer_a() {
+  static thread_local std::vector<T> buf;
+  return buf;
+}
+
+template <typename T>
+std::vector<T>& pack_buffer_b() {
+  static thread_local std::vector<T> buf;
+  return buf;
+}
+
+// Packs op(A)(i0 : i0+mc, p0 : p0+kc) into MR-row slivers: sliver s holds
+// rows [s·MR, s·MR+MR) with the kc index varying fastest across slivers and
+// the MR rows contiguous within one k-slice. Partial slivers are zero-padded
+// so the micro-kernel never needs a row mask.
+template <typename T>
+void pack_a(ConstMatrixView<T> a, Trans trans, index_t i0, index_t p0, index_t mc, index_t kc,
+            T* VBATCH_RESTRICT dst) {
+  constexpr int MR = Tiling<T>::MR;
+  for (index_t ip = 0; ip < mc; ip += MR) {
+    const index_t mr = std::min<index_t>(MR, mc - ip);
+    T* VBATCH_RESTRICT panel = dst + (ip / MR) * (MR * kc);
+    if (trans == Trans::NoTrans) {
+      for (index_t l = 0; l < kc; ++l) {
+        const T* VBATCH_RESTRICT col = &a(i0 + ip, p0 + l);
+        T* VBATCH_RESTRICT out = panel + l * MR;
+        for (index_t r = 0; r < mr; ++r) out[r] = col[r];
+        for (index_t r = mr; r < MR; ++r) out[r] = T(0);
+      }
+    } else {
+      // op(A)(i, l) = conj(A(p0+l, i0+i)): each packed row reads one
+      // unit-stride column of the stored matrix.
+      for (index_t r = 0; r < mr; ++r) {
+        const T* VBATCH_RESTRICT col = &a(p0, i0 + ip + r);
+        for (index_t l = 0; l < kc; ++l) panel[l * MR + r] = conj_val(col[l]);
+      }
+      for (index_t r = mr; r < MR; ++r)
+        for (index_t l = 0; l < kc; ++l) panel[l * MR + r] = T(0);
+    }
+  }
+}
+
+// Packs op(B)(p0 : p0+kc, j0 : j0+nc) into NR-column slivers (NR entries of
+// one k-slice contiguous), zero-padding partial slivers.
+template <typename T>
+void pack_b(ConstMatrixView<T> b, Trans trans, index_t p0, index_t j0, index_t kc, index_t nc,
+            T* VBATCH_RESTRICT dst) {
+  constexpr int NR = Tiling<T>::NR;
+  for (index_t jp = 0; jp < nc; jp += NR) {
+    const index_t nr = std::min<index_t>(NR, nc - jp);
+    T* VBATCH_RESTRICT panel = dst + (jp / NR) * (NR * kc);
+    if (trans == Trans::NoTrans) {
+      for (index_t cidx = 0; cidx < nr; ++cidx) {
+        const T* VBATCH_RESTRICT col = &b(p0, j0 + jp + cidx);
+        for (index_t l = 0; l < kc; ++l) panel[l * NR + cidx] = col[l];
+      }
+      for (index_t cidx = nr; cidx < NR; ++cidx)
+        for (index_t l = 0; l < kc; ++l) panel[l * NR + cidx] = T(0);
+    } else {
+      // op(B)(l, j) = conj(B(j0+j, p0+l)): one k-slice reads a unit-stride
+      // row segment of the stored matrix.
+      for (index_t l = 0; l < kc; ++l) {
+        const T* VBATCH_RESTRICT row = &b(j0 + jp, p0 + l);
+        T* VBATCH_RESTRICT out = panel + l * NR;
+        for (index_t cidx = 0; cidx < nr; ++cidx) out[cidx] = conj_val(row[cidx]);
+        for (index_t cidx = nr; cidx < NR; ++cidx) out[cidx] = T(0);
+      }
+    }
+  }
+}
+
+// The register tile: acc[MR×NR] += Σ_l a_sliver(:, l) ⊗ b_sliver(l, :).
+// MR/NR are compile-time constants, so the i/j loops fully unroll and the
+// accumulators live in vector registers; the only memory traffic per k-step
+// is MR + NR contiguous loads from the packed panels.
+template <typename T>
+inline void micro_tile(index_t kc, const T* VBATCH_RESTRICT ap, const T* VBATCH_RESTRICT bp,
+                       T* VBATCH_RESTRICT acc) {
+  constexpr int MR = Tiling<T>::MR;
+  constexpr int NR = Tiling<T>::NR;
+  for (index_t l = 0; l < kc; ++l) {
+    const T* VBATCH_RESTRICT av = ap + l * MR;
+    const T* VBATCH_RESTRICT bv = bp + l * NR;
+    for (int j = 0; j < NR; ++j) {
+      const T bval = bv[j];
+      for (int i = 0; i < MR; ++i) acc[j * MR + i] += av[i] * bval;
+    }
+  }
+}
+
+}  // namespace
+
+void set_dispatch(Dispatch d) noexcept {
+  g_dispatch.store(static_cast<int>(d), std::memory_order_relaxed);
+}
+
+Dispatch dispatch() noexcept {
+  return static_cast<Dispatch>(g_dispatch.load(std::memory_order_relaxed));
+}
+
+template <typename T>
+void gemm_blocked(Trans trans_a, Trans trans_b, T alpha, ConstMatrixView<T> a,
+                  ConstMatrixView<T> b, T beta, MatrixView<T> c) {
+  constexpr int MR = Tiling<T>::MR;
+  constexpr int NR = Tiling<T>::NR;
+  constexpr index_t KC = Tiling<T>::KC;
+  constexpr index_t MC = Tiling<T>::MC;
+  constexpr index_t NC = Tiling<T>::NC;
+
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = trans_a == Trans::NoTrans ? a.cols() : a.rows();
+
+  if (m == 0 || n == 0) return;
+
+  // One beta pass up front; the k-blocked accumulation below then always
+  // adds alpha · A_p · B_p in k-block order (deterministic for any caller).
+  if (beta != T(1)) {
+    for (index_t j = 0; j < n; ++j) {
+      T* VBATCH_RESTRICT ccol = &c(0, j);
+      for (index_t i = 0; i < m; ++i) ccol[i] = beta == T(0) ? T(0) : beta * ccol[i];
+    }
+  }
+  if (k == 0 || alpha == T(0)) return;
+
+  auto& abuf = pack_buffer_a<T>();
+  auto& bbuf = pack_buffer_b<T>();
+  abuf.resize(static_cast<std::size_t>((MC + MR - 1) / MR * MR * KC));
+  bbuf.resize(static_cast<std::size_t>((NC + NR - 1) / NR * NR * KC));
+
+  for (index_t jj = 0; jj < n; jj += NC) {
+    const index_t nc = std::min(NC, n - jj);
+    for (index_t pp = 0; pp < k; pp += KC) {
+      const index_t kc = std::min(KC, k - pp);
+      pack_b(b, trans_b, pp, jj, kc, nc, bbuf.data());
+      for (index_t ii = 0; ii < m; ii += MC) {
+        const index_t mc = std::min(MC, m - ii);
+        pack_a(a, trans_a, ii, pp, mc, kc, abuf.data());
+        for (index_t jr = 0; jr < nc; jr += NR) {
+          const index_t nr = std::min<index_t>(NR, nc - jr);
+          const T* bp = bbuf.data() + (jr / NR) * (NR * kc);
+          for (index_t ir = 0; ir < mc; ir += MR) {
+            const index_t mr = std::min<index_t>(MR, mc - ir);
+            T acc[MR * NR] = {};
+            micro_tile<T>(kc, abuf.data() + (ir / MR) * (MR * kc), bp, acc);
+            for (index_t j = 0; j < nr; ++j) {
+              T* VBATCH_RESTRICT ccol = &c(ii + ir, jj + jr + j);
+              const T* VBATCH_RESTRICT av = acc + j * MR;
+              for (index_t i = 0; i < mr; ++i) ccol[i] += alpha * av[i];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+template void gemm_blocked<float>(Trans, Trans, float, ConstMatrixView<float>,
+                                  ConstMatrixView<float>, float, MatrixView<float>);
+template void gemm_blocked<double>(Trans, Trans, double, ConstMatrixView<double>,
+                                   ConstMatrixView<double>, double, MatrixView<double>);
+template void gemm_blocked<std::complex<float>>(Trans, Trans, std::complex<float>,
+                                                ConstMatrixView<std::complex<float>>,
+                                                ConstMatrixView<std::complex<float>>,
+                                                std::complex<float>,
+                                                MatrixView<std::complex<float>>);
+template void gemm_blocked<std::complex<double>>(Trans, Trans, std::complex<double>,
+                                                 ConstMatrixView<std::complex<double>>,
+                                                 ConstMatrixView<std::complex<double>>,
+                                                 std::complex<double>,
+                                                 MatrixView<std::complex<double>>);
+
+}  // namespace vbatch::blas::micro

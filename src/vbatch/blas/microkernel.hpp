@@ -1,0 +1,99 @@
+// Register/cache-blocked micro-kernel engine for the host BLAS layer.
+//
+// The reference loops in gemm.cpp / syrk.cpp / trsm.cpp / trmm.cpp are
+// element-at-a-time and memory-bound; every real-numerics path of the
+// library (fused-step rank-k updates, the separated-path gemm sweeps, the
+// CPU baselines) funnels through them. This engine provides the classic
+// GotoBLAS/BLIS decomposition instead:
+//
+//   * the operands are packed into thread-local, zero-padded panels —
+//     op(A) into MR-row slivers, op(B) into NR-column slivers — so the
+//     innermost loops read contiguous, unit-stride memory regardless of
+//     the caller's leading dimensions or transposition flags;
+//   * an MR×NR register tile accumulates KC-long rank-1 updates with
+//     compile-time bounds, which the compiler unrolls and auto-vectorizes;
+//   * the m/n/k loops are blocked by MC/KC/NC so the packed A block stays
+//     L2-resident and each packed B sliver stays L1-resident.
+//
+// All four trans combinations reduce to the same packed core (packing
+// applies the transposition and, for complex scalars, the library's
+// conjugate convention: Trans on a complex operand means Aᴴ). Arbitrary
+// m, n, k are handled by zero-padding partial slivers and masking the
+// write-back, so the engine is exact for every size including 0 and 1.
+//
+// Dispatch policy lives here too: blas::gemm and friends call the engine
+// above a small-size cutoff (`use_blocked`) and fall back to the *_ref
+// loops below it. Tests and benches can pin either path via set_dispatch.
+// See docs/blas.md for the tiling parameters and how to retune them.
+#pragma once
+
+#include "vbatch/util/matrix_view.hpp"
+#include "vbatch/util/types.hpp"
+
+namespace vbatch::blas::micro {
+
+/// Blocking parameters per scalar type. MR×NR is the register tile; KC/MC/NC
+/// are the cache-blocking depths (see docs/blas.md for the sizing rationale).
+template <typename T>
+struct Tiling;
+
+template <>
+struct Tiling<float> {
+  static constexpr int MR = 8, NR = 4;
+  static constexpr index_t KC = 256, MC = 128, NC = 512;
+};
+template <>
+struct Tiling<double> {
+  static constexpr int MR = 4, NR = 4;
+  static constexpr index_t KC = 256, MC = 128, NC = 256;
+};
+template <>
+struct Tiling<std::complex<float>> {
+  static constexpr int MR = 4, NR = 2;
+  static constexpr index_t KC = 128, MC = 96, NC = 256;
+};
+template <>
+struct Tiling<std::complex<double>> {
+  static constexpr int MR = 2, NR = 2;
+  static constexpr index_t KC = 128, MC = 96, NC = 256;
+};
+
+/// Which implementation the public blas::gemm/syrk/trsm/trmm entry points
+/// select. Auto applies the `use_blocked` cutoff; ForceRef / ForceBlocked pin
+/// one path (used by the conformance suite and the wallclock_blas bench).
+enum class Dispatch : int { Auto, ForceRef, ForceBlocked };
+
+/// Sets the process-wide dispatch mode. Not meant to be toggled while
+/// kernels are in flight on the worker pool.
+void set_dispatch(Dispatch d) noexcept;
+[[nodiscard]] Dispatch dispatch() noexcept;
+
+/// RAII guard pinning the dispatch mode for a scope (tests/benches).
+class DispatchGuard {
+ public:
+  explicit DispatchGuard(Dispatch d) noexcept : prev_(dispatch()) { set_dispatch(d); }
+  ~DispatchGuard() { set_dispatch(prev_); }
+  DispatchGuard(const DispatchGuard&) = delete;
+  DispatchGuard& operator=(const DispatchGuard&) = delete;
+
+ private:
+  Dispatch prev_;
+};
+
+/// Cutoff policy: true when the packed engine is expected to beat the
+/// reference loops for a gemm-shaped problem of the given extents. Below the
+/// cutoff the packing traffic (m·k + k·n writes) is not amortized by the
+/// 2·m·n·k flops.
+template <typename T>
+[[nodiscard]] constexpr bool use_blocked(index_t m, index_t n, index_t k) noexcept {
+  return m >= Tiling<T>::MR && n >= 4 && k >= 8 &&
+         static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k) >= 4096.0;
+}
+
+/// C = alpha·op(A)·op(B) + beta·C through the packed MR×NR core. Dimensions
+/// must already be validated (blas::gemm does); any m, n, k ≥ 0 is handled.
+template <typename T>
+void gemm_blocked(Trans trans_a, Trans trans_b, T alpha, ConstMatrixView<T> a,
+                  ConstMatrixView<T> b, T beta, MatrixView<T> c);
+
+}  // namespace vbatch::blas::micro

@@ -1,26 +1,113 @@
+#include <algorithm>
+#include <vector>
+
 #include "vbatch/blas/blas.hpp"
+#include "vbatch/blas/microkernel.hpp"
 #include "vbatch/util/error.hpp"
 
 namespace vbatch::blas {
 
+namespace {
+
+// Width of the diagonal blocks the blocked path hands to syrk_ref; the
+// off-diagonal rectangles (the bulk of the triangle) go through the packed
+// gemm engine.
+constexpr index_t kSyrkDiagBlock = 32;
+
 template <typename T>
-void syrk(Uplo uplo, Trans trans, T alpha, ConstMatrixView<T> a, T beta, MatrixView<T> c) {
+void syrk_check(Trans trans, ConstMatrixView<T> a, MatrixView<T> c) {
   const index_t n = c.rows();
   require(c.cols() == n, "syrk: C must be square");
-  const index_t k = trans == Trans::NoTrans ? a.cols() : a.rows();
   require((trans == Trans::NoTrans ? a.rows() : a.cols()) == n, "syrk: op(A) rows != n");
+}
+
+// Blocked path: partition the triangle into kSyrkDiagBlock-wide block
+// columns (Lower) / block rows (Upper); diagonal blocks keep the reference
+// semantics (including the real diagonal accumulation), rectangles become
+// gemm calls that the micro-kernel engine accelerates. Each C element is
+// touched exactly once, so alpha/beta semantics match syrk_ref.
+template <typename T>
+void syrk_blocked(Uplo uplo, Trans trans, T alpha, ConstMatrixView<T> a, T beta,
+                  MatrixView<T> c) {
+  const index_t n = c.rows();
+  const index_t k = trans == Trans::NoTrans ? a.cols() : a.rows();
+
+  // For NoTrans diagonal blocks the reference loops would read jb rows of A
+  // with leading-dimension stride across the whole k range; repacking the
+  // row slab as its conjugate transpose makes both factors unit-stride and
+  // sums exactly the same terms in the same order (bit-identical result).
+  std::vector<T> slab;
+  if (trans == Trans::NoTrans) slab.resize(static_cast<std::size_t>(k * kSyrkDiagBlock));
+
+  for (index_t j = 0; j < n; j += kSyrkDiagBlock) {
+    const index_t jb = std::min(kSyrkDiagBlock, n - j);
+
+    auto diag = c.block(j, j, jb, jb);
+    if (trans == Trans::NoTrans) {
+      for (index_t r = 0; r < jb; ++r)
+        for (index_t l = 0; l < k; ++l)
+          slab[static_cast<std::size_t>(l + r * k)] = conj_val(a(j + r, l));
+      syrk_ref<T>(uplo, Trans::Trans, alpha, ConstMatrixView<T>(slab.data(), k, jb, k), beta,
+                  diag);
+    } else {
+      syrk_ref<T>(uplo, Trans::Trans, alpha, a.block(0, j, k, jb), beta, diag);
+    }
+
+    if (uplo == Uplo::Lower) {
+      const index_t rem = n - j - jb;
+      if (rem > 0) {
+        if (trans == Trans::NoTrans) {
+          gemm<T>(Trans::NoTrans, Trans::Trans, alpha, a.block(j + jb, 0, rem, k),
+                  a.block(j, 0, jb, k), beta, c.block(j + jb, j, rem, jb));
+        } else {
+          gemm<T>(Trans::Trans, Trans::NoTrans, alpha, a.block(0, j + jb, k, rem),
+                  a.block(0, j, k, jb), beta, c.block(j + jb, j, rem, jb));
+        }
+      }
+    } else {
+      if (j > 0) {
+        if (trans == Trans::NoTrans) {
+          gemm<T>(Trans::NoTrans, Trans::Trans, alpha, a.block(0, 0, j, k),
+                  a.block(j, 0, jb, k), beta, c.block(0, j, j, jb));
+        } else {
+          gemm<T>(Trans::Trans, Trans::NoTrans, alpha, a.block(0, 0, k, j),
+                  a.block(0, j, k, jb), beta, c.block(0, j, j, jb));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void syrk_ref(Uplo uplo, Trans trans, T alpha, ConstMatrixView<T> a, T beta, MatrixView<T> c) {
+  syrk_check(trans, a, c);
+  const index_t n = c.rows();
+  const index_t k = trans == Trans::NoTrans ? a.cols() : a.rows();
 
   auto in_triangle = [uplo](index_t i, index_t j) {
     return uplo == Uplo::Lower ? i >= j : i <= j;
   };
 
   // For complex scalars this is the herk operation (C = α·op(A)·op(A)ᴴ +
-  // β·C), following the library's Hermitian convention.
+  // β·C), following the library's Hermitian convention. The diagonal of
+  // op(A)·op(A)ᴴ is mathematically real, so it is accumulated as a real
+  // scalar — no rounding-level (or FMA-contraction) imaginary residue is
+  // ever left on c(i, i).
   for (index_t j = 0; j < n; ++j) {
     for (index_t i = 0; i < n; ++i) {
       if (!in_triangle(i, j)) continue;
       T sum = T(0);
-      if (trans == Trans::NoTrans) {
+      if (i == j) {
+        real_t<T> diag_sum(0);
+        if (trans == Trans::NoTrans) {
+          for (index_t l = 0; l < k; ++l) diag_sum += real_val(a(i, l) * conj_val(a(i, l)));
+        } else {
+          for (index_t l = 0; l < k; ++l) diag_sum += real_val(conj_val(a(l, i)) * a(l, i));
+        }
+        sum = T(diag_sum);
+      } else if (trans == Trans::NoTrans) {
         for (index_t l = 0; l < k; ++l) sum += a(i, l) * conj_val(a(j, l));
       } else {
         for (index_t l = 0; l < k; ++l) sum += conj_val(a(l, i)) * a(l, j);
@@ -30,15 +117,32 @@ void syrk(Uplo uplo, Trans trans, T alpha, ConstMatrixView<T> a, T beta, MatrixV
   }
 }
 
-template void syrk<float>(Uplo, Trans, float, ConstMatrixView<float>, float, MatrixView<float>);
-template void syrk<double>(Uplo, Trans, double, ConstMatrixView<double>, double,
-                           MatrixView<double>);
-template void syrk<std::complex<float>>(Uplo, Trans, std::complex<float>,
-                                        ConstMatrixView<std::complex<float>>,
-                                        std::complex<float>, MatrixView<std::complex<float>>);
-template void syrk<std::complex<double>>(Uplo, Trans, std::complex<double>,
-                                         ConstMatrixView<std::complex<double>>,
-                                         std::complex<double>,
-                                         MatrixView<std::complex<double>>);
+template <typename T>
+void syrk(Uplo uplo, Trans trans, T alpha, ConstMatrixView<T> a, T beta, MatrixView<T> c) {
+  syrk_check(trans, a, c);
+  const index_t n = c.rows();
+  const index_t k = trans == Trans::NoTrans ? a.cols() : a.rows();
+
+  const micro::Dispatch d = micro::dispatch();
+  const bool blocked =
+      d == micro::Dispatch::ForceBlocked ||
+      (d == micro::Dispatch::Auto && n > kSyrkDiagBlock && micro::use_blocked<T>(n, n, k));
+  if (blocked && n > 0 && alpha != T(0) && k > 0) {
+    syrk_blocked(uplo, trans, alpha, a, beta, c);
+  } else {
+    syrk_ref(uplo, trans, alpha, a, beta, c);
+  }
+}
+
+#define VBATCH_INSTANTIATE_SYRK(T)                                                     \
+  template void syrk<T>(Uplo, Trans, T, ConstMatrixView<T>, T, MatrixView<T>);         \
+  template void syrk_ref<T>(Uplo, Trans, T, ConstMatrixView<T>, T, MatrixView<T>)
+
+VBATCH_INSTANTIATE_SYRK(float);
+VBATCH_INSTANTIATE_SYRK(double);
+VBATCH_INSTANTIATE_SYRK(std::complex<float>);
+VBATCH_INSTANTIATE_SYRK(std::complex<double>);
+
+#undef VBATCH_INSTANTIATE_SYRK
 
 }  // namespace vbatch::blas

@@ -1,17 +1,108 @@
+#include <algorithm>
 #include <vector>
 
 #include "vbatch/blas/blas.hpp"
+#include "vbatch/blas/microkernel.hpp"
 #include "vbatch/util/error.hpp"
 
 namespace vbatch::blas {
 
+namespace {
+
+// Same base order as trsm: below it the reference loops win, above it the
+// coupling blocks become micro-kernel gemms.
+constexpr index_t kTrmmBaseOrder = 32;
+
 template <typename T>
-void trmm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha, ConstMatrixView<T> a,
-          MatrixView<T> b) {
+void trmm_check(Side side, ConstMatrixView<T> a, MatrixView<T> b) {
+  const index_t ka = side == Side::Left ? b.rows() : b.cols();
+  require(a.rows() == ka && a.cols() == ka, "trmm: A dimension mismatch");
+}
+
+// Recursive triangular multiply with unit alpha. The half of B whose new
+// value needs the *old* other half is updated in an order that never reads
+// overwritten data: multiply the dependent half first (recursion touches
+// only that half), add the coupling gemm, then recurse on the other half.
+template <typename T>
+void trmm_rec(Side side, Uplo uplo, Trans trans, Diag diag, ConstMatrixView<T> a,
+              MatrixView<T> b) {
+  const index_t ka = a.rows();
+  if (ka <= kTrmmBaseOrder) {
+    trmm_ref<T>(side, uplo, trans, diag, T(1), a, b);
+    return;
+  }
+  const index_t h = ka / 2;
+  const index_t r = ka - h;
+  auto a11 = a.block(0, 0, h, h);
+  auto a22 = a.block(h, h, r, r);
   const index_t m = b.rows();
   const index_t n = b.cols();
-  const index_t ka = side == Side::Left ? m : n;
-  require(a.rows() == ka && a.cols() == ka, "trmm: A dimension mismatch");
+
+  if (side == Side::Left) {
+    auto b1 = b.block(0, 0, h, n);
+    auto b2 = b.block(h, 0, r, n);
+    if (uplo == Uplo::Lower) {
+      auto a21 = a.block(h, 0, r, h);
+      if (trans == Trans::NoTrans) {
+        trmm_rec(side, uplo, trans, diag, a22, b2);
+        gemm<T>(Trans::NoTrans, Trans::NoTrans, T(1), a21, b1, T(1), b2);
+        trmm_rec(side, uplo, trans, diag, a11, b1);
+      } else {
+        trmm_rec(side, uplo, trans, diag, a11, b1);
+        gemm<T>(Trans::Trans, Trans::NoTrans, T(1), a21, b2, T(1), b1);
+        trmm_rec(side, uplo, trans, diag, a22, b2);
+      }
+    } else {
+      auto a12 = a.block(0, h, h, r);
+      if (trans == Trans::NoTrans) {
+        trmm_rec(side, uplo, trans, diag, a11, b1);
+        gemm<T>(Trans::NoTrans, Trans::NoTrans, T(1), a12, b2, T(1), b1);
+        trmm_rec(side, uplo, trans, diag, a22, b2);
+      } else {
+        trmm_rec(side, uplo, trans, diag, a22, b2);
+        gemm<T>(Trans::Trans, Trans::NoTrans, T(1), a12, b1, T(1), b2);
+        trmm_rec(side, uplo, trans, diag, a11, b1);
+      }
+    }
+    return;
+  }
+
+  auto b1 = b.block(0, 0, m, h);
+  auto b2 = b.block(0, h, m, r);
+  if (uplo == Uplo::Lower) {
+    auto a21 = a.block(h, 0, r, h);
+    if (trans == Trans::NoTrans) {
+      trmm_rec(side, uplo, trans, diag, a11, b1);
+      gemm<T>(Trans::NoTrans, Trans::NoTrans, T(1), b2, a21, T(1), b1);
+      trmm_rec(side, uplo, trans, diag, a22, b2);
+    } else {
+      trmm_rec(side, uplo, trans, diag, a22, b2);
+      gemm<T>(Trans::NoTrans, Trans::Trans, T(1), b1, a21, T(1), b2);
+      trmm_rec(side, uplo, trans, diag, a11, b1);
+    }
+  } else {
+    auto a12 = a.block(0, h, h, r);
+    if (trans == Trans::NoTrans) {
+      trmm_rec(side, uplo, trans, diag, a22, b2);
+      gemm<T>(Trans::NoTrans, Trans::NoTrans, T(1), b1, a12, T(1), b2);
+      trmm_rec(side, uplo, trans, diag, a11, b1);
+    } else {
+      trmm_rec(side, uplo, trans, diag, a11, b1);
+      gemm<T>(Trans::NoTrans, Trans::Trans, T(1), b2, a12, T(1), b1);
+      trmm_rec(side, uplo, trans, diag, a22, b2);
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void trmm_ref(Side side, Uplo uplo, Trans trans, Diag diag, T alpha, ConstMatrixView<T> a,
+              MatrixView<T> b) {
+  trmm_check(side, a, b);
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  const index_t ka = a.rows();
   if (m == 0 || n == 0) return;
 
   const bool unit = diag == Diag::Unit;
@@ -54,15 +145,43 @@ void trmm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha, ConstMatrixView
   }
 }
 
-template void trmm<float>(Side, Uplo, Trans, Diag, float, ConstMatrixView<float>,
-                          MatrixView<float>);
-template void trmm<double>(Side, Uplo, Trans, Diag, double, ConstMatrixView<double>,
-                           MatrixView<double>);
-template void trmm<std::complex<float>>(Side, Uplo, Trans, Diag, std::complex<float>,
-                                        ConstMatrixView<std::complex<float>>,
-                                        MatrixView<std::complex<float>>);
-template void trmm<std::complex<double>>(Side, Uplo, Trans, Diag, std::complex<double>,
-                                         ConstMatrixView<std::complex<double>>,
-                                         MatrixView<std::complex<double>>);
+template <typename T>
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha, ConstMatrixView<T> a,
+          MatrixView<T> b) {
+  trmm_check(side, a, b);
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  if (m == 0 || n == 0) return;
+  const index_t ka = a.rows();
+  const index_t nrhs = side == Side::Left ? n : m;
+
+  const micro::Dispatch d = micro::dispatch();
+  const bool blocked =
+      ka > kTrmmBaseOrder &&
+      (d == micro::Dispatch::ForceBlocked ||
+       (d == micro::Dispatch::Auto &&
+        static_cast<double>(ka) * static_cast<double>(ka) * static_cast<double>(nrhs) >=
+            32768.0));
+  if (!blocked) {
+    trmm_ref(side, uplo, trans, diag, alpha, a, b);
+    return;
+  }
+  trmm_rec(side, uplo, trans, diag, a, b);
+  if (alpha != T(1)) {
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i) b(i, j) = alpha == T(0) ? T(0) : alpha * b(i, j);
+  }
+}
+
+#define VBATCH_INSTANTIATE_TRMM(T)                                                         \
+  template void trmm<T>(Side, Uplo, Trans, Diag, T, ConstMatrixView<T>, MatrixView<T>);    \
+  template void trmm_ref<T>(Side, Uplo, Trans, Diag, T, ConstMatrixView<T>, MatrixView<T>)
+
+VBATCH_INSTANTIATE_TRMM(float);
+VBATCH_INSTANTIATE_TRMM(double);
+VBATCH_INSTANTIATE_TRMM(std::complex<float>);
+VBATCH_INSTANTIATE_TRMM(std::complex<double>);
+
+#undef VBATCH_INSTANTIATE_TRMM
 
 }  // namespace vbatch::blas

@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <tuple>
 #include <vector>
 
 #include "vbatch/blas/blas.hpp"
+#include "vbatch/blas/microkernel.hpp"
 #include "vbatch/util/error.hpp"
 #include "vbatch/util/rng.hpp"
 
@@ -108,6 +110,24 @@ TEST(Gemm, EmptyDimensionsAreNoops) {
   ConstMatrixView<double> b(buf.data(), 0, 2, 2);  // k == 0
   blas::gemm<double>(Trans::NoTrans, Trans::NoTrans, 1.0, a, b, 1.0, c);
   EXPECT_DOUBLE_EQ(c(0, 0), 1.0);
+}
+
+TEST(Gemm, NanInAPropagatesThroughZeroInB) {
+  // Regression: the NN fast path used to skip the inner update when
+  // b(l, j) == 0, which silently dropped 0 × NaN (and 0 × Inf) products.
+  // IEEE semantics require NaN to reach C on every dispatch path.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (blas::micro::Dispatch d :
+       {blas::micro::Dispatch::ForceRef, blas::micro::Dispatch::ForceBlocked}) {
+    blas::micro::DispatchGuard guard(d);
+    std::vector<double> abuf(16, 1.0), bbuf(16, 0.0), cbuf(16, 0.5);
+    abuf[0] = nan;  // a(0, 0)
+    ConstMatrixView<double> a(abuf.data(), 4, 4, 4);
+    ConstMatrixView<double> b(bbuf.data(), 4, 4, 4);
+    MatrixView<double> c(cbuf.data(), 4, 4, 4);
+    blas::gemm<double>(Trans::NoTrans, Trans::NoTrans, 1.0, a, b, 1.0, c);
+    for (index_t j = 0; j < 4; ++j) EXPECT_TRUE(std::isnan(c(0, j))) << "col " << j;
+  }
 }
 
 TEST(Gemm, DimensionMismatchThrows) {

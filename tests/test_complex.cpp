@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "vbatch/blas/blas.hpp"
+#include "vbatch/blas/microkernel.hpp"
 #include "vbatch/core/blas_vbatched.hpp"
 #include "vbatch/core/potrf_vbatched.hpp"
 #include "vbatch/core/potrs_vbatched.hpp"
@@ -67,6 +68,29 @@ TEST(ComplexBlas, HerkProducesHermitianResult) {
       for (index_t l = 0; l < k; ++l) sum += av(i, l) * std::conj(av(j, l));
       EXPECT_NEAR(std::abs(cv(i, j) - sum), 0.0, 1e-13);
     }
+}
+
+TEST(ComplexBlas, HerkDiagonalImagIsExactlyZero) {
+  // herk hygiene: the diagonal of A·Aᴴ is accumulated as a real sum, so the
+  // imaginary part is exactly 0.0 — not merely small — on every dispatch
+  // path and regardless of FP contraction (-march=native FMA included).
+  Rng rng(307);
+  const index_t n = 70, k = 40;  // large enough to take the blocked path
+  for (blas::micro::Dispatch d :
+       {blas::micro::Dispatch::ForceRef, blas::micro::Dispatch::ForceBlocked}) {
+    blas::micro::DispatchGuard guard(d);
+    for (Trans trans : {Trans::NoTrans, Trans::Trans}) {
+      const index_t ar = trans == Trans::NoTrans ? n : k;
+      const index_t ac = trans == Trans::NoTrans ? k : n;
+      std::vector<Z> a(static_cast<std::size_t>(ar * ac));
+      fill_general(rng, a.data(), ar, ac, ar);
+      std::vector<Z> c(static_cast<std::size_t>(n * n), Z(0.25, 0.0));
+      MatrixView<Z> cv(c.data(), n, n, n);
+      blas::syrk<Z>(Uplo::Lower, trans, Z(1), ConstMatrixView<Z>(a.data(), ar, ac, ar), Z(0.5),
+                    cv);
+      for (index_t dd = 0; dd < n; ++dd) EXPECT_EQ(cv(dd, dd).imag(), 0.0) << "diag " << dd;
+    }
+  }
 }
 
 TEST(ComplexBlas, TrsmTrmmRoundTripWithConjugateTranspose) {
