@@ -19,21 +19,17 @@
 
 namespace vbatch::detail {
 
-namespace {
-
 /// Panel blocking for the separated path: the largest square panel the
 /// potf2 kernel can stage, rounded to the trtri block quantum.
-int choose_separated_nb(std::size_t elem_size) {
+int default_separated_nb(std::size_t elem_size) noexcept {
   return elem_size == sizeof(double) ? 64 : 96;
 }
-
-}  // namespace
 
 template <typename T>
 double potrf_separated_run(Queue& q, Uplo uplo, const VbatchedProblem<T>& prob, int max_n,
                            int NB, bool streamed_syrk, int num_streams) {
   require(max_n >= 1, "potrf_separated: max_n must be positive");
-  if (NB <= 0) NB = choose_separated_nb(sizeof(T));
+  if (NB <= 0) NB = default_separated_nb(sizeof(T));
   const int batch = prob.count();
   sim::Device& dev = q.device();
   double seconds = 0.0;

@@ -83,6 +83,12 @@ template <typename T>
 double potrf_separated_run(Queue& q, Uplo uplo, const VbatchedProblem<T>& prob, int max_n,
                            int NB, bool streamed_syrk, int num_streams);
 
+/// The separated path's default panel blocking for the given element size
+/// (what potrf_separated_run picks when NB <= 0). Exposed so layers that
+/// must pin one NB across several sub-batches (vbatch::hetero) replicate
+/// the single-device choice exactly.
+[[nodiscard]] int default_separated_nb(std::size_t elem_size) noexcept;
+
 }  // namespace detail
 
 }  // namespace vbatch

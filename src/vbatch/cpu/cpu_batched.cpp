@@ -14,21 +14,15 @@ namespace vbatch::cpu {
 // the model decides the reported time.
 using util::host_pool;
 
-template <typename T>
-CpuBatchResult potrf_batched_per_core(const CpuSpec& spec, Schedule schedule, Uplo uplo,
-                                      std::span<const int> n, T* const* a,
-                                      std::span<const int> lda, std::span<int> info,
-                                      bool execute) {
+double per_core_makespan(const CpuSpec& spec, Schedule schedule, Precision prec,
+                         std::span<const int> n) {
   const int count = static_cast<int>(n.size());
-  CpuBatchResult result;
-  result.flops = flops::potrf_batch(n);
-
   // Per-matrix modelled task times (single core + dispatch overhead).
   std::vector<double> task(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
     const int ni = n[static_cast<std::size_t>(i)];
     task[static_cast<std::size_t>(i)] =
-        spec.core_seconds(precision_v<T>, ni, flops::potrf(ni)) + spec.task_overhead_us * 1e-6;
+        spec.core_seconds(prec, ni, flops::potrf(ni)) + spec.task_overhead_us * 1e-6;
   }
 
   // Makespan of the chosen schedule over the modelled 16 cores.
@@ -44,7 +38,18 @@ CpuBatchResult potrf_batched_per_core(const CpuSpec& spec, Schedule schedule, Up
       *it += task[static_cast<std::size_t>(i)];
     }
   }
-  result.seconds = *std::max_element(core_time.begin(), core_time.end());
+  return *std::max_element(core_time.begin(), core_time.end());
+}
+
+template <typename T>
+CpuBatchResult potrf_batched_per_core(const CpuSpec& spec, Schedule schedule, Uplo uplo,
+                                      std::span<const int> n, T* const* a,
+                                      std::span<const int> lda, std::span<int> info,
+                                      bool execute) {
+  const int count = static_cast<int>(n.size());
+  CpuBatchResult result;
+  result.flops = flops::potrf_batch(n);
+  result.seconds = per_core_makespan(spec, schedule, precision_v<T>, n);
 
   if (execute) {
     host_pool().parallel_for(count, [&](int i) {

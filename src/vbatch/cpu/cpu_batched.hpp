@@ -28,6 +28,13 @@ struct CpuBatchResult {
   }
 };
 
+/// Modelled makespan of the one-core-per-matrix schedule over `n` (the
+/// timing half of potrf_batched_per_core, shared with the heterogeneous
+/// runtime's CPU executor): per-matrix single-core seconds + dispatch
+/// overhead, list-scheduled over the modelled cores.
+[[nodiscard]] double per_core_makespan(const CpuSpec& spec, Schedule schedule, Precision prec,
+                                       std::span<const int> n);
+
 /// One core per matrix; `schedule` picks static round-robin or dynamic
 /// (work-queue) assignment. `a` is the per-matrix pointer array.
 template <typename T>

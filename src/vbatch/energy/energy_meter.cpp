@@ -4,39 +4,49 @@
 
 namespace vbatch::energy {
 
-EnergyResult gpu_run_energy(const sim::DeviceSpec& spec, const PowerModel& gpu,
-                            const PowerModel& cpu_idle, const sim::Timeline& timeline,
-                            Precision prec, double t0) {
+EnergyResult gpu_timeline_energy(const sim::DeviceSpec& spec, const PowerModel& gpu,
+                                 const sim::Timeline& timeline, Precision prec, double t0) {
   EnergyResult r;
   const double peak = spec.peak_gflops(prec) * 1e9;
   double t_end = t0;
+  double busy = 0.0;
   for (const auto& rec : timeline.records()) {
     if (rec.start < t0) continue;
     const double dur = rec.end - rec.start;
     if (dur <= 0.0) continue;
     const double util = peak > 0.0 ? (rec.flops / dur) / peak : 0.0;
     r.joules += gpu.watts(util) * dur;
+    busy += dur;
     t_end = std::max(t_end, rec.end);
   }
   r.seconds = t_end - t0;
-  // Gaps between kernels draw idle power; the host CPU idles throughout.
-  const double busy = [&] {
-    double b = 0.0;
-    for (const auto& rec : timeline.records())
-      if (rec.start >= t0) b += rec.end - rec.start;
-    return b;
-  }();
+  // Gaps between kernels draw idle power.
   if (r.seconds > busy) r.joules += gpu.watts(0.0) * (r.seconds - busy);
+  return r;
+}
+
+EnergyResult cpu_interval_energy(const PowerModel& cpu, double seconds, double achieved_gflops,
+                                 double peak_gflops) {
+  EnergyResult r;
+  r.seconds = seconds;
+  const double util = peak_gflops > 0.0 ? achieved_gflops / peak_gflops : 0.0;
+  r.joules = cpu.watts(util) * seconds;
+  return r;
+}
+
+EnergyResult gpu_run_energy(const sim::DeviceSpec& spec, const PowerModel& gpu,
+                            const PowerModel& cpu_idle, const sim::Timeline& timeline,
+                            Precision prec, double t0) {
+  EnergyResult r = gpu_timeline_energy(spec, gpu, timeline, prec, t0);
+  // The host CPU idles throughout the GPU run.
   r.joules += cpu_idle.watts(0.0) * r.seconds;
   return r;
 }
 
 EnergyResult cpu_run_energy(const PowerModel& cpu, const PowerModel& gpu_idle, double seconds,
                             double achieved_gflops, double peak_gflops) {
-  EnergyResult r;
-  r.seconds = seconds;
-  const double util = peak_gflops > 0.0 ? achieved_gflops / peak_gflops : 0.0;
-  r.joules = cpu.watts(util) * seconds + gpu_idle.watts(0.0) * seconds;
+  EnergyResult r = cpu_interval_energy(cpu, seconds, achieved_gflops, peak_gflops);
+  r.joules += gpu_idle.watts(0.0) * seconds;
   return r;
 }
 

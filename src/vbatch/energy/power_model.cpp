@@ -14,6 +14,10 @@ PowerModel PowerModel::k40c() {
   return PowerModel{"Tesla K40c (modelled)", 25.0, 235.0, 0.6};
 }
 
+PowerModel PowerModel::p100() {
+  return PowerModel{"Tesla P100 (modelled)", 30.0, 250.0, 0.6};
+}
+
 PowerModel PowerModel::dual_e5_2670() {
   return PowerModel{"2x E5-2670 + DRAM (modelled)", 70.0, 290.0, 0.6};
 }

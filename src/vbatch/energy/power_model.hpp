@@ -20,6 +20,10 @@ struct PowerModel {
   /// Tesla K40c board power (235 W TDP, ~25 W idle).
   [[nodiscard]] static PowerModel k40c();
 
+  /// Tesla P100 board power (250 W TDP, ~30 W idle) — companion preset to
+  /// sim::DeviceSpec::p100().
+  [[nodiscard]] static PowerModel p100();
+
   /// Two E5-2670 packages + DRAM (2×115 W TDP + memory, ~70 W idle).
   [[nodiscard]] static PowerModel dual_e5_2670();
 };

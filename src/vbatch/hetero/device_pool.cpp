@@ -1,0 +1,62 @@
+#include "vbatch/hetero/device_pool.hpp"
+
+#include <sstream>
+
+#include "vbatch/util/error.hpp"
+
+namespace vbatch::hetero {
+
+Executor& DevicePool::add_gpu(const sim::DeviceSpec& spec, const energy::PowerModel& power,
+                              std::string label) {
+  if (label.empty()) label = spec.name;
+  executors_.push_back(
+      std::make_unique<GpuExecutor>(label + "#" + std::to_string(gpu_count()), spec, power));
+  return *executors_.back();
+}
+
+Executor& DevicePool::add_cpu(const cpu::CpuSpec& spec, const energy::PowerModel& power) {
+  require(!has_cpu(), "DevicePool: at most one CPU executor per pool");
+  executors_.push_back(std::make_unique<CpuExecutor>("cpu", spec, power));
+  return *executors_.back();
+}
+
+DevicePool DevicePool::parse(const std::string& csv) {
+  DevicePool pool;
+  std::stringstream ss(csv);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token.empty()) continue;
+    if (token == "k40c") {
+      pool.add_gpu(sim::DeviceSpec::k40c(), energy::PowerModel::k40c(), "k40c");
+    } else if (token == "p100") {
+      pool.add_gpu(sim::DeviceSpec::p100(), energy::PowerModel::p100(), "p100");
+    } else if (token == "cpu") {
+      pool.add_cpu();
+    } else {
+      throw_error(Status::InvalidArgument,
+                  "DevicePool: unknown device '" + token + "' (expected k40c, p100, or cpu)");
+    }
+  }
+  require(pool.size() > 0, "DevicePool: empty device list");
+  return pool;
+}
+
+int DevicePool::gpu_count() const noexcept {
+  int count = 0;
+  for (const auto& e : executors_)
+    if (e->is_gpu()) ++count;
+  return count;
+}
+
+bool DevicePool::has_cpu() const noexcept { return gpu_count() != size(); }
+
+std::string DevicePool::describe() const {
+  std::string out;
+  for (const auto& e : executors_) {
+    if (!out.empty()) out += " + ";
+    out += e->name();
+  }
+  return out;
+}
+
+}  // namespace vbatch::hetero

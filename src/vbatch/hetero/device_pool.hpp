@@ -1,0 +1,53 @@
+// DevicePool: the set of executors one heterogeneous vbatched call runs on.
+//
+// A pool owns its executors (simulated GPUs and/or the host CPU) and is the
+// first argument of potrf_vbatched_hetero. Pools are built programmatically
+// (add_gpu / add_cpu) or parsed from the CLI's comma-separated description,
+// e.g. "cpu,k40c,p100" or "k40c,k40c" for a dual-GPU node.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vbatch/hetero/executor.hpp"
+
+namespace vbatch::hetero {
+
+class DevicePool {
+ public:
+  DevicePool() = default;
+  DevicePool(DevicePool&&) noexcept = default;
+  DevicePool& operator=(DevicePool&&) noexcept = default;
+
+  /// Adds a simulated GPU with its matching power preset. The executor name
+  /// (`label`, defaulting to the spec name) gets a positional suffix so
+  /// multi-GPU pools stay distinguishable in reports ("k40c#0", "k40c#1").
+  Executor& add_gpu(const sim::DeviceSpec& spec, const energy::PowerModel& power,
+                    std::string label = {});
+
+  /// Adds the host CPU pool (at most one per pool).
+  Executor& add_cpu(const cpu::CpuSpec& spec = cpu::CpuSpec::dual_e5_2670(),
+                    const energy::PowerModel& power = energy::PowerModel::dual_e5_2670());
+
+  /// Builds a pool from a comma-separated device list. Tokens: "k40c",
+  /// "p100", "cpu". Throws Status::InvalidArgument on unknown tokens, an
+  /// empty list, or a repeated "cpu".
+  [[nodiscard]] static DevicePool parse(const std::string& csv);
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(executors_.size()); }
+  [[nodiscard]] Executor& executor(int i) noexcept { return *executors_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const Executor& executor(int i) const noexcept {
+    return *executors_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] int gpu_count() const noexcept;
+  [[nodiscard]] bool has_cpu() const noexcept;
+
+  /// "k40c#0 + k40c#1 + cpu" — for logs and JSON labels.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<std::unique_ptr<Executor>> executors_;
+};
+
+}  // namespace vbatch::hetero

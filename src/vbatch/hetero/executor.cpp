@@ -1,0 +1,77 @@
+#include "vbatch/hetero/executor.hpp"
+
+#include "vbatch/cpu/cpu_batched.hpp"
+
+namespace vbatch::hetero {
+
+void Executor::begin_call(sim::ExecMode mode) { queue().device().set_mode(mode); }
+
+// --- GpuExecutor -----------------------------------------------------------
+
+GpuExecutor::GpuExecutor(std::string name, const sim::DeviceSpec& spec,
+                         const energy::PowerModel& power)
+    : Executor(std::move(name), power),
+      queue_(spec, sim::ExecMode::Full),
+      scratch_(spec, sim::ExecMode::TimingOnly) {}
+
+GpuExecutor::~GpuExecutor() = default;
+
+void GpuExecutor::begin_call(sim::ExecMode mode) {
+  Executor::begin_call(mode);
+  call_t0_ = queue_.time();
+}
+
+double GpuExecutor::estimate(const ChunkWork& work) {
+  // Dry-run the chunk's driver on the timing-only twin: identical spec,
+  // identical launch sequence, so the modelled seconds are exact — not a
+  // fit. The twin's clock and timeline are scratch state.
+  scratch_.device().reset_time();
+  scratch_.device().clear_timeline();
+  scratch_info_.assign(work.n.size(), 0);
+  return work.run(scratch_, scratch_info_);
+}
+
+double GpuExecutor::execute(const ChunkWork& work, std::span<int> info) {
+  return work.run(queue_, info);
+}
+
+energy::EnergyResult GpuExecutor::call_energy(Precision prec, double /*busy_seconds*/,
+                                              double /*flops*/) const {
+  return energy::gpu_timeline_energy(queue_.spec(), power(), queue_.device().timeline(), prec,
+                                     call_t0_);
+}
+
+// --- CpuExecutor -----------------------------------------------------------
+
+CpuExecutor::CpuExecutor(std::string name, const cpu::CpuSpec& spec,
+                         const energy::PowerModel& power)
+    : Executor(std::move(name), power),
+      spec_(spec),
+      // The hidden queue exists to host the shared kernel math; any spec
+      // works because its modelled clock is discarded.
+      numerics_(sim::DeviceSpec::k40c(), sim::ExecMode::Full) {}
+
+CpuExecutor::~CpuExecutor() = default;
+
+double CpuExecutor::estimate(const ChunkWork& work) {
+  // The paper's best CPU strategy (§IV-F): one core per matrix, dynamic
+  // scheduling. Purely analytic, so estimate == execute time.
+  return cpu::per_core_makespan(spec_, cpu::Schedule::Dynamic, work.prec, work.n);
+}
+
+double CpuExecutor::execute(const ChunkWork& work, std::span<int> info) {
+  if (numerics_.full()) {
+    work.run(numerics_, info);  // modelled GPU seconds discarded
+  }
+  return cpu::per_core_makespan(spec_, cpu::Schedule::Dynamic, work.prec, work.n);
+}
+
+energy::EnergyResult CpuExecutor::call_energy(Precision prec, double busy_seconds,
+                                              double flops) const {
+  const double achieved =
+      busy_seconds > 0.0 ? flops / busy_seconds * 1e-9 : 0.0;
+  return energy::cpu_interval_energy(power(), busy_seconds, achieved,
+                                     spec_.total_peak_gflops(prec));
+}
+
+}  // namespace vbatch::hetero

@@ -1,0 +1,137 @@
+// Executor: the unit of heterogeneity in the multi-device runtime.
+//
+// The paper's title promises *heterogeneous parallel architectures*; this
+// layer delivers the abstraction that makes a simulated GPU queue and the
+// host CPU pool interchangeable targets for one variable-size batch. An
+// Executor accepts nb-aligned chunks of a size-sorted batch and provides
+//   * an exact cost estimate per chunk (a timing-only dry run of the very
+//     same driver the chunk would execute — the partitioner's input), and
+//   * chunk execution: numerics (Full mode) plus modelled seconds.
+//
+// Numerics are device-independent by construction: every executor runs the
+// identical pinned single-device driver (same path, same blocking), so a
+// matrix factors to the same bits no matter which executor the partitioner
+// or the work-stealing scheduler hands it to. Only the *time* differs:
+//   * GpuExecutor charges its own sim::Device clock (occupancy, launch
+//     overheads, roofline — everything the simulator models);
+//   * CpuExecutor charges the calibrated one-core-per-matrix dynamic
+//     schedule of cpu::CpuSpec (the paper's best CPU competitor, §IV-F)
+//     while still running the shared kernel math for the payload.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vbatch/core/queue.hpp"
+#include "vbatch/cpu/perf_model.hpp"
+#include "vbatch/energy/energy_meter.hpp"
+#include "vbatch/energy/power_model.hpp"
+
+namespace vbatch::hetero {
+
+/// One chunk of a vbatched problem, ready for any executor. The metadata
+/// spans view chunk-local gathered arrays owned by the hetero driver; `run`
+/// is the pinned single-device driver bound to those arrays — calling it on
+/// a queue executes the chunk there (numerics follow the queue's ExecMode)
+/// and returns the modelled device seconds.
+struct ChunkWork {
+  std::span<const int> n;    ///< gathered per-matrix orders (descending)
+  double flops = 0.0;        ///< useful flops of the chunk
+  int max_n = 0;             ///< largest order in the chunk
+  Precision prec = Precision::Double;
+  /// Runs the chunk's driver on `q`, writing statuses into `info` (sized
+  /// like `n`). The same closure serves execution and dry-run estimation.
+  std::function<double(Queue& q, std::span<int> info)> run;
+};
+
+class Executor {
+ public:
+  Executor(std::string name, energy::PowerModel power) noexcept
+      : name_(std::move(name)), power_(power) {}
+  virtual ~Executor() = default;
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const energy::PowerModel& power() const noexcept { return power_; }
+  [[nodiscard]] virtual bool is_gpu() const noexcept = 0;
+
+  /// The queue numerics run through. For a GPU executor this is also the
+  /// timing authority; the CPU executor uses it only to host the shared
+  /// kernel math (its clock is ignored in favour of the CPU model).
+  [[nodiscard]] virtual Queue& queue() noexcept = 0;
+
+  /// Aligns the executor with the caller's execution mode and marks the
+  /// start of a hetero call (energy slicing, busy accounting).
+  virtual void begin_call(sim::ExecMode mode);
+
+  /// Exact modelled seconds this executor would spend on the chunk — a
+  /// timing-only dry run of the same driver `execute` uses.
+  [[nodiscard]] virtual double estimate(const ChunkWork& work) = 0;
+
+  /// Executes the chunk (numerics in Full mode) into `info`; returns the
+  /// modelled seconds charged to this executor.
+  virtual double execute(const ChunkWork& work, std::span<int> info) = 0;
+
+  /// ∫P dt of this executor's busy interval since begin_call. GPU executors
+  /// integrate their timeline slice; the CPU executor integrates the given
+  /// busy interval at the utilisation implied by `flops`.
+  [[nodiscard]] virtual energy::EnergyResult call_energy(Precision prec, double busy_seconds,
+                                                         double flops) const = 0;
+
+ private:
+  std::string name_;
+  energy::PowerModel power_;
+};
+
+/// A simulated GPU device (K40c, P100, ...) wrapped in a core::Queue.
+class GpuExecutor final : public Executor {
+ public:
+  GpuExecutor(std::string name, const sim::DeviceSpec& spec, const energy::PowerModel& power);
+  ~GpuExecutor() override;
+
+  [[nodiscard]] bool is_gpu() const noexcept override { return true; }
+  [[nodiscard]] Queue& queue() noexcept override { return queue_; }
+  [[nodiscard]] const sim::DeviceSpec& spec() const noexcept { return queue_.spec(); }
+
+  void begin_call(sim::ExecMode mode) override;
+  [[nodiscard]] double estimate(const ChunkWork& work) override;
+  double execute(const ChunkWork& work, std::span<int> info) override;
+  [[nodiscard]] energy::EnergyResult call_energy(Precision prec, double busy_seconds,
+                                                 double flops) const override;
+
+ private:
+  Queue queue_;    ///< the executor device (numerics + timing authority)
+  Queue scratch_;  ///< same spec, pinned TimingOnly — the dry-run estimator
+  std::vector<int> scratch_info_;
+  double call_t0_ = 0.0;  ///< device clock at begin_call (energy slice start)
+};
+
+/// The host CPU pool as a first-class executor: numerics run through the
+/// shared kernel math (bit-identical to every other executor); time follows
+/// cpu::per_core_makespan's dynamic one-core-per-matrix schedule.
+class CpuExecutor final : public Executor {
+ public:
+  CpuExecutor(std::string name, const cpu::CpuSpec& spec, const energy::PowerModel& power);
+  ~CpuExecutor() override;
+
+  [[nodiscard]] bool is_gpu() const noexcept override { return false; }
+  [[nodiscard]] Queue& queue() noexcept override { return numerics_; }
+  [[nodiscard]] const cpu::CpuSpec& spec() const noexcept { return spec_; }
+
+  [[nodiscard]] double estimate(const ChunkWork& work) override;
+  double execute(const ChunkWork& work, std::span<int> info) override;
+  [[nodiscard]] energy::EnergyResult call_energy(Precision prec, double busy_seconds,
+                                                 double flops) const override;
+
+ private:
+  cpu::CpuSpec spec_;
+  /// Hosts the shared kernel math so CPU-executed matrices factor to the
+  /// same bits as GPU-executed ones; its modelled clock is never reported.
+  Queue numerics_;
+};
+
+}  // namespace vbatch::hetero

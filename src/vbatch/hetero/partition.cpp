@@ -1,0 +1,105 @@
+#include "vbatch/hetero/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "vbatch/util/error.hpp"
+#include "vbatch/util/flops.hpp"
+
+namespace vbatch::hetero {
+
+std::vector<int> sort_indices_desc(std::span<const int> n) {
+  std::vector<int> order(n.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return n[static_cast<std::size_t>(a)] > n[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+std::vector<Chunk> build_chunks(std::span<const int> sorted_n, int window_nb,
+                                int target_chunks) {
+  require(!sorted_n.empty(), "build_chunks: empty batch");
+  require(window_nb >= 1, "build_chunks: window_nb must be positive");
+  require(target_chunks >= 1, "build_chunks: target_chunks must be positive");
+  const int count = static_cast<int>(sorted_n.size());
+  const int max_n = sorted_n[0];
+
+  double total = 0.0;
+  for (int ni : sorted_n) total += flops::potrf(ni);
+  const double target = total / target_chunks;
+
+  // Window id of a matrix: how many nb steps below the global maximum its
+  // order sits. A boundary where the id changes is a "clean" cut — the next
+  // chunk's local max drops by at least one whole blocking step.
+  auto window_id = [&](int i) {
+    return (max_n - sorted_n[static_cast<std::size_t>(i)]) / window_nb;
+  };
+
+  std::vector<Chunk> chunks;
+  Chunk cur{0, 0, sorted_n[0], 0.0};
+  for (int i = 0; i < count; ++i) {
+    const bool window_edge = i > 0 && window_id(i) != window_id(i - 1);
+    const bool over_target = cur.flops >= target;
+    const bool force = cur.flops >= 1.5 * target;
+    if (cur.count() > 0 && ((over_target && window_edge) || force)) {
+      chunks.push_back(cur);
+      cur = Chunk{i, i, sorted_n[static_cast<std::size_t>(i)], 0.0};
+    }
+    cur.end = i + 1;
+    cur.flops += flops::potrf(sorted_n[static_cast<std::size_t>(i)]);
+  }
+  chunks.push_back(cur);
+  return chunks;
+}
+
+std::vector<int> assign_chunks(const std::vector<std::vector<double>>& estimate,
+                               Partition policy, int executors) {
+  require(executors >= 1, "assign_chunks: need at least one executor");
+  require(static_cast<int>(estimate.size()) == executors,
+          "assign_chunks: estimate rows must match executor count");
+  const int chunks = estimate.empty() ? 0 : static_cast<int>(estimate[0].size());
+  std::vector<int> owner(static_cast<std::size_t>(chunks), 0);
+
+  switch (policy) {
+    case Partition::FirstOnly:
+      break;
+    case Partition::RoundRobin:
+      for (int c = 0; c < chunks; ++c) owner[static_cast<std::size_t>(c)] = c % executors;
+      break;
+    case Partition::CostModel: {
+      // Greedy LPT: visit chunks from most to least expensive (by the
+      // fastest executor's estimate — a device-independent cost rank) and
+      // give each to the executor whose finish time stays lowest.
+      std::vector<int> by_cost(static_cast<std::size_t>(chunks));
+      std::iota(by_cost.begin(), by_cost.end(), 0);
+      auto best_time = [&](int c) {
+        double best = estimate[0][static_cast<std::size_t>(c)];
+        for (int e = 1; e < executors; ++e)
+          best = std::min(best, estimate[static_cast<std::size_t>(e)][static_cast<std::size_t>(c)]);
+        return best;
+      };
+      std::stable_sort(by_cost.begin(), by_cost.end(),
+                       [&](int a, int b) { return best_time(a) > best_time(b); });
+      std::vector<double> finish(static_cast<std::size_t>(executors), 0.0);
+      for (int c : by_cost) {
+        int pick = 0;
+        double pick_finish = finish[0] + estimate[0][static_cast<std::size_t>(c)];
+        for (int e = 1; e < executors; ++e) {
+          const double f =
+              finish[static_cast<std::size_t>(e)] + estimate[static_cast<std::size_t>(e)][static_cast<std::size_t>(c)];
+          if (f < pick_finish) {
+            pick = e;
+            pick_finish = f;
+          }
+        }
+        owner[static_cast<std::size_t>(c)] = pick;
+        finish[static_cast<std::size_t>(pick)] = pick_finish;
+      }
+      break;
+    }
+  }
+  return owner;
+}
+
+}  // namespace vbatch::hetero

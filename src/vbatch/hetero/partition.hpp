@@ -1,0 +1,66 @@
+// Static partitioning of one variable-size batch over a device pool.
+//
+// The batch is first stable-sorted by matrix order, descending (the same
+// trick the fused path's implicit sorting uses, §III-D2: neighbours in the
+// sorted order have similar sizes, so a contiguous slice wastes almost no
+// launch-grid slack). The sorted order is then cut into chunks whose
+// boundaries prefer nb-window edges — positions where (max_n − n) / nb
+// changes — so a chunk's local maximum drops by whole blocking steps and
+// its driver runs strictly fewer panel iterations than the global one.
+//
+// Chunks are sized by modelled cost (flops as the proxy during cutting; the
+// executors' exact dry-run estimates afterwards) and assigned by one of:
+//   * CostModel — greedy LPT using each executor's own estimate for each
+//     chunk: repeatedly give the largest unassigned chunk to the executor
+//     whose finish time stays lowest. Near-optimal for makespan and the
+//     default;
+//   * RoundRobin — cyclic, cost-blind (a deliberately naive baseline);
+//   * FirstOnly — everything on executor 0, which only the work-stealing
+//     scheduler can then rebalance (the baseline that isolates stealing).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vbatch::hetero {
+
+/// Half-open range [begin, end) over the size-sorted index order.
+struct Chunk {
+  int begin = 0;
+  int end = 0;
+  int max_n = 0;      ///< largest order inside the chunk (first element)
+  double flops = 0.0; ///< useful flops of the chunk
+  [[nodiscard]] int count() const noexcept { return end - begin; }
+};
+
+enum class Partition : std::uint8_t { CostModel, RoundRobin, FirstOnly };
+
+[[nodiscard]] constexpr const char* to_string(Partition p) noexcept {
+  switch (p) {
+    case Partition::CostModel: return "cost-model";
+    case Partition::RoundRobin: return "round-robin";
+    case Partition::FirstOnly: return "first-only";
+  }
+  return "?";
+}
+
+/// Returns the batch indices stable-sorted by order, descending. Stability
+/// keeps equal sizes in submission order, making every downstream decision
+/// (chunking, assignment, stealing) reproducible.
+[[nodiscard]] std::vector<int> sort_indices_desc(std::span<const int> n);
+
+/// Cuts the size-sorted order into at most `target_chunks` cost-balanced
+/// chunks whose boundaries snap to nb-window edges where possible.
+/// `sorted_n[i]` is the order of the i-th matrix in sorted order. Every
+/// chunk is non-empty; a chunk is force-split once it exceeds 1.5× the
+/// per-chunk cost target even mid-window.
+[[nodiscard]] std::vector<Chunk> build_chunks(std::span<const int> sorted_n, int window_nb,
+                                              int target_chunks);
+
+/// Assigns chunks to executors. `estimate[e][c]` is executor e's modelled
+/// seconds for chunk c (exact dry-run numbers). Returns chunk → executor.
+[[nodiscard]] std::vector<int> assign_chunks(
+    const std::vector<std::vector<double>>& estimate, Partition policy, int executors);
+
+}  // namespace vbatch::hetero

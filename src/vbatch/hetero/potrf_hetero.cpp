@@ -1,0 +1,269 @@
+#include "vbatch/hetero/potrf_hetero.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "vbatch/core/arg_check.hpp"
+#include "vbatch/core/crossover.hpp"
+#include "vbatch/kernels/fused_potrf.hpp"
+#include "vbatch/util/error.hpp"
+#include "vbatch/util/flops.hpp"
+
+namespace vbatch::hetero {
+
+namespace {
+
+/// Gathered chunk-local metadata. The ChunkWork closures hold spans into
+/// these vectors, so ChunkData must stay alive (and unmoved) for the whole
+/// call — the driver stores them in a deque-like pre-sized vector.
+template <typename T>
+struct ChunkData {
+  std::vector<T*> ptrs;
+  std::vector<int> n;
+  std::vector<int> lda;
+  std::vector<int> info;  ///< chunk-local statuses, scattered back at the end
+};
+
+/// Same dimension rules as the single-device entry (potrf_vbatched.cpp).
+template <typename T>
+std::array<ArgRule, 2> potrf_rules(const VbatchedProblem<T>& prob) {
+  ArgRule rn;
+  rn.kind = ArgRule::Kind::NonNegative;
+  rn.a = prob.n;
+  rn.argument_index = 2;
+  rn.name = "n";
+  ArgRule rl;
+  rl.kind = ArgRule::Kind::AtLeastOther;
+  rl.a = prob.lda;
+  rl.b = prob.n;
+  rl.argument_index = 4;
+  rl.name = "lda";
+  return {rn, rl};
+}
+
+/// The reference device for option resolution: the first GPU executor's
+/// spec, or the CPU executor's hidden numerics device for a CPU-only pool.
+const sim::DeviceSpec& reference_spec(DevicePool& pool) {
+  for (int e = 0; e < pool.size(); ++e)
+    if (pool.executor(e).is_gpu())
+      return static_cast<GpuExecutor&>(pool.executor(e)).spec();
+  return pool.executor(0).queue().spec();
+}
+
+/// True when the pinned fused launch fits every executor the chunks might
+/// land on (work stealing may route any chunk anywhere).
+bool fused_fits_everywhere(DevicePool& pool, int nb, int max_n, std::size_t elem_size) {
+  for (int e = 0; e < pool.size(); ++e) {
+    const sim::DeviceSpec& spec = pool.executor(e).queue().spec();
+    if (max_n > kernels::fused_max_size(spec, nb, elem_size)) return false;
+  }
+  return true;
+}
+
+template <typename T>
+HeteroResult hetero_impl(DevicePool& pool, Uplo uplo, Batch<T>& batch, int caller_max_n,
+                         bool reduce_max, const HeteroOptions& opts) {
+  require(pool.size() >= 1, "potrf_vbatched_hetero: empty device pool");
+  auto prob = batch.problem();
+  require(prob.count() > 0, "potrf_vbatched_hetero: empty batch");
+  require(static_cast<int>(prob.lda.size()) == prob.count() &&
+              static_cast<int>(prob.info.size()) == prob.count(),
+          "potrf_vbatched_hetero: metadata array size mismatch");
+
+  const int E = pool.size();
+  const sim::ExecMode mode = batch.queue().mode();
+  for (int e = 0; e < E; ++e) pool.executor(e).begin_call(mode);
+
+  // Metadata sweep (validation + info reset, plus the max reduction for the
+  // LAPACK-like interface) runs on executor 0; the sweep seconds become its
+  // initial virtual clock so the schedule charges the cost faithfully.
+  Queue& q0 = pool.executor(0).queue();
+  const double sweep_t0 = q0.time();
+  const auto rules = potrf_rules(prob);
+  const ArgSweep sweep =
+      check_args_reduce(q0.device(), rules, reduce_max ? prob.n : std::span<const int>{},
+                        prob.info);
+  require_args_ok(sweep.report, "potrf_vbatched_hetero");
+  int max_n = caller_max_n;
+  if (reduce_max) {
+    max_n = sweep.max_value;
+    require(max_n >= 1, "potrf_vbatched_hetero: all matrices are empty");
+  } else {
+    require(max_n >= 1, "potrf_vbatched_hetero: max_n must be positive");
+  }
+  const double sweep_seconds = q0.time() - sweep_t0;
+
+  // --- Pin the options once, from the GLOBAL maximum against the reference
+  // device. Every chunk driver receives the same path and blocking sizes;
+  // only its local max_n differs — which changes launch geometry (the
+  // speedup) but never per-matrix math (the bit-identity guarantee).
+  const Precision prec = precision_v<T>;
+  const sim::DeviceSpec& ref = reference_spec(pool);
+  bool fused = false;
+  switch (opts.potrf.path) {
+    case PotrfPath::Fused: fused = true; break;
+    case PotrfPath::Separated: fused = false; break;
+    case PotrfPath::Auto: fused = use_fused(ref, prec, max_n, opts.potrf.crossover); break;
+  }
+  int fused_nb = 0;
+  if (fused) {
+    fused_nb = opts.potrf.fused_nb > 0 ? opts.potrf.fused_nb
+                                       : kernels::choose_fused_nb(ref, max_n, sizeof(T));
+    if (opts.potrf.path == PotrfPath::Auto &&
+        !fused_fits_everywhere(pool, fused_nb, max_n, sizeof(T)))
+      fused = false;  // fall back rather than fail on a smaller-memory peer
+  }
+  const int separated_nb =
+      opts.potrf.separated_nb > 0 ? opts.potrf.separated_nb : detail::default_separated_nb(sizeof(T));
+  const int window_nb = fused ? fused_nb : separated_nb;
+  const EtmMode etm = opts.potrf.etm;
+  const bool sorting = opts.potrf.implicit_sorting;
+  const int sort_window = opts.potrf.sort_window;
+  const bool streamed_syrk = opts.potrf.streamed_syrk;
+  const int num_streams = opts.potrf.num_streams;
+
+  // --- Chunk the size-sorted order and build the per-chunk work units.
+  const std::vector<int> order = sort_indices_desc(prob.n);
+  std::vector<int> sorted_n(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    sorted_n[i] = prob.n[static_cast<std::size_t>(order[i])];
+  require(opts.chunks_per_executor >= 1,
+          "potrf_vbatched_hetero: chunks_per_executor must be positive");
+  const std::vector<Chunk> chunks =
+      build_chunks(sorted_n, window_nb, opts.chunks_per_executor * E);
+  const int C = static_cast<int>(chunks.size());
+
+  std::vector<ChunkData<T>> data(static_cast<std::size_t>(C));
+  std::vector<ChunkWork> work(static_cast<std::size_t>(C));
+  for (int c = 0; c < C; ++c) {
+    const Chunk& ck = chunks[static_cast<std::size_t>(c)];
+    ChunkData<T>& d = data[static_cast<std::size_t>(c)];
+    d.ptrs.reserve(static_cast<std::size_t>(ck.count()));
+    d.n.reserve(static_cast<std::size_t>(ck.count()));
+    d.lda.reserve(static_cast<std::size_t>(ck.count()));
+    for (int i = ck.begin; i < ck.end; ++i) {
+      const std::size_t src = static_cast<std::size_t>(order[static_cast<std::size_t>(i)]);
+      d.ptrs.push_back(prob.ptrs[src]);
+      d.n.push_back(prob.n[src]);
+      d.lda.push_back(prob.lda[src]);
+    }
+    d.info.assign(static_cast<std::size_t>(ck.count()), 0);
+
+    ChunkWork& w = work[static_cast<std::size_t>(c)];
+    w.n = d.n;
+    w.flops = ck.flops;
+    w.max_n = ck.max_n;
+    w.prec = prec;
+    const int chunk_max = ck.max_n;
+    w.run = [&d, uplo, chunk_max, fused, fused_nb, separated_nb, etm, sorting, sort_window,
+             streamed_syrk, num_streams](Queue& q, std::span<int> info) -> double {
+      if (chunk_max < 1) return 0.0;  // an all-empty tail chunk has no work
+      VbatchedProblem<T> cp{d.ptrs.data(), d.n, d.lda, info};
+      if (fused)
+        return detail::potrf_fused_run<T>(q, uplo, cp, chunk_max, etm, sorting, fused_nb,
+                                          sort_window);
+      return detail::potrf_separated_run<T>(q, uplo, cp, chunk_max, separated_nb,
+                                            streamed_syrk, num_streams);
+    };
+  }
+
+  // --- Estimate every (executor, chunk) pair: dry runs on the timing twins
+  // (GPU) or the analytic CPU model. Exact by construction.
+  std::vector<std::vector<double>> est(static_cast<std::size_t>(E));
+  for (int e = 0; e < E; ++e) {
+    est[static_cast<std::size_t>(e)].resize(static_cast<std::size_t>(C));
+    for (int c = 0; c < C; ++c)
+      est[static_cast<std::size_t>(e)][static_cast<std::size_t>(c)] =
+          pool.executor(e).estimate(work[static_cast<std::size_t>(c)]);
+  }
+
+  // --- Static partition, then the virtual-time work-stealing schedule.
+  ScheduleParams sp;
+  sp.owner = assign_chunks(est, opts.partition, E);
+  sp.estimate = est;
+  sp.executors = E;
+  sp.work_stealing = opts.work_stealing;
+  sp.steal = opts.steal;
+  sp.seed = opts.steal_seed;
+  sp.initial_clock.assign(static_cast<std::size_t>(E), 0.0);
+  sp.initial_clock[0] = sweep_seconds;
+
+  const ScheduleResult sched = run_schedule(sp, [&](int e, int c) {
+    return pool.executor(e).execute(work[static_cast<std::size_t>(c)],
+                                    data[static_cast<std::size_t>(c)].info);
+  });
+
+  // --- Merge: scatter chunk-local statuses back to submission order.
+  for (int c = 0; c < C; ++c) {
+    const Chunk& ck = chunks[static_cast<std::size_t>(c)];
+    const ChunkData<T>& d = data[static_cast<std::size_t>(c)];
+    for (int i = ck.begin; i < ck.end; ++i)
+      prob.info[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
+          d.info[static_cast<std::size_t>(i - ck.begin)];
+  }
+
+  // --- Assemble the report: per-executor busy/flops/energy, pool totals.
+  HeteroResult result;
+  result.seconds = sched.makespan;
+  result.flops = flops::potrf_batch(prob.n);
+  result.path_taken = fused ? PotrfPath::Fused : PotrfPath::Separated;
+  result.chunks = C;
+  energy::EnergyMeter meter;
+  for (int e = 0; e < E; ++e) {
+    Executor& ex = pool.executor(e);
+    ExecutorReport rep;
+    rep.name = ex.name();
+    rep.busy_seconds = sched.busy[static_cast<std::size_t>(e)];
+    rep.finish_seconds = sched.finish[static_cast<std::size_t>(e)];
+    rep.chunks = sched.chunks_run[static_cast<std::size_t>(e)];
+    rep.stolen = sched.chunks_stolen[static_cast<std::size_t>(e)];
+    for (int c = 0; c < C; ++c) {
+      if (sched.executed_by[static_cast<std::size_t>(c)] == e) {
+        rep.flops += chunks[static_cast<std::size_t>(c)].flops;
+        rep.matrices += chunks[static_cast<std::size_t>(c)].count();
+      }
+    }
+    const energy::EnergyResult active = ex.call_energy(prec, rep.busy_seconds, rep.flops);
+    rep.joules = active.joules;
+    meter.add(active);
+    meter.add_idle(ex.power(), sched.makespan - sched.finish[static_cast<std::size_t>(e)]);
+    result.steals += rep.stolen;
+    result.executors.push_back(std::move(rep));
+  }
+  meter.set_wall_seconds(sched.makespan);
+  result.energy = meter.total();
+  return result;
+}
+
+}  // namespace
+
+template <typename T>
+HeteroResult potrf_vbatched_hetero(DevicePool& pool, Uplo uplo, Batch<T>& batch,
+                                   const HeteroOptions& opts) {
+  return hetero_impl<T>(pool, uplo, batch, 0, /*reduce_max=*/true, opts);
+}
+
+template <typename T>
+HeteroResult potrf_vbatched_hetero_max(DevicePool& pool, Uplo uplo, Batch<T>& batch, int max_n,
+                                       const HeteroOptions& opts) {
+  return hetero_impl<T>(pool, uplo, batch, max_n, /*reduce_max=*/false, opts);
+}
+
+template HeteroResult potrf_vbatched_hetero<float>(DevicePool&, Uplo, Batch<float>&,
+                                                   const HeteroOptions&);
+template HeteroResult potrf_vbatched_hetero<double>(DevicePool&, Uplo, Batch<double>&,
+                                                    const HeteroOptions&);
+template HeteroResult potrf_vbatched_hetero<std::complex<float>>(
+    DevicePool&, Uplo, Batch<std::complex<float>>&, const HeteroOptions&);
+template HeteroResult potrf_vbatched_hetero<std::complex<double>>(
+    DevicePool&, Uplo, Batch<std::complex<double>>&, const HeteroOptions&);
+template HeteroResult potrf_vbatched_hetero_max<float>(DevicePool&, Uplo, Batch<float>&, int,
+                                                       const HeteroOptions&);
+template HeteroResult potrf_vbatched_hetero_max<double>(DevicePool&, Uplo, Batch<double>&, int,
+                                                        const HeteroOptions&);
+template HeteroResult potrf_vbatched_hetero_max<std::complex<float>>(
+    DevicePool&, Uplo, Batch<std::complex<float>>&, int, const HeteroOptions&);
+template HeteroResult potrf_vbatched_hetero_max<std::complex<double>>(
+    DevicePool&, Uplo, Batch<std::complex<double>>&, int, const HeteroOptions&);
+
+}  // namespace vbatch::hetero

@@ -1,0 +1,82 @@
+// Heterogeneous vbatched Cholesky: one variable-size batch split across a
+// DevicePool of CPU and simulated-GPU executors.
+//
+// The paper targets "heterogeneous parallel architectures"; this entry
+// point is the reproduction's answer for multi-device nodes. The batch is
+// size-sorted, cut into nb-aligned chunks, statically partitioned by the
+// executors' own cost estimates, then dynamically rebalanced by a
+// deterministic work-stealing scheduler over the pool's virtual clocks
+// (see partition.hpp / scheduler.hpp).
+//
+// Numerics guarantee: the options (path, blocking sizes) are resolved ONCE
+// from the global maximum against a reference device and pinned for every
+// chunk, and each matrix's factorization depends only on its own data and
+// those pinned options — so the factors and info array are bit-identical
+// to the single-device path and invariant under every partition policy,
+// steal schedule, and pool composition. Only the modelled time and energy
+// change; that is the point.
+//
+// Both §III-A interfaces are provided: potrf_vbatched_hetero computes the
+// global maximum with a device reduction (on executor 0, whose clock pays
+// the sweep), potrf_vbatched_hetero_max takes it from the caller.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vbatch/core/potrf_vbatched.hpp"
+#include "vbatch/hetero/device_pool.hpp"
+#include "vbatch/hetero/partition.hpp"
+#include "vbatch/hetero/scheduler.hpp"
+
+namespace vbatch::hetero {
+
+struct HeteroOptions {
+  PotrfOptions potrf;  ///< forwarded to the per-chunk drivers (path pinned globally)
+  Partition partition = Partition::CostModel;
+  StealPolicy steal = StealPolicy::MostLoaded;
+  bool work_stealing = true;
+  /// Static chunks per executor: more chunks = finer rebalancing, more
+  /// per-chunk launch overhead. 4 balances the two for the paper's batches.
+  int chunks_per_executor = 4;
+  std::uint64_t steal_seed = 2016;
+};
+
+/// Per-executor slice of a heterogeneous run.
+struct ExecutorReport {
+  std::string name;
+  double busy_seconds = 0.0;    ///< modelled seconds executing chunks
+  double finish_seconds = 0.0;  ///< virtual clock when the executor went idle
+  double flops = 0.0;           ///< useful flops of the chunks it ran
+  double joules = 0.0;          ///< active ∫P dt (idle tails are in the total)
+  int chunks = 0;
+  int stolen = 0;               ///< chunks acquired by stealing
+  int matrices = 0;
+};
+
+struct HeteroResult {
+  double seconds = 0.0;  ///< pool makespan (max executor finish time)
+  double flops = 0.0;
+  PotrfPath path_taken = PotrfPath::Auto;
+  int chunks = 0;
+  int steals = 0;
+  energy::EnergyResult energy;  ///< pool total: active + idle tails, over makespan
+  std::vector<ExecutorReport> executors;
+  [[nodiscard]] double gflops() const noexcept {
+    return seconds > 0.0 ? flops / seconds * 1e-9 : 0.0;
+  }
+};
+
+/// LAPACK-like interface: the global maximum is computed with a device
+/// reduction on executor 0 (its clock pays the metadata sweep, mirroring
+/// the single-device potrf_vbatched).
+template <typename T>
+HeteroResult potrf_vbatched_hetero(DevicePool& pool, Uplo uplo, Batch<T>& batch,
+                                   const HeteroOptions& opts = {});
+
+/// Expert interface: the caller supplies max_n (must dominate every size).
+template <typename T>
+HeteroResult potrf_vbatched_hetero_max(DevicePool& pool, Uplo uplo, Batch<T>& batch, int max_n,
+                                       const HeteroOptions& opts = {});
+
+}  // namespace vbatch::hetero

@@ -1,0 +1,125 @@
+#include "vbatch/hetero/scheduler.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "vbatch/util/error.hpp"
+#include "vbatch/util/rng.hpp"
+
+namespace vbatch::hetero {
+
+ScheduleResult run_schedule(const ScheduleParams& params,
+                            const std::function<double(int, int)>& execute) {
+  const int E = params.executors;
+  const int C = static_cast<int>(params.owner.size());
+  require(E >= 1, "run_schedule: need at least one executor");
+  require(static_cast<int>(params.estimate.size()) == E,
+          "run_schedule: estimate rows must match executor count");
+
+  // Owned deques in chunk order: front = biggest remaining chunk (chunks
+  // follow the size-sorted batch order), back = trailing smallest — the
+  // steal end.
+  std::vector<std::deque<int>> deque_of(static_cast<std::size_t>(E));
+  for (int c = 0; c < C; ++c) {
+    const int e = params.owner[static_cast<std::size_t>(c)];
+    require(e >= 0 && e < E, "run_schedule: chunk owner out of range");
+    deque_of[static_cast<std::size_t>(e)].push_back(c);
+  }
+
+  ScheduleResult res;
+  res.busy.assign(static_cast<std::size_t>(E), 0.0);
+  res.finish.assign(static_cast<std::size_t>(E), 0.0);
+  res.chunks_run.assign(static_cast<std::size_t>(E), 0);
+  res.chunks_stolen.assign(static_cast<std::size_t>(E), 0);
+  res.executed_by.assign(static_cast<std::size_t>(C), -1);
+
+  std::vector<double> clock(static_cast<std::size_t>(E), 0.0);
+  for (int e = 0; e < E && e < static_cast<int>(params.initial_clock.size()); ++e)
+    clock[static_cast<std::size_t>(e)] = params.initial_clock[static_cast<std::size_t>(e)];
+  res.finish = clock;
+
+  std::vector<char> retired(static_cast<std::size_t>(E), 0);
+  Rng rng(params.seed);
+
+  auto remaining_load = [&](int e) {
+    double load = 0.0;
+    for (int c : deque_of[static_cast<std::size_t>(e)])
+      load += params.estimate[static_cast<std::size_t>(e)][static_cast<std::size_t>(c)];
+    return load;
+  };
+
+  int left = C;
+  while (left > 0) {
+    // Next actor: earliest virtual clock among executors still in the game;
+    // ties go to the lowest index (deterministic).
+    int actor = -1;
+    for (int e = 0; e < E; ++e) {
+      if (retired[static_cast<std::size_t>(e)]) continue;
+      if (actor < 0 || clock[static_cast<std::size_t>(e)] < clock[static_cast<std::size_t>(actor)])
+        actor = e;
+    }
+    require(actor >= 0, "run_schedule: all executors retired with work left");
+    auto& own = deque_of[static_cast<std::size_t>(actor)];
+
+    int chunk = -1;
+    bool stolen = false;
+    if (!own.empty()) {
+      chunk = own.front();
+      own.pop_front();
+    } else if (params.work_stealing) {
+      // Victim: non-empty peers, ranked by policy; ties broken by the
+      // seeded stream so the steal order is reproducible.
+      std::vector<int> victims;
+      for (int e = 0; e < E; ++e)
+        if (e != actor && !deque_of[static_cast<std::size_t>(e)].empty()) victims.push_back(e);
+      if (!victims.empty()) {
+        int victim;
+        if (params.steal == StealPolicy::Random) {
+          victim = victims[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(victims.size()) - 1))];
+        } else {
+          double best = -1.0;
+          std::vector<int> tied;
+          for (int e : victims) {
+            const double load = remaining_load(e);
+            if (load > best) {
+              best = load;
+              tied.assign(1, e);
+            } else if (load == best) {
+              tied.push_back(e);
+            }
+          }
+          victim = tied.size() == 1
+                       ? tied[0]
+                       : tied[static_cast<std::size_t>(
+                             rng.uniform_int(0, static_cast<std::int64_t>(tied.size()) - 1))];
+        }
+        auto& v = deque_of[static_cast<std::size_t>(victim)];
+        chunk = v.back();
+        v.pop_back();
+        stolen = true;
+      }
+    }
+
+    if (chunk < 0) {
+      // Nothing owned, nothing stealable: this executor is done.
+      retired[static_cast<std::size_t>(actor)] = 1;
+      continue;
+    }
+
+    const double seconds = execute(actor, chunk);
+    clock[static_cast<std::size_t>(actor)] += seconds;
+    res.busy[static_cast<std::size_t>(actor)] += seconds;
+    res.finish[static_cast<std::size_t>(actor)] = clock[static_cast<std::size_t>(actor)];
+    res.chunks_run[static_cast<std::size_t>(actor)] += 1;
+    if (stolen) res.chunks_stolen[static_cast<std::size_t>(actor)] += 1;
+    res.executed_by[static_cast<std::size_t>(chunk)] = actor;
+    --left;
+  }
+
+  res.makespan = *std::max_element(res.finish.begin(), res.finish.end());
+  return res;
+}
+
+}  // namespace vbatch::hetero

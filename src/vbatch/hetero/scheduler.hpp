@@ -1,0 +1,66 @@
+// Dynamic work-stealing scheduler over the pool's virtual clocks.
+//
+// The simulator has no real concurrency to exploit — every device clock is
+// modelled — so the scheduler is an event loop over virtual time: the
+// executor with the earliest clock acts next. An executor with work pops
+// the *front* of its own deque (its biggest remaining chunk, since chunks
+// follow the size-sorted order); an idle executor steals from the *back* of
+// a victim's deque — the trailing, smallest chunks, which are the cheapest
+// to migrate and the classic candidates for rebalancing a size-sorted
+// batch.
+//
+// Victim selection is deterministic: StealPolicy::MostLoaded picks the peer
+// with the largest remaining modelled load, and all ties (and the Random
+// policy) are resolved through one seeded xoshiro stream. Replaying a
+// schedule with the same seed therefore reproduces the same chunk → device
+// mapping exactly — and because the numerics of every chunk are identical
+// on every executor, even a *different* schedule reproduces the same bits;
+// only the modelled makespan moves.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace vbatch::hetero {
+
+enum class StealPolicy : std::uint8_t { MostLoaded, Random };
+
+[[nodiscard]] constexpr const char* to_string(StealPolicy p) noexcept {
+  switch (p) {
+    case StealPolicy::MostLoaded: return "most-loaded";
+    case StealPolicy::Random: return "random";
+  }
+  return "?";
+}
+
+struct ScheduleParams {
+  /// Chunk → owning executor from the static partitioner.
+  std::vector<int> owner;
+  /// estimate[e][c]: executor e's modelled seconds for chunk c — drives
+  /// victim load ranking.
+  std::vector<std::vector<double>> estimate;
+  int executors = 1;
+  bool work_stealing = true;
+  StealPolicy steal = StealPolicy::MostLoaded;
+  std::uint64_t seed = 2016;
+  /// Per-executor clock offsets at t = 0 (e.g. executor 0 already spent the
+  /// argument-check sweep before any chunk runs).
+  std::vector<double> initial_clock;
+};
+
+struct ScheduleResult {
+  double makespan = 0.0;            ///< max final clock over all executors
+  std::vector<double> busy;         ///< per-executor seconds spent executing
+  std::vector<double> finish;       ///< per-executor final clock
+  std::vector<int> chunks_run;      ///< per-executor chunks executed
+  std::vector<int> chunks_stolen;   ///< per-executor chunks acquired by stealing
+  std::vector<int> executed_by;     ///< chunk → executor that actually ran it
+};
+
+/// Runs the virtual-time loop. `execute(e, c)` must run chunk c on executor
+/// e and return the modelled seconds; it is called exactly once per chunk.
+[[nodiscard]] ScheduleResult run_schedule(const ScheduleParams& params,
+                                          const std::function<double(int, int)>& execute);
+
+}  // namespace vbatch::hetero

@@ -16,10 +16,13 @@ std::size_t fused_shared_mem(int block_threads, int nb, std::size_t elem_size) {
 
 int fused_max_size(const sim::DeviceSpec& spec, int nb, std::size_t elem_size) {
   // Largest panel height m such that the block still launches; thread count
-  // is the second bound (one thread per panel row).
+  // is the second bound (one thread per panel row). The launch rounds the
+  // block up to whole warps, so the shared-memory bound must hold for the
+  // *rounded* thread count — floor the bound to a warp multiple.
   const auto limit = spec.shared_mem_per_block;
   const int by_smem = static_cast<int>(limit / (static_cast<std::size_t>(nb) * elem_size)) - nb;
-  return std::min(by_smem, spec.max_threads_per_block);
+  const int warp_floor = by_smem / spec.warp_size * spec.warp_size;
+  return std::min(warp_floor, spec.max_threads_per_block);
 }
 
 int choose_fused_nb(const sim::DeviceSpec& spec, int max_n, std::size_t elem_size) {

@@ -105,8 +105,13 @@ double Device::launch_concurrent(const std::vector<LaunchConfig>& configs,
                                  const std::vector<BlockFn>& fns, int num_streams) {
   require(configs.size() == fns.size(), "launch_concurrent: configs/fns size mismatch");
   require(num_streams >= 1, "launch_concurrent: need at least one stream");
-  num_streams = std::min(num_streams, spec_.max_concurrent_streams);
   if (configs.empty()) return 0.0;
+  // Clamp to what the device supports AND to the kernel count: more streams
+  // than kernels cannot add concurrency. The per-record `stream` field below
+  // exposes the post-clamp assignment (Timeline::streams_used), so callers
+  // that requested 64 streams on a 32-stream device see 32, not a phantom.
+  num_streams = std::min({num_streams, spec_.max_concurrent_streams,
+                          static_cast<int>(configs.size())});
 
   // Shared slot pool sized by the first kernel's occupancy (the streamed
   // pattern launches homogeneous kernels). Per-stream ordering: kernel k on
@@ -162,6 +167,7 @@ double Device::launch_concurrent(const std::vector<LaunchConfig>& configs,
     rec.flops = flops;
     rec.bytes = bytes;
     rec.early_exits = exits;
+    rec.stream = stream;
     timeline_.add(std::move(rec));
   }
 

@@ -4,11 +4,13 @@
 #include <iomanip>
 #include <map>
 #include <ostream>
+#include <set>
 
 namespace vbatch::sim {
 
 std::vector<KernelProfile> profile_timeline(const Timeline& timeline) {
   std::map<std::string, KernelProfile> agg;
+  std::map<std::string, std::set<int>> streams;
   for (const auto& rec : timeline.records()) {
     KernelProfile& p = agg[rec.name];
     p.name = rec.name;
@@ -19,7 +21,9 @@ std::vector<KernelProfile> profile_timeline(const Timeline& timeline) {
     p.blocks += rec.grid_blocks;
     p.early_exits += rec.early_exits;
     p.resident_sum += rec.resident_per_sm;
+    if (rec.stream >= 0) streams[rec.name].insert(rec.stream);
   }
+  for (auto& [name, used] : streams) agg[name].streams = static_cast<int>(used.size());
   std::vector<KernelProfile> out;
   out.reserve(agg.size());
   for (auto& [name, p] : agg) out.push_back(std::move(p));
@@ -34,14 +38,20 @@ void print_profile(std::ostream& os, const std::vector<KernelProfile>& profiles)
   os << std::left << std::setw(28) << "kernel" << std::right << std::setw(8) << "time%"
      << std::setw(10) << "launches" << std::setw(12) << "time(us)" << std::setw(10) << "GF/s"
      << std::setw(10) << "GB/s" << std::setw(10) << "res/SM" << std::setw(9) << "exits%"
-     << '\n';
-  os << std::string(97, '-') << '\n';
+     << std::setw(9) << "streams" << '\n';
+  os << std::string(106, '-') << '\n';
   for (const auto& p : profiles) {
     os << std::left << std::setw(28) << p.name << std::right << std::fixed
        << std::setprecision(1) << std::setw(8) << (total > 0 ? p.seconds / total * 100.0 : 0.0)
        << std::setw(10) << p.launches << std::setw(12) << p.seconds * 1e6 << std::setw(10)
        << p.gflops() << std::setw(10) << p.gbytes_per_s() << std::setw(10) << p.avg_resident()
-       << std::setw(9) << p.exit_fraction() * 100.0 << '\n';
+       << std::setw(9) << p.exit_fraction() * 100.0;
+    if (p.streams > 0) {
+      os << std::setw(9) << p.streams;
+    } else {
+      os << std::setw(9) << "-";
+    }
+    os << '\n';
   }
 }
 

@@ -23,6 +23,7 @@ struct KernelProfile {
   long blocks = 0;
   long early_exits = 0;
   double resident_sum = 0.0;  ///< Σ per-launch residency (for the average)
+  int streams = 0;  ///< distinct streams that carried this kernel (0 = sync launches)
 
   [[nodiscard]] double gflops() const noexcept {
     return seconds > 0.0 ? flops / seconds * 1e-9 : 0.0;

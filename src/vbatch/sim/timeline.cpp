@@ -1,5 +1,7 @@
 #include "vbatch/sim/timeline.hpp"
 
+#include <set>
+
 namespace vbatch::sim {
 
 double Timeline::busy_seconds() const noexcept {
@@ -19,6 +21,13 @@ std::size_t Timeline::count_with_prefix(const std::string& prefix) const noexcep
   for (const auto& r : records_)
     if (r.name.rfind(prefix, 0) == 0) ++n;
   return n;
+}
+
+int Timeline::streams_used() const noexcept {
+  std::set<int> streams;
+  for (const auto& r : records_)
+    if (r.stream >= 0) streams.insert(r.stream);
+  return static_cast<int>(streams.size());
 }
 
 }  // namespace vbatch::sim

@@ -20,6 +20,11 @@ struct KernelRecord {
   double flops = 0.0;
   double bytes = 0.0;
   int early_exits = 0;
+  /// Stream the kernel actually ran on (−1 for plain synchronous launches).
+  /// launch_concurrent clamps the requested stream count to the device limit
+  /// and to the kernel count; this records the post-clamp assignment so
+  /// profiles report real concurrency, not the requested number.
+  int stream = -1;
 };
 
 class Timeline {
@@ -39,6 +44,11 @@ class Timeline {
 
   /// Total launches whose name matches `prefix`.
   [[nodiscard]] std::size_t count_with_prefix(const std::string& prefix) const noexcept;
+
+  /// Number of distinct streams that actually carried kernels (0 when no
+  /// stream-tagged record exists). This is the post-clamp figure benches
+  /// should report instead of the stream count they requested.
+  [[nodiscard]] int streams_used() const noexcept;
 
  private:
   std::vector<KernelRecord> records_;

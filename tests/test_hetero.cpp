@@ -1,0 +1,527 @@
+// vbatch::hetero — the multi-device heterogeneous runtime.
+//
+// The load-bearing guarantee under test: the heterogeneous path produces
+// BIT-IDENTICAL factors and info arrays to the single-device path, for
+// every pool composition, partition policy, steal schedule and seed. The
+// partitioner and scheduler are also covered as units.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vbatch/blas/blas.hpp"
+#include "vbatch/core/potrf_vbatched.hpp"
+#include "vbatch/core/size_dist.hpp"
+#include "vbatch/hetero/potrf_hetero.hpp"
+#include "vbatch/util/error.hpp"
+
+namespace {
+
+using namespace vbatch;
+using namespace vbatch::hetero;
+
+template <typename T>
+std::vector<std::vector<T>> snapshot(Batch<T>& batch) {
+  std::vector<std::vector<T>> out;
+  out.reserve(static_cast<std::size_t>(batch.count()));
+  for (int i = 0; i < batch.count(); ++i) out.push_back(batch.copy_matrix(i));
+  return out;
+}
+
+/// Bitwise comparison of two factor sets (memcmp, not EXPECT_NEAR — the
+/// hetero path promises the same bits, not just the same residuals).
+template <typename T>
+void expect_bit_identical(const std::vector<std::vector<T>>& a,
+                          const std::vector<std::vector<T>>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    EXPECT_EQ(0, std::memcmp(a[i].data(), b[i].data(), a[i].size() * sizeof(T)))
+        << what << ": matrix " << i << " differs";
+  }
+}
+
+/// A Gaussian DP batch, the paper's harder size distribution.
+std::vector<int> test_sizes(int count, int nmax, std::uint64_t seed = 33) {
+  Rng rng(seed);
+  return gaussian_sizes(rng, count, nmax);
+}
+
+/// Factors `sizes` on a single K40c and returns {factors, info}.
+struct Baseline {
+  std::vector<std::vector<double>> factors;
+  std::vector<int> info;
+  double seconds = 0.0;
+};
+
+Baseline single_device_baseline(const std::vector<int>& sizes, const PotrfOptions& opts = {}) {
+  Queue q;
+  Batch<double> batch(q, sizes);
+  Rng fill(7);
+  batch.fill_spd(fill);
+  const auto r = potrf_vbatched<double>(q, Uplo::Lower, batch, opts);
+  Baseline b;
+  b.factors = snapshot(batch);
+  b.info.assign(batch.info().begin(), batch.info().end());
+  b.seconds = r.seconds;
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: the acceptance criterion
+// ---------------------------------------------------------------------------
+
+TEST(HeteroBitIdentity, EveryPoolCompositionMatchesSingleDevice) {
+  const auto sizes = test_sizes(120, 300);
+  const Baseline base = single_device_baseline(sizes);
+
+  // k40c-first pools resolve options against the same reference device as
+  // the baseline, so default options already pin identical blocking.
+  const char* pools[] = {"k40c", "k40c,k40c", "k40c,p100", "cpu,k40c",
+                         "cpu,k40c,k40c,p100", "cpu"};
+  for (const char* desc : pools) {
+    DevicePool pool = DevicePool::parse(desc);
+    Queue q;
+    Batch<double> batch(q, sizes);
+    Rng fill(7);
+    batch.fill_spd(fill);
+    const auto r = potrf_vbatched_hetero<double>(pool, Uplo::Lower, batch);
+    EXPECT_GT(r.seconds, 0.0) << desc;
+    expect_bit_identical(base.factors, snapshot(batch), desc);
+    for (int i = 0; i < batch.count(); ++i)
+      EXPECT_EQ(base.info[static_cast<std::size_t>(i)], batch.info()[static_cast<std::size_t>(i)])
+          << desc << ": info " << i;
+  }
+}
+
+TEST(HeteroBitIdentity, P100FirstPoolMatchesWhenBlockingIsPinned) {
+  // A p100-first pool resolves Auto options against the P100; pinning the
+  // blocking explicitly restores bit-identity with the K40c baseline — the
+  // documented contract for cross-reference-device comparisons.
+  const auto sizes = test_sizes(80, 280);
+  PotrfOptions pinned;
+  pinned.path = PotrfPath::Fused;
+  pinned.fused_nb = 16;
+  const Baseline base = single_device_baseline(sizes, pinned);
+
+  DevicePool pool = DevicePool::parse("p100,k40c,cpu");
+  Queue q;
+  Batch<double> batch(q, sizes);
+  Rng fill(7);
+  batch.fill_spd(fill);
+  HeteroOptions opts;
+  opts.potrf = pinned;
+  const auto r = potrf_vbatched_hetero<double>(pool, Uplo::Lower, batch, opts);
+  EXPECT_EQ(r.path_taken, PotrfPath::Fused);
+  expect_bit_identical(base.factors, snapshot(batch), "p100-first");
+}
+
+TEST(HeteroBitIdentity, EveryPartitionAndStealScheduleMatches) {
+  const auto sizes = test_sizes(100, 300);
+  const Baseline base = single_device_baseline(sizes);
+
+  for (Partition part : {Partition::CostModel, Partition::RoundRobin, Partition::FirstOnly}) {
+    for (StealPolicy steal : {StealPolicy::MostLoaded, StealPolicy::Random}) {
+      for (bool stealing : {true, false}) {
+        for (std::uint64_t seed : {1ull, 2016ull, 0xDEADBEEFull}) {
+          DevicePool pool = DevicePool::parse("cpu,k40c,p100");
+          Queue q;
+          Batch<double> batch(q, sizes);
+          Rng fill(7);
+          batch.fill_spd(fill);
+          HeteroOptions opts;
+          opts.partition = part;
+          opts.steal = steal;
+          opts.work_stealing = stealing;
+          opts.steal_seed = seed;
+          const auto r = potrf_vbatched_hetero<double>(pool, Uplo::Lower, batch, opts);
+          const std::string what = std::string(to_string(part)) + "/" + to_string(steal) +
+                                   (stealing ? "/steal" : "/no-steal");
+          EXPECT_GT(r.seconds, 0.0) << what;
+          expect_bit_identical(base.factors, snapshot(batch), what.c_str());
+          for (int i = 0; i < batch.count(); ++i)
+            EXPECT_EQ(base.info[static_cast<std::size_t>(i)],
+                      batch.info()[static_cast<std::size_t>(i)])
+                << what << ": info " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(HeteroBitIdentity, BothPathsAndBothUplos) {
+  const auto sizes = test_sizes(60, 200);
+  for (PotrfPath path : {PotrfPath::Fused, PotrfPath::Separated}) {
+    for (Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+      PotrfOptions popts;
+      popts.path = path;
+
+      Queue q1;
+      Batch<double> b1(q1, sizes);
+      Rng f1(7);
+      b1.fill_spd(f1);
+      potrf_vbatched<double>(q1, uplo, b1, popts);
+
+      DevicePool pool = DevicePool::parse("cpu,k40c,k40c");
+      Queue q2;
+      Batch<double> b2(q2, sizes);
+      Rng f2(7);
+      b2.fill_spd(f2);
+      HeteroOptions hopts;
+      hopts.potrf = popts;
+      const auto r = potrf_vbatched_hetero<double>(pool, uplo, b2, hopts);
+      EXPECT_EQ(r.path_taken, path);
+      expect_bit_identical(snapshot(b1), snapshot(b2), to_string(path));
+    }
+  }
+}
+
+TEST(HeteroBitIdentity, ExpertInterfaceMatchesLapackLike) {
+  const auto sizes = test_sizes(70, 250);
+  const int max_n = *std::max_element(sizes.begin(), sizes.end());
+  const Baseline base = single_device_baseline(sizes);
+
+  DevicePool pool = DevicePool::parse("k40c,p100");
+  Queue q;
+  Batch<double> batch(q, sizes);
+  Rng fill(7);
+  batch.fill_spd(fill);
+  const auto r = potrf_vbatched_hetero_max<double>(pool, Uplo::Lower, batch, max_n);
+  EXPECT_GT(r.seconds, 0.0);
+  expect_bit_identical(base.factors, snapshot(batch), "expert interface");
+}
+
+// ---------------------------------------------------------------------------
+// Correctness beyond bit-matching
+// ---------------------------------------------------------------------------
+
+TEST(Hetero, FactorsSatisfyResidualBound) {
+  const auto sizes = test_sizes(50, 220);
+  DevicePool pool = DevicePool::parse("cpu,k40c,p100");
+  Queue q;
+  Batch<double> batch(q, sizes);
+  Rng fill(11);
+  batch.fill_spd(fill);
+  const auto originals = snapshot(batch);
+
+  potrf_vbatched_hetero<double>(pool, Uplo::Lower, batch);
+  for (int i = 0; i < batch.count(); ++i) {
+    ASSERT_EQ(batch.info()[static_cast<std::size_t>(i)], 0) << "matrix " << i;
+    const int n = sizes[static_cast<std::size_t>(i)];
+    ConstMatrixView<double> orig(originals[static_cast<std::size_t>(i)].data(), n, n, n);
+    EXPECT_LT(blas::potrf_residual<double>(Uplo::Lower, orig, batch.matrix(i)), 1e-12)
+        << "matrix " << i;
+  }
+}
+
+TEST(Hetero, NonSpdFailurePropagatesToOriginalOrder) {
+  std::vector<int> sizes{64, 90, 48, 120, 33};
+  Queue q;
+  Batch<double> batch(q, sizes);
+  Rng fill(13);
+  batch.fill_spd(fill);
+  batch.matrix(1)(40, 40) = -1e9;  // break SPD in submission-order slot 1
+  batch.matrix(3)(7, 7) = -1e9;    // and slot 3
+
+  // Single-device reference for the exact info values.
+  Queue qr;
+  Batch<double> ref(qr, sizes);
+  Rng fr(13);
+  ref.fill_spd(fr);
+  ref.matrix(1)(40, 40) = -1e9;
+  ref.matrix(3)(7, 7) = -1e9;
+  potrf_vbatched<double>(qr, Uplo::Lower, ref);
+
+  DevicePool pool = DevicePool::parse("cpu,k40c");
+  potrf_vbatched_hetero<double>(pool, Uplo::Lower, batch);
+  for (int i = 0; i < batch.count(); ++i)
+    EXPECT_EQ(ref.info()[static_cast<std::size_t>(i)], batch.info()[static_cast<std::size_t>(i)])
+        << "info " << i;
+  EXPECT_GT(batch.info()[1], 0);
+  EXPECT_GT(batch.info()[3], 0);
+}
+
+TEST(Hetero, FloatAndComplexInstantiations) {
+  const auto sizes = test_sizes(30, 150);
+  {
+    DevicePool pool = DevicePool::parse("k40c,k40c");
+    Queue q;
+    Batch<float> batch(q, sizes);
+    Rng fill(17);
+    batch.fill_spd(fill);
+    const auto r = potrf_vbatched_hetero<float>(pool, Uplo::Lower, batch);
+    EXPECT_GT(r.gflops(), 0.0);
+    for (int i = 0; i < batch.count(); ++i) EXPECT_EQ(batch.info()[static_cast<std::size_t>(i)], 0);
+  }
+  {
+    DevicePool pool = DevicePool::parse("cpu,k40c");
+    Queue q;
+    Batch<std::complex<double>> batch(q, sizes);
+    Rng fill(17);
+    batch.fill_spd(fill);
+    const auto r = potrf_vbatched_hetero<std::complex<double>>(pool, Uplo::Lower, batch);
+    EXPECT_GT(r.gflops(), 0.0);
+    for (int i = 0; i < batch.count(); ++i) EXPECT_EQ(batch.info()[static_cast<std::size_t>(i)], 0);
+  }
+}
+
+TEST(Hetero, TimingOnlyModeRuns) {
+  Rng rng(41);
+  const auto sizes = gaussian_sizes(rng, 400, 512);
+  Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Batch<double> batch(q, sizes);
+  DevicePool pool = DevicePool::parse("cpu,k40c,k40c");
+  const auto r = potrf_vbatched_hetero<double>(pool, Uplo::Lower, batch);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GT(r.flops, 0.0);
+  EXPECT_EQ(static_cast<int>(r.executors.size()), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Scaling, scheduling and energy behaviour
+// ---------------------------------------------------------------------------
+
+TEST(HeteroScaling, TwoGpusBeatOneAndCpuHelps) {
+  Rng rng(43);
+  const auto sizes = gaussian_sizes(rng, 600, 400);
+  auto makespan = [&](const char* desc) {
+    Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+    Batch<double> batch(q, sizes);
+    DevicePool pool = DevicePool::parse(desc);
+    return potrf_vbatched_hetero<double>(pool, Uplo::Lower, batch).seconds;
+  };
+  const double one = makespan("k40c");
+  const double two = makespan("k40c,k40c");
+  const double two_cpu = makespan("k40c,k40c,cpu");
+  EXPECT_LT(two, one / 1.5) << "second GPU must give a substantial speedup";
+  EXPECT_LT(two_cpu, two) << "adding the CPU must not slow the pool down";
+}
+
+TEST(HeteroScaling, WorkStealingRescuesFirstOnlyPartition) {
+  Rng rng(47);
+  const auto sizes = gaussian_sizes(rng, 500, 384);
+  auto run = [&](bool stealing) {
+    Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+    Batch<double> batch(q, sizes);
+    DevicePool pool = DevicePool::parse("k40c,k40c,k40c");
+    HeteroOptions opts;
+    opts.partition = Partition::FirstOnly;  // everything lands on GPU 0 ...
+    opts.work_stealing = stealing;          // ... unless peers can steal
+    return potrf_vbatched_hetero<double>(pool, Uplo::Lower, batch, opts);
+  };
+  const auto idle_peers = run(false);
+  const auto stealing = run(true);
+  EXPECT_EQ(idle_peers.steals, 0);
+  EXPECT_GT(stealing.steals, 0);
+  EXPECT_LT(stealing.seconds, idle_peers.seconds / 1.5);
+  // Without stealing, peers never run a chunk.
+  EXPECT_EQ(idle_peers.executors[1].chunks, 0);
+  EXPECT_EQ(idle_peers.executors[2].chunks, 0);
+}
+
+TEST(HeteroScaling, ReportAccountsEveryMatrixAndChunkOnce) {
+  Rng rng(53);
+  const auto sizes = gaussian_sizes(rng, 300, 300);
+  Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Batch<double> batch(q, sizes);
+  DevicePool pool = DevicePool::parse("cpu,k40c,p100");
+  const auto r = potrf_vbatched_hetero<double>(pool, Uplo::Lower, batch);
+
+  int matrices = 0, chunks = 0;
+  double flops = 0.0;
+  for (const auto& ex : r.executors) {
+    matrices += ex.matrices;
+    chunks += ex.chunks;
+    flops += ex.flops;
+    EXPECT_GE(ex.busy_seconds, 0.0) << ex.name;
+    EXPECT_LE(ex.finish_seconds, r.seconds + 1e-12) << ex.name;
+  }
+  EXPECT_EQ(matrices, batch.count());
+  EXPECT_EQ(chunks, r.chunks);
+  EXPECT_DOUBLE_EQ(flops, r.flops);
+}
+
+TEST(HeteroEnergy, PoolEnergyCoversActiveAndIdleDevices) {
+  Rng rng(59);
+  const auto sizes = gaussian_sizes(rng, 300, 300);
+  Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Batch<double> batch(q, sizes);
+  DevicePool pool = DevicePool::parse("cpu,k40c,k40c");
+  const auto r = potrf_vbatched_hetero<double>(pool, Uplo::Lower, batch);
+
+  EXPECT_DOUBLE_EQ(r.energy.seconds, r.seconds);
+  // Floor: every device burns at least idle power for the whole makespan.
+  double idle_floor = 0.0;
+  for (int e = 0; e < pool.size(); ++e)
+    idle_floor += pool.executor(e).power().watts(0.0) * r.seconds;
+  EXPECT_GT(r.energy.joules, idle_floor * 0.99);
+  EXPECT_GT(r.energy.avg_watts(), 0.0);
+  double active = 0.0;
+  for (const auto& ex : r.executors) active += ex.joules;
+  EXPECT_LE(active, r.energy.joules);
+}
+
+TEST(HeteroDeterminism, SameSeedSameSchedule) {
+  Rng rng(61);
+  const auto sizes = gaussian_sizes(rng, 400, 350);
+  auto run = [&](std::uint64_t seed) {
+    Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+    Batch<double> batch(q, sizes);
+    DevicePool pool = DevicePool::parse("cpu,k40c,p100");
+    HeteroOptions opts;
+    opts.steal = StealPolicy::Random;
+    opts.steal_seed = seed;
+    return potrf_vbatched_hetero<double>(pool, Uplo::Lower, batch);
+  };
+  const auto a = run(99);
+  const auto b = run(99);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.steals, b.steals);
+  ASSERT_EQ(a.executors.size(), b.executors.size());
+  for (std::size_t e = 0; e < a.executors.size(); ++e) {
+    EXPECT_DOUBLE_EQ(a.executors[e].busy_seconds, b.executors[e].busy_seconds);
+    EXPECT_EQ(a.executors[e].chunks, b.executors[e].chunks);
+    EXPECT_EQ(a.executors[e].stolen, b.executors[e].stolen);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Partitioner and scheduler units
+// ---------------------------------------------------------------------------
+
+TEST(HeteroPartition, SortIsDescendingAndStable) {
+  std::vector<int> n{50, 80, 50, 120, 80};
+  const auto order = sort_indices_desc(n);
+  EXPECT_EQ(order, (std::vector<int>{3, 1, 4, 0, 2}));
+}
+
+TEST(HeteroPartition, ChunksCoverBatchExactlyOnce) {
+  Rng rng(67);
+  auto sizes = gaussian_sizes(rng, 257, 300);
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  const auto chunks = build_chunks(sizes, 32, 12);
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_LE(static_cast<int>(chunks.size()), 12 + 12 / 2 + 1);
+  int expected_begin = 0;
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.begin, expected_begin);
+    EXPECT_GT(c.count(), 0);
+    EXPECT_EQ(c.max_n, sizes[static_cast<std::size_t>(c.begin)]);
+    EXPECT_GT(c.flops, 0.0);
+    expected_begin = c.end;
+  }
+  EXPECT_EQ(expected_begin, static_cast<int>(sizes.size()));
+}
+
+TEST(HeteroPartition, SingleChunkWhenTargetIsOne) {
+  std::vector<int> sizes{100, 90, 80};
+  const auto chunks = build_chunks(sizes, 32, 1);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].begin, 0);
+  EXPECT_EQ(chunks[0].end, 3);
+  EXPECT_EQ(chunks[0].max_n, 100);
+}
+
+TEST(HeteroPartition, CostModelBalancesHeterogeneousSpeeds) {
+  // Executor 0 is 3x faster on every chunk; LPT should give it more chunks.
+  std::vector<std::vector<double>> est{
+      {1, 1, 1, 1, 1, 1, 1, 1},
+      {3, 3, 3, 3, 3, 3, 3, 3},
+  };
+  const auto owner = assign_chunks(est, Partition::CostModel, 2);
+  int fast = 0, slow = 0;
+  for (int e : owner) (e == 0 ? fast : slow)++;
+  EXPECT_GT(fast, slow);
+  EXPECT_GT(slow, 0);  // the slow executor still contributes
+
+  const auto rr = assign_chunks(est, Partition::RoundRobin, 2);
+  EXPECT_EQ(rr, (std::vector<int>{0, 1, 0, 1, 0, 1, 0, 1}));
+  const auto first = assign_chunks(est, Partition::FirstOnly, 2);
+  EXPECT_EQ(first, (std::vector<int>(8, 0)));
+}
+
+TEST(HeteroScheduler, StealsFromBackOfMostLoadedVictim) {
+  // Two executors, four chunks, all owned by executor 0. Executor 1 must
+  // steal from the back (chunks 3, then 2) while 0 works from the front.
+  ScheduleParams sp;
+  sp.owner = {0, 0, 0, 0};
+  sp.estimate = {{1.0, 1.0, 1.0, 1.0}, {1.0, 1.0, 1.0, 1.0}};
+  sp.executors = 2;
+  std::vector<std::pair<int, int>> trace;  // (executor, chunk)
+  const auto res = run_schedule(sp, [&](int e, int c) {
+    trace.emplace_back(e, c);
+    return 1.0;
+  });
+  EXPECT_DOUBLE_EQ(res.makespan, 2.0);
+  EXPECT_EQ(res.executed_by, (std::vector<int>{0, 0, 1, 1}));
+  EXPECT_EQ(res.chunks_stolen[1], 2);
+  // Executor 1's first steal is the trailing chunk.
+  ASSERT_GE(trace.size(), 2u);
+  bool saw_back_steal = false;
+  for (const auto& [e, c] : trace)
+    if (e == 1 && c == 3) saw_back_steal = true;
+  EXPECT_TRUE(saw_back_steal);
+}
+
+TEST(HeteroScheduler, NoStealingLeavesPeersIdle) {
+  ScheduleParams sp;
+  sp.owner = {0, 0, 0};
+  sp.estimate = {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}};
+  sp.executors = 2;
+  sp.work_stealing = false;
+  const auto res = run_schedule(sp, [&](int, int) { return 1.0; });
+  EXPECT_DOUBLE_EQ(res.makespan, 3.0);
+  EXPECT_EQ(res.chunks_run[1], 0);
+}
+
+TEST(HeteroScheduler, InitialClockDelaysExecutorZero) {
+  ScheduleParams sp;
+  sp.owner = {0, 1};
+  sp.estimate = {{1.0, 1.0}, {1.0, 1.0}};
+  sp.executors = 2;
+  sp.initial_clock = {5.0, 0.0};
+  const auto res = run_schedule(sp, [&](int, int) { return 1.0; });
+  // Executor 1 (clock 0) acts first, runs its chunk, then steals executor
+  // 0's chunk long before executor 0's clock (5.0) comes up.
+  EXPECT_EQ(res.chunks_run[0], 0);
+  EXPECT_EQ(res.chunks_run[1], 2);
+  EXPECT_DOUBLE_EQ(res.makespan, 5.0);  // exec 0's initial clock dominates
+}
+
+// ---------------------------------------------------------------------------
+// DevicePool
+// ---------------------------------------------------------------------------
+
+TEST(DevicePool, ParseBuildsTheRequestedExecutors) {
+  DevicePool pool = DevicePool::parse("cpu,k40c,p100,k40c");
+  EXPECT_EQ(pool.size(), 4);
+  EXPECT_EQ(pool.gpu_count(), 3);
+  EXPECT_TRUE(pool.has_cpu());
+  EXPECT_EQ(pool.executor(0).name(), "cpu");
+  EXPECT_EQ(pool.executor(1).name(), "k40c#0");
+  EXPECT_EQ(pool.executor(2).name(), "p100#1");
+  EXPECT_EQ(pool.executor(3).name(), "k40c#2");
+  EXPECT_EQ(pool.describe(), "cpu + k40c#0 + p100#1 + k40c#2");
+}
+
+TEST(DevicePool, ParseRejectsBadInput) {
+  EXPECT_THROW(DevicePool::parse(""), Error);
+  EXPECT_THROW(DevicePool::parse("k40c,gtx480"), Error);
+  EXPECT_THROW(DevicePool::parse("cpu,cpu"), Error);
+}
+
+TEST(DevicePool, HeteroRejectsEmptyBatchAndPool) {
+  DevicePool pool = DevicePool::parse("k40c");
+  Queue q;
+  std::vector<int> sizes{0, 0};
+  Batch<double> batch(q, sizes);
+  // All-empty batch: the LAPACK-like interface must refuse like the
+  // single-device one does.
+  EXPECT_THROW(potrf_vbatched_hetero<double>(pool, Uplo::Lower, batch), Error);
+  EXPECT_THROW(potrf_vbatched_hetero_max<double>(pool, Uplo::Lower, batch, 0), Error);
+}
+
+}  // namespace

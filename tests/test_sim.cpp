@@ -10,6 +10,7 @@
 
 #include "vbatch/sim/device.hpp"
 #include "vbatch/sim/occupancy.hpp"
+#include "vbatch/sim/profile.hpp"
 #include "vbatch/sim/scheduler.hpp"
 #include "vbatch/util/error.hpp"
 
@@ -386,6 +387,50 @@ TEST(Device, StreamsRespectPerStreamOrdering) {
   Device dev2(spec());
   const double t8 = dev2.launch_concurrent(cfgs, fns, 4);
   EXPECT_GT(t1, t8);
+}
+
+TEST(Device, StreamClampIsVisibleInTimeline) {
+  // Requesting more streams than the device supports must not produce
+  // phantom concurrency figures: the timeline records the post-clamp stream
+  // assignment, so streams_used() reports the device limit, not the request.
+  Device dev(spec());
+  const int limit = dev.spec().max_concurrent_streams;
+  const int kernels = limit + 16;
+  auto fn = [](const ExecContext&, int) { return work_block(1e4, 8, 64); };
+  std::vector<LaunchConfig> cfgs(static_cast<std::size_t>(kernels), cfg(4, 64));
+  std::vector<BlockFn> fns(static_cast<std::size_t>(kernels), fn);
+  dev.launch_concurrent(cfgs, fns, 4 * limit);
+  EXPECT_EQ(dev.timeline().streams_used(), limit);
+  for (const auto& rec : dev.timeline().records()) {
+    EXPECT_GE(rec.stream, 0);
+    EXPECT_LT(rec.stream, limit);
+  }
+  // The profile carries the same post-clamp figure.
+  const auto profiles = profile_timeline(dev.timeline());
+  ASSERT_EQ(profiles.size(), 1u);
+  EXPECT_EQ(profiles[0].streams, limit);
+}
+
+TEST(Device, StreamsClampToKernelCount) {
+  // More streams than kernels: only one kernel per stream is possible, so
+  // the used-stream count equals the batch, and the run must behave exactly
+  // like a run with num_streams == batch.
+  Device dev(spec());
+  auto fn = [](const ExecContext&, int) { return work_block(1e4, 8, 64); };
+  std::vector<LaunchConfig> cfgs(5, cfg(4, 64));
+  std::vector<BlockFn> fns(5, fn);
+  const double wide = dev.launch_concurrent(cfgs, fns, 16);
+  EXPECT_EQ(dev.timeline().streams_used(), 5);
+
+  Device dev2(spec());
+  const double exact = dev2.launch_concurrent(cfgs, fns, 5);
+  EXPECT_DOUBLE_EQ(wide, exact);
+
+  // Plain synchronous launches carry no stream tag.
+  Device dev3(spec());
+  dev3.launch(cfg(4, 64), fn);
+  EXPECT_EQ(dev3.timeline().streams_used(), 0);
+  EXPECT_EQ(dev3.timeline().records().back().stream, -1);
 }
 
 TEST(Timeline, BusyAndPrefixQueries) {

@@ -11,6 +11,10 @@
 //     --nmax N         maximum matrix size      (default 256)
 //     --dist uniform|gaussian                   (default uniform)
 //     --precision s|d                           (default d)
+//     --device k40c|p100                        (default k40c; also selects
+//                      the matching power model for --energy)
+//     --hetero LIST    run on a heterogeneous pool instead of one device,
+//                      e.g. --hetero cpu,k40c,p100 (tokens: cpu, k40c, p100)
 //     --path auto|fused|separated               (default auto)
 //     --etm classic|aggressive                  (default aggressive)
 //     --no-sort        disable implicit sorting
@@ -33,7 +37,9 @@
 #include "vbatch/core/size_dist.hpp"
 #include "vbatch/cpu/cpu_batched.hpp"
 #include "vbatch/energy/energy_meter.hpp"
+#include "vbatch/hetero/potrf_hetero.hpp"
 #include "vbatch/sim/profile.hpp"
+#include "vbatch/util/error.hpp"
 #include "vbatch/util/thread_pool.hpp"
 
 namespace {
@@ -43,6 +49,8 @@ struct CliOptions {
   int nmax = 256;
   vbatch::SizeDist dist = vbatch::SizeDist::Uniform;
   bool double_precision = true;
+  std::string device = "k40c";
+  std::string hetero;  ///< non-empty = heterogeneous pool description
   vbatch::PotrfOptions potrf;
   bool tune = false;
   bool profile = false;
@@ -54,7 +62,8 @@ struct CliOptions {
 
 [[noreturn]] void usage(const char* argv0) {
   std::printf("usage: %s [--batch N] [--nmax N] [--dist uniform|gaussian]\n"
-              "          [--precision s|d] [--path auto|fused|separated]\n"
+              "          [--precision s|d] [--device k40c|p100] [--hetero cpu,k40c,...]\n"
+              "          [--path auto|fused|separated]\n"
               "          [--etm classic|aggressive] [--no-sort] [--tune]\n"
               "          [--profile] [--energy] [--verify] [--threads N] [--seed N]\n",
               argv0);
@@ -93,7 +102,11 @@ CliOptions parse(int argc, char** argv) {
       if (v == "classic") o.potrf.etm = vbatch::EtmMode::Classic;
       else if (v == "aggressive") o.potrf.etm = vbatch::EtmMode::Aggressive;
       else usage(argv[0]);
-    } else if (arg == "--no-sort") o.potrf.implicit_sorting = false;
+    } else if (arg == "--device") {
+      o.device = next();
+      if (o.device != "k40c" && o.device != "p100") usage(argv[0]);
+    } else if (arg == "--hetero") o.hetero = next();
+    else if (arg == "--no-sort") o.potrf.implicit_sorting = false;
     else if (arg == "--tune") o.tune = true;
     else if (arg == "--profile") o.profile = true;
     else if (arg == "--energy") o.energy = true;
@@ -114,8 +127,14 @@ int run(const CliOptions& o) {
   std::printf("workload: %d matrices, %s sizes in [%d, %d], mean %.1f\n", o.batch,
               to_string(o.dist), stats.min, stats.max, stats.mean);
 
-  Queue q(sim::DeviceSpec::k40c(),
-          o.verify ? sim::ExecMode::Full : sim::ExecMode::TimingOnly);
+  // --device selects the simulated GPU *and* the matching power model, so
+  // --energy compares like with like on either architecture.
+  const bool p100 = o.device == "p100";
+  const sim::DeviceSpec spec = p100 ? sim::DeviceSpec::p100() : sim::DeviceSpec::k40c();
+  const energy::PowerModel gpu_power =
+      p100 ? energy::PowerModel::p100() : energy::PowerModel::k40c();
+
+  Queue q(spec, o.verify ? sim::ExecMode::Full : sim::ExecMode::TimingOnly);
   std::printf("device:   %s (%s mode)\n", q.spec().name.c_str(),
               o.verify ? "Full numerics" : "TimingOnly");
 
@@ -135,9 +154,35 @@ int run(const CliOptions& o) {
     for (int i = 0; i < batch.count(); ++i) originals.push_back(batch.copy_matrix(i));
   }
 
-  const PotrfResult r = potrf_vbatched<T>(q, Uplo::Lower, batch, opts);
-  std::printf("potrf_vbatched: path=%s  %.3f Gflop  %.3f ms  ->  %.1f Gflop/s\n",
-              to_string(r.path_taken), r.flops * 1e-9, r.seconds * 1e3, r.gflops());
+  hetero::DevicePool pool;
+  if (!o.hetero.empty()) {
+    try {
+      pool = hetero::DevicePool::parse(o.hetero);
+    } catch (const vbatch::Error& err) {
+      std::fprintf(stderr, "--hetero %s: %s\n", o.hetero.c_str(), err.what());
+      return 2;
+    }
+    std::printf("pool:     %s\n", pool.describe().c_str());
+    hetero::HeteroOptions hopts;
+    hopts.potrf = opts;
+    const auto hr = hetero::potrf_vbatched_hetero<T>(pool, Uplo::Lower, batch, hopts);
+    std::printf(
+        "potrf_vbatched_hetero: path=%s  %.3f Gflop  %.3f ms  ->  %.1f Gflop/s"
+        "  (%d chunks, %d stolen)\n",
+        to_string(hr.path_taken), hr.flops * 1e-9, hr.seconds * 1e3, hr.gflops(), hr.chunks,
+        hr.steals);
+    for (const auto& ex : hr.executors)
+      std::printf("  %-10s %4d matrices  %2d chunks (%d stolen)  busy %8.3f ms  %7.1f Gflop/s\n",
+                  ex.name.c_str(), ex.matrices, ex.chunks, ex.stolen, ex.busy_seconds * 1e3,
+                  ex.busy_seconds > 0.0 ? ex.flops / ex.busy_seconds * 1e-9 : 0.0);
+    if (o.energy)
+      std::printf("pool energy: %.2f J over %.3f ms (%.1f W avg)\n", hr.energy.joules,
+                  hr.energy.seconds * 1e3, hr.energy.avg_watts());
+  } else {
+    const PotrfResult r = potrf_vbatched<T>(q, Uplo::Lower, batch, opts);
+    std::printf("potrf_vbatched: path=%s  %.3f Gflop  %.3f ms  ->  %.1f Gflop/s\n",
+                to_string(r.path_taken), r.flops * 1e-9, r.seconds * 1e3, r.gflops());
+  }
 
   if (o.verify) {
     double worst = 0.0;
@@ -155,12 +200,21 @@ int run(const CliOptions& o) {
   }
 
   if (o.profile) {
-    std::printf("\nkernel profile:\n");
-    sim::print_profile(std::cout, sim::profile_timeline(q.device().timeline()));
+    if (!o.hetero.empty()) {
+      for (int e = 0; e < pool.size(); ++e) {
+        if (!pool.executor(e).is_gpu()) continue;
+        std::printf("\nkernel profile (%s):\n", pool.executor(e).name().c_str());
+        sim::print_profile(
+            std::cout, sim::profile_timeline(pool.executor(e).queue().device().timeline()));
+      }
+    } else {
+      std::printf("\nkernel profile:\n");
+      sim::print_profile(std::cout, sim::profile_timeline(q.device().timeline()));
+    }
   }
 
-  if (o.energy) {
-    const auto gpu_e = energy::gpu_run_energy(q.spec(), energy::PowerModel::k40c(),
+  if (o.energy && o.hetero.empty()) {
+    const auto gpu_e = energy::gpu_run_energy(q.spec(), gpu_power,
                                               energy::PowerModel::dual_e5_2670(),
                                               q.device().timeline(), precision_v<T>);
     const auto cpu_spec = cpu::CpuSpec::dual_e5_2670();
