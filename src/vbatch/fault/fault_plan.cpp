@@ -1,0 +1,186 @@
+#include "vbatch/fault/fault_plan.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "vbatch/util/error.hpp"
+
+namespace vbatch::fault {
+
+const char* to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::None: return "none";
+    case FaultKind::Transient: return "transient";
+    case FaultKind::Hang: return "hang";
+    case FaultKind::ExecutorLoss: return "executor-loss";
+    case FaultKind::ChunkLost: return "chunk-lost";
+  }
+  return "?";
+}
+
+std::string FaultSpec::describe() const {
+  std::string out = "seed=" + std::to_string(seed);
+  if (transient_rate > 0.0) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), ";transient:rate=%g", transient_rate);
+    out += buf;
+  }
+  for (const auto& r : transients)
+    out += ";transient:exec=" + std::to_string(r.exec) + ",chunk=" + std::to_string(r.chunk) +
+           ",times=" + std::to_string(r.times);
+  for (const auto& r : hangs)
+    out += ";hang:exec=" + std::to_string(r.exec) + ",chunk=" + std::to_string(r.chunk);
+  for (const auto& r : deaths)
+    out += ";die:exec=" + std::to_string(r.exec) + ",after=" + std::to_string(r.after);
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& why) {
+  throw_error(Status::InvalidArgument, "parse_fault_spec: " + why);
+}
+
+long parse_long(const std::string& value, const std::string& what) {
+  long out = 0;
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc{} || ptr != end) bad_spec("bad integer '" + value + "' for " + what);
+  return out;
+}
+
+double parse_rate(const std::string& value) {
+  char* end = nullptr;
+  const double out = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || out < 0.0 || out > 1.0)
+    bad_spec("rate must be a number in [0, 1], got '" + value + "'");
+  return out;
+}
+
+/// Splits "k=v,k=v" into pairs; every key must appear in `allowed`.
+std::vector<std::pair<std::string, std::string>> parse_kv(const std::string& body,
+                                                          const std::string& item) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::size_t pos = 0;
+  while (pos <= body.size()) {
+    const std::size_t comma = body.find(',', pos);
+    const std::string field =
+        body.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const std::size_t eq = field.find('=');
+    if (field.empty() || eq == std::string::npos || eq == 0 || eq + 1 == field.size())
+      bad_spec("expected key=value in '" + item + "'");
+    out.emplace_back(field.substr(0, eq), field.substr(eq + 1));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// SplitMix64 finalizer — the stateless hash behind the rate-based faults.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultSpec parse_fault_spec(const std::string& spec) {
+  FaultSpec out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t semi = spec.find(';', pos);
+    const std::string item =
+        spec.substr(pos, semi == std::string::npos ? std::string::npos : semi - pos);
+    pos = semi == std::string::npos ? spec.size() + 1 : semi + 1;
+    if (item.empty()) {
+      if (spec.empty()) break;  // an empty spec is a no-op plan
+      bad_spec("empty item (stray ';')");
+    }
+
+    if (item.rfind("seed=", 0) == 0) {
+      out.seed = static_cast<std::uint64_t>(parse_long(item.substr(5), "seed"));
+      continue;
+    }
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos)
+      bad_spec("unknown item '" + item + "' (expected seed=, transient:, hang:, or die:)");
+    const std::string head = item.substr(0, colon);
+    const auto kv = parse_kv(item.substr(colon + 1), item);
+
+    if (head == "transient") {
+      TransientRule rule;
+      bool targeted = false;
+      double rate = -1.0;
+      for (const auto& [k, v] : kv) {
+        if (k == "rate") rate = parse_rate(v);
+        else if (k == "exec") { rule.exec = static_cast<int>(parse_long(v, "exec")); targeted = true; }
+        else if (k == "chunk") { rule.chunk = static_cast<int>(parse_long(v, "chunk")); targeted = true; }
+        else if (k == "times") { rule.times = static_cast<int>(parse_long(v, "times")); targeted = true; }
+        else bad_spec("unknown transient key '" + k + "'");
+      }
+      if (rate >= 0.0 && targeted) bad_spec("transient: rate= cannot be combined with targeting");
+      if (rate >= 0.0) {
+        out.transient_rate = rate;
+      } else {
+        if (rule.times < 1) bad_spec("transient: times must be >= 1");
+        if (rule.exec < -1 || rule.chunk < -1) bad_spec("transient: exec/chunk must be >= -1");
+        out.transients.push_back(rule);
+      }
+    } else if (head == "hang") {
+      HangRule rule;
+      for (const auto& [k, v] : kv) {
+        if (k == "exec") rule.exec = static_cast<int>(parse_long(v, "exec"));
+        else if (k == "chunk") rule.chunk = static_cast<int>(parse_long(v, "chunk"));
+        else bad_spec("unknown hang key '" + k + "'");
+      }
+      if (rule.exec < -1 || rule.chunk < -1) bad_spec("hang: exec/chunk must be >= -1");
+      out.hangs.push_back(rule);
+    } else if (head == "die") {
+      DeathRule rule;
+      bool have_exec = false;
+      for (const auto& [k, v] : kv) {
+        if (k == "exec") { rule.exec = static_cast<int>(parse_long(v, "exec")); have_exec = true; }
+        else if (k == "after") rule.after = static_cast<int>(parse_long(v, "after"));
+        else bad_spec("unknown die key '" + k + "'");
+      }
+      if (!have_exec || rule.exec < 0) bad_spec("die: requires exec=E with E >= 0");
+      if (rule.after < 0) bad_spec("die: after must be >= 0");
+      out.deaths.push_back(rule);
+    } else {
+      bad_spec("unknown item '" + head + "' (expected transient, hang, or die)");
+    }
+  }
+  return out;
+}
+
+FaultKind FaultPlan::attempt_outcome(int exec, int chunk, int attempt) const noexcept {
+  for (const auto& r : spec_.hangs)
+    if ((r.exec == -1 || r.exec == exec) && (r.chunk == -1 || r.chunk == chunk))
+      return FaultKind::Hang;
+  for (const auto& r : spec_.transients)
+    if ((r.exec == -1 || r.exec == exec) && (r.chunk == -1 || r.chunk == chunk) &&
+        attempt <= r.times)
+      return FaultKind::Transient;
+  if (spec_.transient_rate > 0.0) {
+    // Stateless: a pure hash of (seed, exec, chunk, attempt), so the
+    // outcome does not depend on query order or on any other executor.
+    std::uint64_t h = mix64(spec_.seed);
+    h = mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(exec)) << 40));
+    h = mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(chunk)) << 16));
+    h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(attempt)));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (u < spec_.transient_rate) return FaultKind::Transient;
+  }
+  return FaultKind::None;
+}
+
+int FaultPlan::dies_after(int exec) const noexcept {
+  for (const auto& r : spec_.deaths)
+    if (r.exec == exec) return r.after;
+  return -1;
+}
+
+}  // namespace vbatch::fault

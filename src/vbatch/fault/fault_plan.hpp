@@ -1,0 +1,143 @@
+// Deterministic fault injection for the heterogeneous runtime.
+//
+// A production vbatched service splitting one call across a CPU + multi-GPU
+// pool must survive device loss, transient memory faults and hung kernels.
+// The simulator makes those scenarios *testable*: a FaultPlan is a pure
+// function of (spec, seed, schedule position) — no wall clock, no global
+// state — so a given (pool, seed, fault spec) replays the exact same fault
+// sequence every run, and the recovery machinery in hetero/scheduler can be
+// asserted bit-for-bit (docs/robustness.md).
+//
+// Three fault classes are modelled:
+//   * Transient  — a simulated ECC / launch failure: the attempt's work is
+//     discarded (the chunk's matrices are never written), the executor
+//     retries after a deterministic virtual-time backoff;
+//   * Hang       — the attempt never completes; a virtual-time watchdog
+//     converts the hang into permanent executor loss;
+//   * ExecutorLoss — a device falls off the bus after completing a given
+//     number of chunks; its remaining chunks are re-dispatched (LPT over
+//     the survivors' clocks) and peers keep stealing as usual.
+// When a chunk cannot be completed by any surviving executor it is
+// *poisoned*: its problems get the distinguished kInfoChunkLost info code
+// (util/error.hpp) and the call still returns — graceful degradation, not
+// an exception.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vbatch::fault {
+
+/// Outcome of one (executor, chunk, attempt) query, and the kind tag of the
+/// recovery events the scheduler logs.
+enum class FaultKind : std::uint8_t {
+  None = 0,      ///< the attempt runs normally
+  Transient,     ///< simulated ECC/launch failure: discard work, retry
+  Hang,          ///< attempt never completes: watchdog → executor loss
+  ExecutorLoss,  ///< permanent device death (event log only)
+  ChunkLost,     ///< chunk unrecoverable → info poison (event log only)
+};
+
+[[nodiscard]] const char* to_string(FaultKind k) noexcept;
+
+/// Targeted transient fault: attempts 1..times on matching (exec, chunk)
+/// pairs fail. -1 matches any executor / any chunk.
+struct TransientRule {
+  int exec = -1;
+  int chunk = -1;
+  int times = 1;
+};
+
+/// Targeted hang: every matching attempt hangs (the executor is lost via
+/// the watchdog, so at most one fires per executor).
+struct HangRule {
+  int exec = -1;
+  int chunk = -1;
+};
+
+/// Permanent death: the executor is lost once it has completed `after`
+/// chunks (0 = dead before completing anything).
+struct DeathRule {
+  int exec = 0;
+  int after = 0;
+};
+
+/// Parsed fault-injection description. Built programmatically or from the
+/// spec grammar (parse_fault_spec); attached to a DevicePool, the CLI's
+/// --inject-faults, or the VBATCH_INJECT_FAULTS environment knob.
+struct FaultSpec {
+  std::uint64_t seed = 2016;   ///< seeds the rate-based transient hash
+  double transient_rate = 0.0; ///< per-attempt transient probability
+  std::vector<TransientRule> transients;
+  std::vector<HangRule> hangs;
+  std::vector<DeathRule> deaths;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return transient_rate == 0.0 && transients.empty() && hangs.empty() && deaths.empty();
+  }
+  /// Round-trippable description in the spec grammar (for logs and JSON).
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Parses the semicolon-separated spec grammar:
+///   seed=N
+///   transient:rate=P                      (probabilistic, hashed per attempt)
+///   transient:exec=E,chunk=C,times=T      (targeted; -1 = any, times def. 1)
+///   hang:exec=E,chunk=C                   (targeted; -1 = any)
+///   die:exec=E,after=K                    (executor E dies after K chunks)
+/// e.g. "seed=7;transient:rate=0.2;die:exec=1,after=2;hang:exec=0,chunk=3".
+/// Throws Status::InvalidArgument on malformed input.
+[[nodiscard]] FaultSpec parse_fault_spec(const std::string& spec);
+
+/// One recovery event in the schedule, on the acting executor's virtual
+/// clock. The scheduler logs every fault and recovery decision here; tests
+/// replay the log to assert determinism and the profiler charges the wasted
+/// intervals to the device timelines.
+struct FaultEvent {
+  FaultKind kind = FaultKind::None;
+  int exec = -1;     ///< acting executor (-1 for pool-level ChunkLost)
+  int chunk = -1;    ///< affected chunk (-1 for ExecutorLoss)
+  int attempt = 0;   ///< 1-based attempt index on that executor
+  double start = 0.0;           ///< executor virtual clock when it fired
+  double waste_seconds = 0.0;   ///< modelled device time lost to the attempt
+  double backoff_seconds = 0.0; ///< virtual backoff charged before the retry
+};
+
+/// The injection oracle: a pure function of (spec, exec, chunk, attempt).
+/// No wall clock and no mutable state, so the same spec and schedule replay
+/// identical fault sequences — the determinism the recovery tests memcmp.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(FaultSpec spec) : spec_(std::move(spec)) {}
+
+  [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] bool empty() const noexcept { return spec_.empty(); }
+
+  /// The injected outcome when executor `exec` starts its `attempt`-th try
+  /// (1-based) of chunk `chunk`. Hang rules take precedence over targeted
+  /// transients, which take precedence over the rate hash.
+  [[nodiscard]] FaultKind attempt_outcome(int exec, int chunk, int attempt) const noexcept;
+
+  /// Chunks executor `exec` completes before dying, or -1 for never.
+  [[nodiscard]] int dies_after(int exec) const noexcept;
+
+ private:
+  FaultSpec spec_;
+};
+
+/// Bounded-retry / watchdog policy for the recovery loop. All times are
+/// virtual (modelled) seconds. The k-th retry of a chunk on one executor
+/// backs off backoff_seconds * backoff_multiplier^(k-1); after max_attempts
+/// transient failures the executor gives the chunk up for re-dispatch to a
+/// peer, and a hung attempt is converted into executor loss after
+/// watchdog_seconds.
+struct RetryPolicy {
+  int max_attempts = 3;
+  double backoff_seconds = 50e-6;
+  double backoff_multiplier = 2.0;
+  double watchdog_seconds = 5e-3;
+};
+
+}  // namespace vbatch::fault

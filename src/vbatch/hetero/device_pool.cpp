@@ -22,10 +22,23 @@ Executor& DevicePool::add_cpu(const cpu::CpuSpec& spec, const energy::PowerModel
 
 DevicePool DevicePool::parse(const std::string& csv) {
   DevicePool pool;
+  require(!csv.empty(), "DevicePool: empty device list");
   std::stringstream ss(csv);
   std::string token;
+  // getline drops a trailing empty segment ("k40c," yields one token), so a
+  // trailing comma is checked up front.
+  if (csv.back() == ',')
+    throw_error(Status::InvalidArgument, "DevicePool: empty device segment in '" + csv +
+                                             "' (trailing comma)");
   while (std::getline(ss, token, ',')) {
-    if (token.empty()) continue;
+    // Trim surrounding whitespace so "cpu, k40c" works; an all-blank
+    // segment is still an error, not a silent skip.
+    const std::size_t first = token.find_first_not_of(" \t");
+    const std::size_t last = token.find_last_not_of(" \t");
+    token = first == std::string::npos ? std::string{} : token.substr(first, last - first + 1);
+    if (token.empty())
+      throw_error(Status::InvalidArgument, "DevicePool: empty device segment in '" + csv +
+                                               "' (doubled or stray comma)");
     if (token == "k40c") {
       pool.add_gpu(sim::DeviceSpec::k40c(), energy::PowerModel::k40c(), "k40c");
     } else if (token == "p100") {

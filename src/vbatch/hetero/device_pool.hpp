@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "vbatch/fault/fault_plan.hpp"
 #include "vbatch/hetero/executor.hpp"
 
 namespace vbatch::hetero {
@@ -31,9 +32,19 @@ class DevicePool {
                     const energy::PowerModel& power = energy::PowerModel::dual_e5_2670());
 
   /// Builds a pool from a comma-separated device list. Tokens: "k40c",
-  /// "p100", "cpu". Throws Status::InvalidArgument on unknown tokens, an
-  /// empty list, or a repeated "cpu".
+  /// "p100", "cpu" (surrounding whitespace is trimmed). Throws
+  /// Status::InvalidArgument on unknown tokens, an empty list, an empty
+  /// segment (stray / doubled comma), or a repeated "cpu" — never silently
+  /// builds a degenerate pool.
   [[nodiscard]] static DevicePool parse(const std::string& csv);
+
+  /// Attaches a fault-injection spec (docs/robustness.md): every
+  /// potrf_vbatched_hetero call on this pool runs under the given plan.
+  /// An empty spec (the default) disables injection; the
+  /// VBATCH_INJECT_FAULTS environment knob applies only when no spec was
+  /// set explicitly.
+  void set_faults(fault::FaultSpec spec) { faults_ = std::move(spec); }
+  [[nodiscard]] const fault::FaultSpec& faults() const noexcept { return faults_; }
 
   [[nodiscard]] int size() const noexcept { return static_cast<int>(executors_.size()); }
   [[nodiscard]] Executor& executor(int i) noexcept { return *executors_[static_cast<std::size_t>(i)]; }
@@ -48,6 +59,7 @@ class DevicePool {
 
  private:
   std::vector<std::unique_ptr<Executor>> executors_;
+  fault::FaultSpec faults_;
 };
 
 }  // namespace vbatch::hetero

@@ -6,6 +6,8 @@ namespace vbatch::hetero {
 
 void Executor::begin_call(sim::ExecMode mode) { queue().device().set_mode(mode); }
 
+void Executor::charge_fault(const std::string& /*what*/, double /*seconds*/) {}
+
 // --- GpuExecutor -----------------------------------------------------------
 
 GpuExecutor::GpuExecutor(std::string name, const sim::DeviceSpec& spec,
@@ -33,6 +35,10 @@ double GpuExecutor::estimate(const ChunkWork& work) {
 
 double GpuExecutor::execute(const ChunkWork& work, std::span<int> info) {
   return work.run(queue_, info);
+}
+
+void GpuExecutor::charge_fault(const std::string& what, double seconds) {
+  queue_.device().charge_interval(what, seconds);
 }
 
 energy::EnergyResult GpuExecutor::call_energy(Precision prec, double /*busy_seconds*/,

@@ -76,6 +76,14 @@ class Executor {
   /// modelled seconds charged to this executor.
   virtual double execute(const ChunkWork& work, std::span<int> info) = 0;
 
+  /// Charges a fault-recovery interval (a wasted faulted attempt, a retry
+  /// backoff, a watchdog stall) to this executor's timing authority. GPU
+  /// executors append a fault-flagged record to their device timeline so
+  /// the profiler and the energy integration see the wasted time; the CPU
+  /// executor's model has no timeline — its wasted seconds are carried by
+  /// the schedule's busy accounting instead.
+  virtual void charge_fault(const std::string& what, double seconds);
+
   /// ∫P dt of this executor's busy interval since begin_call. GPU executors
   /// integrate their timeline slice; the CPU executor integrates the given
   /// busy interval at the utilisation implied by `flops`.
@@ -100,6 +108,7 @@ class GpuExecutor final : public Executor {
   void begin_call(sim::ExecMode mode) override;
   [[nodiscard]] double estimate(const ChunkWork& work) override;
   double execute(const ChunkWork& work, std::span<int> info) override;
+  void charge_fault(const std::string& what, double seconds) override;
   [[nodiscard]] energy::EnergyResult call_energy(Precision prec, double busy_seconds,
                                                  double flops) const override;
 

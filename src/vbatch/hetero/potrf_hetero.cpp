@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdlib>
 
 #include "vbatch/core/arg_check.hpp"
 #include "vbatch/core/crossover.hpp"
@@ -188,18 +189,46 @@ HeteroResult hetero_impl(DevicePool& pool, Uplo uplo, Batch<T>& batch, int calle
   sp.initial_clock.assign(static_cast<std::size_t>(E), 0.0);
   sp.initial_clock[0] = sweep_seconds;
 
-  const ScheduleResult sched = run_schedule(sp, [&](int e, int c) {
-    return pool.executor(e).execute(work[static_cast<std::size_t>(c)],
-                                    data[static_cast<std::size_t>(c)].info);
-  });
+  // Fault injection: an explicit pool spec wins; the environment knob
+  // applies only when no spec was set, so every layer (library, CLI, ops)
+  // can exercise the recovery path without touching the one above it.
+  fault::FaultSpec fault_spec = pool.faults();
+  if (fault_spec.empty()) {
+    if (const char* env = std::getenv("VBATCH_INJECT_FAULTS"); env != nullptr && *env != '\0')
+      fault_spec = fault::parse_fault_spec(env);
+  }
+  const fault::FaultPlan plan(std::move(fault_spec));
+  sp.faults = plan.empty() ? nullptr : &plan;
+  sp.retry = opts.retry;
 
-  // --- Merge: scatter chunk-local statuses back to submission order.
+  const ScheduleResult sched = run_schedule(
+      sp,
+      [&](int e, int c) {
+        return pool.executor(e).execute(work[static_cast<std::size_t>(c)],
+                                        data[static_cast<std::size_t>(c)].info);
+      },
+      [&](const fault::FaultEvent& ev) {
+        // Make the wasted virtual time visible on the acting executor's
+        // timing authority (GPU timeline records → profiler fault column
+        // and energy integration; the CPU model is charged via busy).
+        if (ev.exec < 0) return;
+        Executor& ex = pool.executor(ev.exec);
+        if (ev.waste_seconds > 0.0)
+          ex.charge_fault(std::string("fault.") + fault::to_string(ev.kind), ev.waste_seconds);
+        if (ev.backoff_seconds > 0.0) ex.charge_fault("fault.backoff", ev.backoff_seconds);
+      });
+
+  // --- Merge: scatter chunk-local statuses back to submission order. A
+  // poisoned chunk (no surviving executor could complete it) marks every
+  // one of its problems with the distinguished kInfoChunkLost code; its
+  // matrices were never written (failed launches do not commit).
   for (int c = 0; c < C; ++c) {
     const Chunk& ck = chunks[static_cast<std::size_t>(c)];
     const ChunkData<T>& d = data[static_cast<std::size_t>(c)];
+    const bool lost = sched.poisoned[static_cast<std::size_t>(c)] != 0;
     for (int i = ck.begin; i < ck.end; ++i)
       prob.info[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
-          d.info[static_cast<std::size_t>(i - ck.begin)];
+          lost ? kInfoChunkLost : d.info[static_cast<std::size_t>(i - ck.begin)];
   }
 
   // --- Assemble the report: per-executor busy/flops/energy, pool totals.
@@ -208,6 +237,12 @@ HeteroResult hetero_impl(DevicePool& pool, Uplo uplo, Batch<T>& batch, int calle
   result.flops = flops::potrf_batch(prob.n);
   result.path_taken = fused ? PotrfPath::Fused : PotrfPath::Separated;
   result.chunks = C;
+  result.retries = sched.retries_total;
+  result.hangs = sched.hangs;
+  result.executors_lost = sched.executors_lost;
+  result.chunks_poisoned = sched.chunks_poisoned;
+  result.backoff_seconds = sched.backoff_seconds;
+  result.fault_events = sched.events;
   energy::EnergyMeter meter;
   for (int e = 0; e < E; ++e) {
     Executor& ex = pool.executor(e);
@@ -217,6 +252,8 @@ HeteroResult hetero_impl(DevicePool& pool, Uplo uplo, Batch<T>& batch, int calle
     rep.finish_seconds = sched.finish[static_cast<std::size_t>(e)];
     rep.chunks = sched.chunks_run[static_cast<std::size_t>(e)];
     rep.stolen = sched.chunks_stolen[static_cast<std::size_t>(e)];
+    rep.retries = sched.retries[static_cast<std::size_t>(e)];
+    rep.lost = sched.lost[static_cast<std::size_t>(e)] != 0;
     for (int c = 0; c < C; ++c) {
       if (sched.executed_by[static_cast<std::size_t>(c)] == e) {
         rep.flops += chunks[static_cast<std::size_t>(c)].flops;

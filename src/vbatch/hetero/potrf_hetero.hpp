@@ -19,6 +19,16 @@
 // Both §III-A interfaces are provided: potrf_vbatched_hetero computes the
 // global maximum with a device reduction (on executor 0, whose clock pays
 // the sweep), potrf_vbatched_hetero_max takes it from the caller.
+//
+// Self-healing: when the pool carries a fault spec (DevicePool::set_faults,
+// CLI --inject-faults, or the VBATCH_INJECT_FAULTS environment knob), the
+// schedule runs under the deterministic recovery loop of scheduler.hpp —
+// bounded retries with virtual-time backoff, LPT re-dispatch of chunks
+// orphaned by executor loss, a watchdog converting hangs into loss. As
+// long as one executor survives, the factors and info stay bit-identical
+// to the fault-free run (numerics only ever run on the one successful
+// attempt); unrecoverable chunks poison their problems' info with
+// kInfoChunkLost instead of throwing. See docs/robustness.md.
 #pragma once
 
 #include <string>
@@ -40,6 +50,10 @@ struct HeteroOptions {
   /// per-chunk launch overhead. 4 balances the two for the paper's batches.
   int chunks_per_executor = 4;
   std::uint64_t steal_seed = 2016;
+  /// Retry/backoff/watchdog bounds for fault recovery (docs/robustness.md).
+  /// Only consulted when the pool carries a fault spec (or the
+  /// VBATCH_INJECT_FAULTS environment knob is set).
+  fault::RetryPolicy retry;
 };
 
 /// Per-executor slice of a heterogeneous run.
@@ -52,6 +66,8 @@ struct ExecutorReport {
   int chunks = 0;
   int stolen = 0;               ///< chunks acquired by stealing
   int matrices = 0;
+  int retries = 0;              ///< transient attempts wasted on this executor
+  bool lost = false;            ///< permanently lost (death or hung watchdog)
 };
 
 struct HeteroResult {
@@ -62,6 +78,15 @@ struct HeteroResult {
   int steals = 0;
   energy::EnergyResult energy;  ///< pool total: active + idle tails, over makespan
   std::vector<ExecutorReport> executors;
+
+  // --- Fault-recovery ledger (all zero/empty on a fault-free run) --------
+  int retries = 0;              ///< transient attempts wasted pool-wide
+  int hangs = 0;                ///< hung attempts the watchdog converted
+  int executors_lost = 0;       ///< executors permanently lost mid-batch
+  int chunks_poisoned = 0;      ///< chunks no survivor could complete
+  double backoff_seconds = 0.0; ///< total virtual retry backoff
+  std::vector<fault::FaultEvent> fault_events;  ///< ordered recovery log
+
   [[nodiscard]] double gflops() const noexcept {
     return seconds > 0.0 ? flops / seconds * 1e-9 : 0.0;
   }

@@ -1,6 +1,7 @@
 #include "vbatch/hetero/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <limits>
 
@@ -10,12 +11,21 @@
 namespace vbatch::hetero {
 
 ScheduleResult run_schedule(const ScheduleParams& params,
-                            const std::function<double(int, int)>& execute) {
+                            const std::function<double(int, int)>& execute,
+                            const std::function<void(const fault::FaultEvent&)>& on_fault) {
   const int E = params.executors;
   const int C = static_cast<int>(params.owner.size());
   require(E >= 1, "run_schedule: need at least one executor");
   require(static_cast<int>(params.estimate.size()) == E,
           "run_schedule: estimate rows must match executor count");
+  const fault::FaultPlan* plan =
+      (params.faults != nullptr && !params.faults->empty()) ? params.faults : nullptr;
+  if (plan != nullptr) {
+    require(params.retry.max_attempts >= 1, "run_schedule: retry.max_attempts must be >= 1");
+    require(params.retry.backoff_seconds >= 0.0 && params.retry.backoff_multiplier >= 1.0 &&
+                params.retry.watchdog_seconds >= 0.0,
+            "run_schedule: retry policy times must be non-negative");
+  }
 
   // Owned deques in chunk order: front = biggest remaining chunk (chunks
   // follow the size-sorted batch order), back = trailing smallest — the
@@ -33,23 +43,92 @@ ScheduleResult run_schedule(const ScheduleParams& params,
   res.chunks_run.assign(static_cast<std::size_t>(E), 0);
   res.chunks_stolen.assign(static_cast<std::size_t>(E), 0);
   res.executed_by.assign(static_cast<std::size_t>(C), -1);
+  res.retries.assign(static_cast<std::size_t>(E), 0);
+  res.lost.assign(static_cast<std::size_t>(E), 0);
+  res.attempts.assign(static_cast<std::size_t>(C), 0);
+  res.poisoned.assign(static_cast<std::size_t>(C), 0);
 
   std::vector<double> clock(static_cast<std::size_t>(E), 0.0);
   for (int e = 0; e < E && e < static_cast<int>(params.initial_clock.size()); ++e)
     clock[static_cast<std::size_t>(e)] = params.initial_clock[static_cast<std::size_t>(e)];
   res.finish = clock;
 
+  // retired = nothing left to do (reversible: re-dispatched orphans wake a
+  // retired executor up); alive = not permanently lost.
   std::vector<char> retired(static_cast<std::size_t>(E), 0);
+  std::vector<char> alive(static_cast<std::size_t>(E), 1);
+  std::vector<int> completed(static_cast<std::size_t>(E), 0);
+  // Per-(executor, chunk) attempt counters and retry-exhaustion flags.
+  std::vector<std::vector<int>> tried(static_cast<std::size_t>(E),
+                                      std::vector<int>(static_cast<std::size_t>(C), 0));
+  std::vector<std::vector<char>> gave_up(static_cast<std::size_t>(E),
+                                         std::vector<char>(static_cast<std::size_t>(C), 0));
   Rng rng(params.seed);
+  int left = C;
 
+  auto estimate_of = [&](int e, int c) {
+    return params.estimate[static_cast<std::size_t>(e)][static_cast<std::size_t>(c)];
+  };
   auto remaining_load = [&](int e) {
     double load = 0.0;
-    for (int c : deque_of[static_cast<std::size_t>(e)])
-      load += params.estimate[static_cast<std::size_t>(e)][static_cast<std::size_t>(c)];
+    for (int c : deque_of[static_cast<std::size_t>(e)]) load += estimate_of(e, c);
     return load;
   };
+  auto emit = [&](fault::FaultEvent ev) {
+    if (on_fault) on_fault(ev);
+    res.events.push_back(ev);
+  };
 
-  int left = C;
+  // Re-dispatches an orphaned chunk to the surviving executor whose current
+  // clock + estimate is lowest (greedy LPT over the live pool; ties go to
+  // the lowest index). Executors that exhausted their retries on the chunk
+  // are skipped; with nobody eligible the chunk is poisoned.
+  auto redispatch = [&](int c) {
+    int pick = -1;
+    double pick_finish = std::numeric_limits<double>::infinity();
+    for (int e = 0; e < E; ++e) {
+      if (!alive[static_cast<std::size_t>(e)] || gave_up[static_cast<std::size_t>(e)][static_cast<std::size_t>(c)])
+        continue;
+      const double f = clock[static_cast<std::size_t>(e)] + estimate_of(e, c);
+      if (f < pick_finish) {
+        pick = e;
+        pick_finish = f;
+      }
+    }
+    if (pick < 0) {
+      res.poisoned[static_cast<std::size_t>(c)] = 1;
+      ++res.chunks_poisoned;
+      --left;
+      fault::FaultEvent ev;
+      ev.kind = fault::FaultKind::ChunkLost;
+      ev.chunk = c;
+      emit(ev);
+      return;
+    }
+    deque_of[static_cast<std::size_t>(pick)].push_back(c);
+    // New work exists: wake every surviving executor so idle peers get to
+    // steal it (retirement is reversible until the pool drains).
+    for (int e = 0; e < E; ++e)
+      if (alive[static_cast<std::size_t>(e)]) retired[static_cast<std::size_t>(e)] = 0;
+  };
+
+  // Permanent executor loss: log it, drain the orphaned deque through the
+  // LPT re-dispatch above.
+  auto kill = [&](int e) {
+    alive[static_cast<std::size_t>(e)] = 0;
+    retired[static_cast<std::size_t>(e)] = 1;
+    res.lost[static_cast<std::size_t>(e)] = 1;
+    ++res.executors_lost;
+    fault::FaultEvent ev;
+    ev.kind = fault::FaultKind::ExecutorLoss;
+    ev.exec = e;
+    ev.start = clock[static_cast<std::size_t>(e)];
+    emit(ev);
+    std::deque<int> orphans;
+    orphans.swap(deque_of[static_cast<std::size_t>(e)]);
+    for (int c : orphans) redispatch(c);
+  };
+
   while (left > 0) {
     // Next actor: earliest virtual clock among executors still in the game;
     // ties go to the lowest index (deterministic).
@@ -59,20 +138,41 @@ ScheduleResult run_schedule(const ScheduleParams& params,
       if (actor < 0 || clock[static_cast<std::size_t>(e)] < clock[static_cast<std::size_t>(actor)])
         actor = e;
     }
-    require(actor >= 0, "run_schedule: all executors retired with work left");
-    auto& own = deque_of[static_cast<std::size_t>(actor)];
+    if (actor < 0) {
+      // Every executor is retired or lost with work outstanding — possible
+      // only when the whole pool died. Poison whatever is left (the deques
+      // of dead executors were already drained by kill/redispatch).
+      require(plan != nullptr, "run_schedule: all executors retired with work left");
+      break;
+    }
 
+    // Scheduled death fires the moment the executor would act again.
+    if (plan != nullptr) {
+      const int after = plan->dies_after(actor);
+      if (after >= 0 && completed[static_cast<std::size_t>(actor)] >= after) {
+        kill(actor);
+        continue;
+      }
+    }
+
+    auto& own = deque_of[static_cast<std::size_t>(actor)];
     int chunk = -1;
     bool stolen = false;
     if (!own.empty()) {
       chunk = own.front();
       own.pop_front();
     } else if (params.work_stealing) {
-      // Victim: non-empty peers, ranked by policy; ties broken by the
-      // seeded stream so the steal order is reproducible.
+      // Victim: non-empty peers whose back chunk this actor has not given
+      // up on, ranked by policy; ties broken by the seeded stream so the
+      // steal order is reproducible.
       std::vector<int> victims;
-      for (int e = 0; e < E; ++e)
-        if (e != actor && !deque_of[static_cast<std::size_t>(e)].empty()) victims.push_back(e);
+      for (int e = 0; e < E; ++e) {
+        if (e == actor) continue;
+        const auto& v = deque_of[static_cast<std::size_t>(e)];
+        if (v.empty()) continue;
+        if (gave_up[static_cast<std::size_t>(actor)][static_cast<std::size_t>(v.back())]) continue;
+        victims.push_back(e);
+      }
       if (!victims.empty()) {
         int victim;
         if (params.steal == StealPolicy::Random) {
@@ -103,19 +203,75 @@ ScheduleResult run_schedule(const ScheduleParams& params,
     }
 
     if (chunk < 0) {
-      // Nothing owned, nothing stealable: this executor is done.
+      // Nothing owned, nothing stealable: this executor is idle for now
+      // (re-dispatched orphans may wake it up again).
       retired[static_cast<std::size_t>(actor)] = 1;
       continue;
     }
 
-    const double seconds = execute(actor, chunk);
-    clock[static_cast<std::size_t>(actor)] += seconds;
-    res.busy[static_cast<std::size_t>(actor)] += seconds;
+    const int attempt = ++tried[static_cast<std::size_t>(actor)][static_cast<std::size_t>(chunk)];
+    ++res.attempts[static_cast<std::size_t>(chunk)];
+    const fault::FaultKind outcome =
+        plan != nullptr ? plan->attempt_outcome(actor, chunk, attempt) : fault::FaultKind::None;
+
+    if (outcome == fault::FaultKind::None) {
+      const double seconds = execute(actor, chunk);
+      clock[static_cast<std::size_t>(actor)] += seconds;
+      res.busy[static_cast<std::size_t>(actor)] += seconds;
+      res.finish[static_cast<std::size_t>(actor)] = clock[static_cast<std::size_t>(actor)];
+      res.chunks_run[static_cast<std::size_t>(actor)] += 1;
+      if (stolen) res.chunks_stolen[static_cast<std::size_t>(actor)] += 1;
+      res.executed_by[static_cast<std::size_t>(chunk)] = actor;
+      completed[static_cast<std::size_t>(actor)] += 1;
+      --left;
+      continue;
+    }
+
+    fault::FaultEvent ev;
+    ev.exec = actor;
+    ev.chunk = chunk;
+    ev.attempt = attempt;
+    ev.start = clock[static_cast<std::size_t>(actor)];
+    if (outcome == fault::FaultKind::Hang) {
+      // The attempt never completes; the watchdog declares the executor
+      // lost after its virtual-time budget. The launch never commits, so
+      // the chunk's matrices are untouched and it re-dispatches cleanly.
+      ev.kind = fault::FaultKind::Hang;
+      ev.waste_seconds = params.retry.watchdog_seconds;
+      clock[static_cast<std::size_t>(actor)] += ev.waste_seconds;
+      res.busy[static_cast<std::size_t>(actor)] += ev.waste_seconds;
+      res.finish[static_cast<std::size_t>(actor)] = clock[static_cast<std::size_t>(actor)];
+      ++res.hangs;
+      emit(ev);
+      kill(actor);
+      redispatch(chunk);
+      continue;
+    }
+
+    // Transient (simulated ECC / launch failure): the attempt's modelled
+    // time is wasted, a deterministic exponential backoff precedes the
+    // retry. The work never commits — numerics run only on success.
+    ev.kind = fault::FaultKind::Transient;
+    ev.waste_seconds = estimate_of(actor, chunk);
+    ev.backoff_seconds =
+        params.retry.backoff_seconds *
+        std::pow(params.retry.backoff_multiplier, static_cast<double>(attempt - 1));
+    clock[static_cast<std::size_t>(actor)] += ev.waste_seconds + ev.backoff_seconds;
+    res.busy[static_cast<std::size_t>(actor)] += ev.waste_seconds;
     res.finish[static_cast<std::size_t>(actor)] = clock[static_cast<std::size_t>(actor)];
-    res.chunks_run[static_cast<std::size_t>(actor)] += 1;
-    if (stolen) res.chunks_stolen[static_cast<std::size_t>(actor)] += 1;
-    res.executed_by[static_cast<std::size_t>(chunk)] = actor;
-    --left;
+    res.retries[static_cast<std::size_t>(actor)] += 1;
+    ++res.retries_total;
+    res.backoff_seconds += ev.backoff_seconds;
+    emit(ev);
+    if (attempt >= params.retry.max_attempts) {
+      // This executor gives the chunk up; a surviving peer inherits it.
+      gave_up[static_cast<std::size_t>(actor)][static_cast<std::size_t>(chunk)] = 1;
+      redispatch(chunk);
+    } else {
+      // Retry next time this executor acts (its clock already carries the
+      // wasted attempt plus the backoff). Peers may steal it first.
+      own.push_front(chunk);
+    }
   }
 
   res.makespan = *std::max_element(res.finish.begin(), res.finish.end());

@@ -1,4 +1,5 @@
-// Dynamic work-stealing scheduler over the pool's virtual clocks.
+// Dynamic work-stealing scheduler over the pool's virtual clocks, with
+// fault recovery.
 //
 // The simulator has no real concurrency to exploit — every device clock is
 // modelled — so the scheduler is an event loop over virtual time: the
@@ -16,11 +17,26 @@
 // mapping exactly — and because the numerics of every chunk are identical
 // on every executor, even a *different* schedule reproduces the same bits;
 // only the modelled makespan moves.
+//
+// Fault recovery (docs/robustness.md): when a FaultPlan is attached, every
+// attempt is first checked against the injection oracle. A transient fault
+// charges the attempt's modelled time plus a deterministic exponential
+// backoff and the executor retries; after RetryPolicy::max_attempts
+// failures the chunk is re-dispatched to the best surviving peer (LPT over
+// current clocks). A hang charges the watchdog interval and converts into
+// permanent executor loss; a scheduled death orphans the executor's deque,
+// which is likewise re-dispatched — down to a single survivor (CPU-only as
+// the last resort). The execute callback runs only for the one successful
+// attempt of each chunk, so recovered runs stay bit-identical to fault-free
+// ones; a chunk no survivor could complete is marked poisoned instead of
+// aborting the call.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
+
+#include "vbatch/fault/fault_plan.hpp"
 
 namespace vbatch::hetero {
 
@@ -38,7 +54,8 @@ struct ScheduleParams {
   /// Chunk → owning executor from the static partitioner.
   std::vector<int> owner;
   /// estimate[e][c]: executor e's modelled seconds for chunk c — drives
-  /// victim load ranking.
+  /// victim load ranking, orphan re-dispatch, and the time charged to a
+  /// faulted attempt.
   std::vector<std::vector<double>> estimate;
   int executors = 1;
   bool work_stealing = true;
@@ -47,20 +64,41 @@ struct ScheduleParams {
   /// Per-executor clock offsets at t = 0 (e.g. executor 0 already spent the
   /// argument-check sweep before any chunk runs).
   std::vector<double> initial_clock;
+  /// Fault injection oracle; null (or empty) = fault-free run.
+  const fault::FaultPlan* faults = nullptr;
+  /// Retry/backoff/watchdog bounds for the recovery loop.
+  fault::RetryPolicy retry;
 };
 
 struct ScheduleResult {
   double makespan = 0.0;            ///< max final clock over all executors
   std::vector<double> busy;         ///< per-executor seconds spent executing
   std::vector<double> finish;       ///< per-executor final clock
-  std::vector<int> chunks_run;      ///< per-executor chunks executed
+  std::vector<int> chunks_run;      ///< per-executor chunks completed
   std::vector<int> chunks_stolen;   ///< per-executor chunks acquired by stealing
-  std::vector<int> executed_by;     ///< chunk → executor that actually ran it
+  std::vector<int> executed_by;     ///< chunk → executor that completed it (-1 = poisoned)
+
+  // --- Fault-recovery ledger (all empty/zero on a fault-free run) --------
+  std::vector<int> retries;         ///< per-executor transient attempts wasted
+  std::vector<char> lost;           ///< per-executor permanent-loss flag
+  std::vector<int> attempts;        ///< per-chunk total attempts (success included)
+  std::vector<char> poisoned;       ///< per-chunk unrecoverable flag
+  std::vector<fault::FaultEvent> events;  ///< ordered fault/recovery log
+  int retries_total = 0;
+  int hangs = 0;
+  int executors_lost = 0;
+  int chunks_poisoned = 0;
+  double backoff_seconds = 0.0;     ///< total virtual backoff across the pool
 };
 
 /// Runs the virtual-time loop. `execute(e, c)` must run chunk c on executor
-/// e and return the modelled seconds; it is called exactly once per chunk.
-[[nodiscard]] ScheduleResult run_schedule(const ScheduleParams& params,
-                                          const std::function<double(int, int)>& execute);
+/// e and return the modelled seconds; it is called exactly once for the
+/// successful attempt of each completed chunk (never for faulted attempts
+/// or poisoned chunks). `on_fault`, when set, observes every fault event as
+/// it is logged — the hetero driver uses it to charge wasted intervals to
+/// the GPU timelines.
+[[nodiscard]] ScheduleResult run_schedule(
+    const ScheduleParams& params, const std::function<double(int, int)>& execute,
+    const std::function<void(const fault::FaultEvent&)>& on_fault = {});
 
 }  // namespace vbatch::hetero

@@ -80,6 +80,17 @@ const std::vector<BlockCost>& Device::run_blocks(const LaunchConfig& cfg, const 
   return cost_scratch_;
 }
 
+void Device::charge_interval(const std::string& name, double seconds) {
+  if (seconds <= 0.0) return;
+  KernelRecord rec;
+  rec.name = name;
+  rec.start = clock_;
+  rec.end = clock_ + seconds;
+  rec.fault = true;
+  timeline_.add(std::move(rec));
+  clock_ += seconds;
+}
+
 double Device::launch(const LaunchConfig& cfg, const BlockFn& fn) {
   const auto& costs = run_blocks(cfg, fn);
   const KernelTiming timing = schedule_kernel(spec_, cfg, costs, true, &plan_cache_);

@@ -80,6 +80,13 @@ class Device {
   double launch_concurrent(const std::vector<LaunchConfig>& configs,
                            const std::vector<BlockFn>& fns, int num_streams);
 
+  /// Charges a non-kernel interval to the device: advances the clock by
+  /// `seconds` and appends a fault-flagged timeline record under `name`
+  /// (zero useful flops). The fault-recovery machinery uses this to make
+  /// wasted attempts, retry backoffs and watchdog stalls visible to the
+  /// profiler and the energy integration.
+  void charge_interval(const std::string& name, double seconds);
+
   /// Device-model clock in seconds since construction / last reset.
   [[nodiscard]] double time() const noexcept { return clock_; }
   void reset_time() noexcept { clock_ = 0.0; }

@@ -21,6 +21,7 @@ std::vector<KernelProfile> profile_timeline(const Timeline& timeline) {
     p.blocks += rec.grid_blocks;
     p.early_exits += rec.early_exits;
     p.resident_sum += rec.resident_per_sm;
+    if (rec.fault) ++p.faults;
     if (rec.stream >= 0) streams[rec.name].insert(rec.stream);
   }
   for (auto& [name, used] : streams) agg[name].streams = static_cast<int>(used.size());
@@ -38,8 +39,8 @@ void print_profile(std::ostream& os, const std::vector<KernelProfile>& profiles)
   os << std::left << std::setw(28) << "kernel" << std::right << std::setw(8) << "time%"
      << std::setw(10) << "launches" << std::setw(12) << "time(us)" << std::setw(10) << "GF/s"
      << std::setw(10) << "GB/s" << std::setw(10) << "res/SM" << std::setw(9) << "exits%"
-     << std::setw(9) << "streams" << '\n';
-  os << std::string(106, '-') << '\n';
+     << std::setw(9) << "streams" << std::setw(8) << "faults" << '\n';
+  os << std::string(114, '-') << '\n';
   for (const auto& p : profiles) {
     os << std::left << std::setw(28) << p.name << std::right << std::fixed
        << std::setprecision(1) << std::setw(8) << (total > 0 ? p.seconds / total * 100.0 : 0.0)
@@ -50,6 +51,11 @@ void print_profile(std::ostream& os, const std::vector<KernelProfile>& profiles)
       os << std::setw(9) << p.streams;
     } else {
       os << std::setw(9) << "-";
+    }
+    if (p.faults > 0) {
+      os << std::setw(8) << p.faults;
+    } else {
+      os << std::setw(8) << "-";
     }
     os << '\n';
   }

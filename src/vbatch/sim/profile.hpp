@@ -24,6 +24,7 @@ struct KernelProfile {
   long early_exits = 0;
   double resident_sum = 0.0;  ///< Σ per-launch residency (for the average)
   int streams = 0;  ///< distinct streams that carried this kernel (0 = sync launches)
+  int faults = 0;   ///< fault-recovery intervals (wasted attempts, backoffs)
 
   [[nodiscard]] double gflops() const noexcept {
     return seconds > 0.0 ? flops / seconds * 1e-9 : 0.0;

@@ -23,6 +23,20 @@ std::size_t Timeline::count_with_prefix(const std::string& prefix) const noexcep
   return n;
 }
 
+std::size_t Timeline::fault_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& r : records_)
+    if (r.fault) ++n;
+  return n;
+}
+
+double Timeline::fault_seconds() const noexcept {
+  double total = 0.0;
+  for (const auto& r : records_)
+    if (r.fault) total += r.end - r.start;
+  return total;
+}
+
 int Timeline::streams_used() const noexcept {
   std::set<int> streams;
   for (const auto& r : records_)

@@ -25,6 +25,11 @@ struct KernelRecord {
   /// and to the kernel count; this records the post-clamp assignment so
   /// profiles report real concurrency, not the requested number.
   int stream = -1;
+  /// True for intervals charged by the fault-recovery machinery (a wasted
+  /// faulted attempt, a retry backoff, a watchdog stall) rather than a real
+  /// kernel: zero useful flops, but the device was occupied — the energy
+  /// integration and the profiler's fault column both count them.
+  bool fault = false;
 };
 
 class Timeline {
@@ -49,6 +54,11 @@ class Timeline {
   /// stream-tagged record exists). This is the post-clamp figure benches
   /// should report instead of the stream count they requested.
   [[nodiscard]] int streams_used() const noexcept;
+
+  /// Fault-recovery intervals (records with the fault flag): count and
+  /// total wasted seconds. Tests assert retries are visible here.
+  [[nodiscard]] std::size_t fault_count() const noexcept;
+  [[nodiscard]] double fault_seconds() const noexcept;
 
  private:
   std::vector<KernelRecord> records_;

@@ -11,6 +11,7 @@ const char* to_string(Status s) noexcept {
     case Status::LaunchFailure: return "kernel launch failure";
     case Status::NotSupported: return "not supported";
     case Status::InternalError: return "internal error";
+    case Status::DeviceLost: return "device lost";
   }
   return "unknown";
 }

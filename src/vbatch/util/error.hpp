@@ -1,11 +1,16 @@
 // Error handling for the vbatch library.
 //
-// Two error channels coexist, mirroring LAPACK practice (paper §V mentions
+// Three error channels coexist, mirroring LAPACK practice (paper §V mentions
 // LAPACK compliance of error reporting as an open direction):
 //   * programming errors (bad arguments, exhausted device memory) throw
 //     vbatch::Error with a Status code;
 //   * numerical conditions (e.g. a non-SPD matrix in potrf) are reported
-//     per problem through `info` arrays, never via exceptions.
+//     per problem through `info` arrays, never via exceptions;
+//   * recoverable *system* faults (a device lost mid-batch, a hung kernel)
+//     are absorbed by the heterogeneous runtime's retry/re-dispatch loop
+//     (docs/robustness.md); only a problem no surviving executor could
+//     complete is marked with the distinguished kInfoChunkLost poison code
+//     in its `info` slot — the call still returns.
 #pragma once
 
 #include <source_location>
@@ -23,9 +28,17 @@ enum class Status {
   LaunchFailure,
   NotSupported,
   InternalError,
+  DeviceLost,
 };
 
 [[nodiscard]] const char* to_string(Status s) noexcept;
+
+/// Distinguished `info` poison for problems whose chunk no surviving
+/// executor could complete (fault recovery, docs/robustness.md). Far below
+/// any LAPACK "parameter -k" code so callers can tell "bad argument k"
+/// apart from "lost to a system fault"; the matrix data is left untouched
+/// (the failed launches never commit), so the caller may resubmit.
+inline constexpr int kInfoChunkLost = -911;
 
 /// Exception type thrown for non-numerical failures.
 class Error : public std::runtime_error {

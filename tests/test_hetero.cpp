@@ -508,9 +508,21 @@ TEST(DevicePool, ParseBuildsTheRequestedExecutors) {
 }
 
 TEST(DevicePool, ParseRejectsBadInput) {
-  EXPECT_THROW(DevicePool::parse(""), Error);
-  EXPECT_THROW(DevicePool::parse("k40c,gtx480"), Error);
-  EXPECT_THROW(DevicePool::parse("cpu,cpu"), Error);
+  // Every malformed shape gets a clear InvalidArgument, never a silently
+  // degenerate pool: empty lists, blank lists, stray/doubled/trailing/
+  // leading commas, unknown devices, repeated "cpu".
+  const char* bad[] = {"",     " ",       "\t",   ",",          "k40c,",  ",k40c",
+                       "k40c,,p100", "  ,  ", "cpu,cpu", "k40c,gtx480", "cpu , cpu"};
+  for (const char* csv : bad) {
+    EXPECT_THROW((void)DevicePool::parse(csv), Error) << "accepted: '" << csv << "'";
+  }
+  // The message names the problem (not just "bad input").
+  try {
+    (void)DevicePool::parse("k40c,,p100");
+    FAIL() << "doubled comma accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("empty device segment"), std::string::npos) << e.what();
+  }
 }
 
 TEST(DevicePool, HeteroRejectsEmptyBatchAndPool) {

@@ -15,6 +15,12 @@
 //                      the matching power model for --energy)
 //     --hetero LIST    run on a heterogeneous pool instead of one device,
 //                      e.g. --hetero cpu,k40c,p100 (tokens: cpu, k40c, p100)
+//     --inject-faults SPEC
+//                      deterministic fault injection into the hetero pool
+//                      (requires --hetero; docs/robustness.md), e.g.
+//                      "seed=7;transient:rate=0.2;die:exec=1,after=2";
+//                      the VBATCH_INJECT_FAULTS env var is the no-flag
+//                      alternative
 //     --path auto|fused|separated               (default auto)
 //     --etm classic|aggressive                  (default aggressive)
 //     --no-sort        disable implicit sorting
@@ -51,6 +57,7 @@ struct CliOptions {
   bool double_precision = true;
   std::string device = "k40c";
   std::string hetero;  ///< non-empty = heterogeneous pool description
+  std::string inject_faults;  ///< non-empty = fault spec for the hetero pool
   vbatch::PotrfOptions potrf;
   bool tune = false;
   bool profile = false;
@@ -63,7 +70,7 @@ struct CliOptions {
 [[noreturn]] void usage(const char* argv0) {
   std::printf("usage: %s [--batch N] [--nmax N] [--dist uniform|gaussian]\n"
               "          [--precision s|d] [--device k40c|p100] [--hetero cpu,k40c,...]\n"
-              "          [--path auto|fused|separated]\n"
+              "          [--inject-faults SPEC] [--path auto|fused|separated]\n"
               "          [--etm classic|aggressive] [--no-sort] [--tune]\n"
               "          [--profile] [--energy] [--verify] [--threads N] [--seed N]\n",
               argv0);
@@ -106,6 +113,7 @@ CliOptions parse(int argc, char** argv) {
       o.device = next();
       if (o.device != "k40c" && o.device != "p100") usage(argv[0]);
     } else if (arg == "--hetero") o.hetero = next();
+    else if (arg == "--inject-faults") o.inject_faults = next();
     else if (arg == "--no-sort") o.potrf.implicit_sorting = false;
     else if (arg == "--tune") o.tune = true;
     else if (arg == "--profile") o.profile = true;
@@ -115,6 +123,10 @@ CliOptions parse(int argc, char** argv) {
     else usage(argv[0]);
   }
   if (o.batch < 1 || o.nmax < 1 || o.threads < 0) usage(argv[0]);
+  if (!o.inject_faults.empty() && o.hetero.empty()) {
+    std::fprintf(stderr, "--inject-faults requires --hetero (faults target the pool)\n");
+    std::exit(2);
+  }
   return o;
 }
 
@@ -162,6 +174,15 @@ int run(const CliOptions& o) {
       std::fprintf(stderr, "--hetero %s: %s\n", o.hetero.c_str(), err.what());
       return 2;
     }
+    if (!o.inject_faults.empty()) {
+      try {
+        pool.set_faults(fault::parse_fault_spec(o.inject_faults));
+      } catch (const vbatch::Error& err) {
+        std::fprintf(stderr, "--inject-faults %s: %s\n", o.inject_faults.c_str(), err.what());
+        return 2;
+      }
+      std::printf("faults:   %s\n", pool.faults().describe().c_str());
+    }
     std::printf("pool:     %s\n", pool.describe().c_str());
     hetero::HeteroOptions hopts;
     hopts.potrf = opts;
@@ -172,9 +193,16 @@ int run(const CliOptions& o) {
         to_string(hr.path_taken), hr.flops * 1e-9, hr.seconds * 1e3, hr.gflops(), hr.chunks,
         hr.steals);
     for (const auto& ex : hr.executors)
-      std::printf("  %-10s %4d matrices  %2d chunks (%d stolen)  busy %8.3f ms  %7.1f Gflop/s\n",
+      std::printf("  %-10s %4d matrices  %2d chunks (%d stolen)  busy %8.3f ms  %7.1f Gflop/s"
+                  "%s%s\n",
                   ex.name.c_str(), ex.matrices, ex.chunks, ex.stolen, ex.busy_seconds * 1e3,
-                  ex.busy_seconds > 0.0 ? ex.flops / ex.busy_seconds * 1e-9 : 0.0);
+                  ex.busy_seconds > 0.0 ? ex.flops / ex.busy_seconds * 1e-9 : 0.0,
+                  ex.retries > 0 ? "  [retries]" : "", ex.lost ? "  [LOST]" : "");
+    if (hr.retries > 0 || hr.executors_lost > 0 || hr.chunks_poisoned > 0)
+      std::printf("recovery: %d retries (%.3f ms backoff), %d hangs, %d executors lost, "
+                  "%d chunks poisoned\n",
+                  hr.retries, hr.backoff_seconds * 1e3, hr.hangs, hr.executors_lost,
+                  hr.chunks_poisoned);
     if (o.energy)
       std::printf("pool energy: %.2f J over %.3f ms (%.1f W avg)\n", hr.energy.joules,
                   hr.energy.seconds * 1e3, hr.energy.avg_watts());
