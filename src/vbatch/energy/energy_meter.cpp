@@ -6,22 +6,27 @@ namespace vbatch::energy {
 
 EnergyResult gpu_timeline_energy(const sim::DeviceSpec& spec, const PowerModel& gpu,
                                  const sim::Timeline& timeline, Precision prec, double t0) {
+  // Each kernel contributes its utilisation-dependent power *above idle*
+  // for its own duration; the idle baseline is charged once over the whole
+  // [t0, t_end] span. For a serial timeline this is algebraically the old
+  // per-record watts(util)·dur plus idle gaps; for overlapping streams it
+  // correctly charges the shared baseline once instead of once per
+  // concurrent record (the device has one idle draw, however many streams
+  // are busy on it).
   EnergyResult r;
   const double peak = spec.peak_gflops(prec) * 1e9;
+  const double idle_watts = gpu.watts(0.0);
   double t_end = t0;
-  double busy = 0.0;
   for (const auto& rec : timeline.records()) {
     if (rec.start < t0) continue;
     const double dur = rec.end - rec.start;
     if (dur <= 0.0) continue;
     const double util = peak > 0.0 ? (rec.flops / dur) / peak : 0.0;
-    r.joules += gpu.watts(util) * dur;
-    busy += dur;
+    r.joules += (gpu.watts(util) - idle_watts) * dur;
     t_end = std::max(t_end, rec.end);
   }
   r.seconds = t_end - t0;
-  // Gaps between kernels draw idle power.
-  if (r.seconds > busy) r.joules += gpu.watts(0.0) * (r.seconds - busy);
+  r.joules += idle_watts * r.seconds;
   return r;
 }
 

@@ -14,6 +14,7 @@ const char* to_string(FaultKind k) noexcept {
     case FaultKind::Hang: return "hang";
     case FaultKind::ExecutorLoss: return "executor-loss";
     case FaultKind::ChunkLost: return "chunk-lost";
+    case FaultKind::InFlightLost: return "in-flight-lost";
   }
   return "?";
 }

@@ -37,6 +37,9 @@ enum class FaultKind : std::uint8_t {
   Hang,          ///< attempt never completes: watchdog → executor loss
   ExecutorLoss,  ///< permanent device death (event log only)
   ChunkLost,     ///< chunk unrecoverable → info poison (event log only)
+  InFlightLost,  ///< chunk aborted mid-flight by its executor's death: the
+                 ///< partial stream interval is wasted, the chunk (whose
+                 ///< numerics never committed) re-dispatches cleanly
 };
 
 [[nodiscard]] const char* to_string(FaultKind k) noexcept;
@@ -102,6 +105,7 @@ struct FaultEvent {
   double start = 0.0;           ///< executor virtual clock when it fired
   double waste_seconds = 0.0;   ///< modelled device time lost to the attempt
   double backoff_seconds = 0.0; ///< virtual backoff charged before the retry
+  int stream = -1;   ///< stream slot the attempt occupied (multi-stream executors)
 };
 
 /// The injection oracle: a pure function of (spec, exec, chunk, attempt).

@@ -1,6 +1,9 @@
 #include "vbatch/hetero/device_pool.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <stdexcept>
+#include <string_view>
 
 #include "vbatch/util/error.hpp"
 
@@ -19,6 +22,44 @@ Executor& DevicePool::add_cpu(const cpu::CpuSpec& spec, const energy::PowerModel
   executors_.push_back(std::make_unique<CpuExecutor>("cpu", spec, power));
   return *executors_.back();
 }
+
+namespace {
+
+/// Splits an optional ":Nstreams" suffix off a parse token, returning N
+/// (1 when absent). Malformed suffixes name the offending token — the same
+/// fail-loudly policy as the device-name matching below.
+int split_stream_suffix(std::string& token) {
+  const std::size_t colon = token.find(':');
+  if (colon == std::string::npos) return 1;
+  const std::string full = token;
+  const std::string suffix = token.substr(colon + 1);
+  token = token.substr(0, colon);
+  constexpr std::string_view kTail = "streams";
+  if (suffix.size() < kTail.size() ||
+      suffix.compare(suffix.size() - kTail.size(), kTail.size(), kTail) != 0)
+    throw_error(Status::InvalidArgument,
+                "DevicePool: malformed stream suffix in '" + full + "' (expected ':Nstreams')");
+  const std::string digits = suffix.substr(0, suffix.size() - kTail.size());
+  if (digits.empty())
+    throw_error(Status::InvalidArgument, "DevicePool: stream count missing in '" + full +
+                                             "' (expected ':Nstreams' with N >= 1)");
+  for (const char ch : digits)
+    if (ch < '0' || ch > '9')
+      throw_error(Status::InvalidArgument, "DevicePool: stream count must be a positive integer in '" +
+                                               full + "'");
+  long value = 0;
+  try {
+    value = std::stol(digits);
+  } catch (const std::out_of_range&) {
+    throw_error(Status::InvalidArgument, "DevicePool: stream count out of range in '" + full + "'");
+  }
+  if (value < 1)
+    throw_error(Status::InvalidArgument,
+                "DevicePool: stream count must be >= 1 in '" + full + "'");
+  return static_cast<int>(std::min<long>(value, 1 << 20));
+}
+
+}  // namespace
 
 DevicePool DevicePool::parse(const std::string& csv) {
   DevicePool pool;
@@ -39,16 +80,23 @@ DevicePool DevicePool::parse(const std::string& csv) {
     if (token.empty())
       throw_error(Status::InvalidArgument, "DevicePool: empty device segment in '" + csv +
                                                "' (doubled or stray comma)");
+    const int streams = split_stream_suffix(token);
+    Executor* added = nullptr;
     if (token == "k40c") {
-      pool.add_gpu(sim::DeviceSpec::k40c(), energy::PowerModel::k40c(), "k40c");
+      added = &pool.add_gpu(sim::DeviceSpec::k40c(), energy::PowerModel::k40c(), "k40c");
     } else if (token == "p100") {
-      pool.add_gpu(sim::DeviceSpec::p100(), energy::PowerModel::p100(), "p100");
+      added = &pool.add_gpu(sim::DeviceSpec::p100(), energy::PowerModel::p100(), "p100");
     } else if (token == "cpu") {
-      pool.add_cpu();
+      if (streams > 1)
+        throw_error(Status::InvalidArgument,
+                    "DevicePool: the cpu executor has a single queue (':" +
+                        std::to_string(streams) + "streams' not supported)");
+      added = &pool.add_cpu();
     } else {
       throw_error(Status::InvalidArgument,
                   "DevicePool: unknown device '" + token + "' (expected k40c, p100, or cpu)");
     }
+    added->set_streams(streams);  // clamps to the device's stream limit
   }
   require(pool.size() > 0, "DevicePool: empty device list");
   return pool;
@@ -68,6 +116,7 @@ std::string DevicePool::describe() const {
   for (const auto& e : executors_) {
     if (!out.empty()) out += " + ";
     out += e->name();
+    if (e->streams() > 1) out += ":" + std::to_string(e->streams()) + "streams";
   }
   return out;
 }

@@ -32,10 +32,15 @@ class DevicePool {
                     const energy::PowerModel& power = energy::PowerModel::dual_e5_2670());
 
   /// Builds a pool from a comma-separated device list. Tokens: "k40c",
-  /// "p100", "cpu" (surrounding whitespace is trimmed). Throws
-  /// Status::InvalidArgument on unknown tokens, an empty list, an empty
-  /// segment (stray / doubled comma), or a repeated "cpu" — never silently
-  /// builds a degenerate pool.
+  /// "p100", "cpu" (surrounding whitespace is trimmed), each optionally
+  /// suffixed ":Nstreams" (N >= 1) to give the executor N concurrent
+  /// stream slots — "k40c:4streams,p100". GPU counts above the device's
+  /// max_concurrent_streams clamp silently (mirroring launch_concurrent);
+  /// the CPU accepts only ":1streams". Throws Status::InvalidArgument on
+  /// unknown tokens, an empty list, an empty segment (stray / doubled
+  /// comma), a repeated "cpu", or a malformed stream suffix (":streams",
+  /// ":0streams", non-numeric N) — never silently builds a degenerate
+  /// pool.
   [[nodiscard]] static DevicePool parse(const std::string& csv);
 
   /// Attaches a fault-injection spec (docs/robustness.md): every
@@ -54,7 +59,8 @@ class DevicePool {
   [[nodiscard]] int gpu_count() const noexcept;
   [[nodiscard]] bool has_cpu() const noexcept;
 
-  /// "k40c#0 + k40c#1 + cpu" — for logs and JSON labels.
+  /// "k40c#0:4streams + k40c#1 + cpu" — for logs and JSON labels (the
+  /// stream suffix appears only for multi-stream executors).
   [[nodiscard]] std::string describe() const;
 
  private:

@@ -1,12 +1,22 @@
 #include "vbatch/hetero/executor.hpp"
 
+#include <algorithm>
+
 #include "vbatch/cpu/cpu_batched.hpp"
+#include "vbatch/util/error.hpp"
 
 namespace vbatch::hetero {
 
 void Executor::begin_call(sim::ExecMode mode) { queue().device().set_mode(mode); }
 
-void Executor::charge_fault(const std::string& /*what*/, double /*seconds*/) {}
+void Executor::set_streams(int k) {
+  if (k < 1)
+    throw_error(Status::InvalidArgument, "Executor::set_streams: stream count must be >= 1 (got " +
+                                             std::to_string(k) + ")");
+  streams_ = std::min(k, max_streams());
+}
+
+void Executor::charge_fault(const std::string& /*what*/, double /*seconds*/, double /*start*/) {}
 
 // --- GpuExecutor -----------------------------------------------------------
 
@@ -23,22 +33,54 @@ void GpuExecutor::begin_call(sim::ExecMode mode) {
   call_t0_ = queue_.time();
 }
 
-double GpuExecutor::estimate(const ChunkWork& work) {
+int GpuExecutor::max_streams() const noexcept { return queue_.spec().max_concurrent_streams; }
+
+ChunkEstimate GpuExecutor::estimate(const ChunkWork& work) {
   // Dry-run the chunk's driver on the timing-only twin: identical spec,
   // identical launch sequence, so the modelled seconds are exact — not a
   // fit. The twin's clock and timeline are scratch state.
   scratch_.device().reset_time();
   scratch_.device().clear_timeline();
   scratch_info_.assign(work.n.size(), 0);
-  return work.run(scratch_, scratch_info_);
+  ChunkEstimate ce;
+  ce.seconds = work.run(scratch_, scratch_info_);
+  if (ce.seconds > 0.0) {
+    // Duration-weighted slot occupancy over the dry-run timeline: each
+    // launch fills grid_blocks of the device's num_sms × resident slots.
+    // Launch/enqueue gaps (intervals with no record) count as zero
+    // occupancy, which is exactly the headroom overlapping streams hide.
+    double weighted = 0.0;
+    for (const auto& rec : scratch_.device().timeline().records()) {
+      const double dur = rec.end - rec.start;
+      if (dur <= 0.0 || rec.resident_per_sm <= 0 || rec.grid_blocks <= 0) continue;
+      const double slots =
+          static_cast<double>(queue_.spec().num_sms) * static_cast<double>(rec.resident_per_sm);
+      weighted += std::min(1.0, static_cast<double>(rec.grid_blocks) / slots) * dur;
+    }
+    ce.occupancy = std::clamp(weighted / ce.seconds, 0.05, 1.0);
+  }
+  return ce;
 }
 
-double GpuExecutor::execute(const ChunkWork& work, std::span<int> info) {
-  return work.run(queue_, info);
+double GpuExecutor::execute(const ChunkWork& work, std::span<int> info, const StreamSlot& slot) {
+  sim::Device& dev = queue_.device();
+  const std::size_t first = dev.timeline().size();
+  const double base = dev.time();
+  const double serial = work.run(queue_, info);
+  // Move the records the chunk just appended into its scheduled slot. With
+  // one stream this is the identity placement (slot.start is the executor
+  // clock, rate 1) and the tag stays -1 so single-stream profiles look
+  // exactly like before.
+  dev.retime_tail(first, base, call_t0_ + slot.start, slot.rate,
+                  streams() > 1 ? slot.stream : -1);
+  return serial;
 }
 
-void GpuExecutor::charge_fault(const std::string& what, double seconds) {
-  queue_.device().charge_interval(what, seconds);
+void GpuExecutor::charge_fault(const std::string& what, double seconds, double start) {
+  if (start >= 0.0)
+    queue_.device().charge_interval_at(what, call_t0_ + start, seconds);
+  else
+    queue_.device().charge_interval(what, seconds);
 }
 
 energy::EnergyResult GpuExecutor::call_energy(Precision prec, double /*busy_seconds*/,
@@ -59,13 +101,15 @@ CpuExecutor::CpuExecutor(std::string name, const cpu::CpuSpec& spec,
 
 CpuExecutor::~CpuExecutor() = default;
 
-double CpuExecutor::estimate(const ChunkWork& work) {
+ChunkEstimate CpuExecutor::estimate(const ChunkWork& work) {
   // The paper's best CPU strategy (§IV-F): one core per matrix, dynamic
-  // scheduling. Purely analytic, so estimate == execute time.
-  return cpu::per_core_makespan(spec_, cpu::Schedule::Dynamic, work.prec, work.n);
+  // scheduling. Purely analytic, so estimate == execute time. Every core is
+  // already busy under that schedule — occupancy 1, no overlap headroom.
+  return {cpu::per_core_makespan(spec_, cpu::Schedule::Dynamic, work.prec, work.n), 1.0};
 }
 
-double CpuExecutor::execute(const ChunkWork& work, std::span<int> info) {
+double CpuExecutor::execute(const ChunkWork& work, std::span<int> info,
+                            const StreamSlot& /*slot*/) {
   if (numerics_.full()) {
     work.run(numerics_, info);  // modelled GPU seconds discarded
   }

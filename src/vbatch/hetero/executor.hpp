@@ -29,6 +29,7 @@
 #include "vbatch/cpu/perf_model.hpp"
 #include "vbatch/energy/energy_meter.hpp"
 #include "vbatch/energy/power_model.hpp"
+#include "vbatch/hetero/stream_slot.hpp"
 
 namespace vbatch::hetero {
 
@@ -45,6 +46,16 @@ struct ChunkWork {
   /// Runs the chunk's driver on `q`, writing statuses into `info` (sized
   /// like `n`). The same closure serves execution and dry-run estimation.
   std::function<double(Queue& q, std::span<int> info)> run;
+};
+
+/// What an executor predicts for one chunk: the exact serial seconds (a
+/// dry run of the same driver) plus the chunk's modelled device occupancy —
+/// the fraction of the device's block slots its launches keep busy. Low
+/// occupancy is the headroom multi-stream overlap exploits; occupancy 1.0
+/// (the CPU executor, or a device-filling chunk) leaves none.
+struct ChunkEstimate {
+  double seconds = 0.0;
+  double occupancy = 1.0;
 };
 
 class Executor {
@@ -68,21 +79,34 @@ class Executor {
   /// start of a hetero call (energy slicing, busy accounting).
   virtual void begin_call(sim::ExecMode mode);
 
-  /// Exact modelled seconds this executor would spend on the chunk — a
-  /// timing-only dry run of the same driver `execute` uses.
-  [[nodiscard]] virtual double estimate(const ChunkWork& work) = 0;
+  /// Concurrent stream slots the scheduler may keep in flight here. Values
+  /// above max_streams() clamp silently (mirroring launch_concurrent's
+  /// device-limit clamp); k < 1 throws Status::InvalidArgument.
+  void set_streams(int k);
+  [[nodiscard]] int streams() const noexcept { return streams_; }
+  /// Device stream limit: the GPU spec's max_concurrent_streams; the CPU
+  /// executor's one-core-per-matrix model already uses every core, so 1.
+  [[nodiscard]] virtual int max_streams() const noexcept = 0;
 
-  /// Executes the chunk (numerics in Full mode) into `info`; returns the
-  /// modelled seconds charged to this executor.
-  virtual double execute(const ChunkWork& work, std::span<int> info) = 0;
+  /// Exact modelled cost of the chunk here: serial seconds from a
+  /// timing-only dry run of the same driver `execute` uses, plus the
+  /// chunk's modelled device occupancy (the overlap headroom).
+  [[nodiscard]] virtual ChunkEstimate estimate(const ChunkWork& work) = 0;
+
+  /// Executes the chunk (numerics in Full mode) into `info` and places its
+  /// timeline records into the scheduled stream slot; returns the serial
+  /// modelled seconds of the chunk.
+  virtual double execute(const ChunkWork& work, std::span<int> info, const StreamSlot& slot) = 0;
 
   /// Charges a fault-recovery interval (a wasted faulted attempt, a retry
   /// backoff, a watchdog stall) to this executor's timing authority. GPU
   /// executors append a fault-flagged record to their device timeline so
   /// the profiler and the energy integration see the wasted time; the CPU
   /// executor's model has no timeline — its wasted seconds are carried by
-  /// the schedule's busy accounting instead.
-  virtual void charge_fault(const std::string& what, double seconds);
+  /// the schedule's busy accounting instead. `start >= 0` pins the record
+  /// at that schedule position (relative to begin_call); negative keeps the
+  /// legacy at-current-clock placement.
+  virtual void charge_fault(const std::string& what, double seconds, double start = -1.0);
 
   /// ∫P dt of this executor's busy interval since begin_call. GPU executors
   /// integrate their timeline slice; the CPU executor integrates the given
@@ -93,6 +117,7 @@ class Executor {
  private:
   std::string name_;
   energy::PowerModel power_;
+  int streams_ = 1;
 };
 
 /// A simulated GPU device (K40c, P100, ...) wrapped in a core::Queue.
@@ -106,9 +131,10 @@ class GpuExecutor final : public Executor {
   [[nodiscard]] const sim::DeviceSpec& spec() const noexcept { return queue_.spec(); }
 
   void begin_call(sim::ExecMode mode) override;
-  [[nodiscard]] double estimate(const ChunkWork& work) override;
-  double execute(const ChunkWork& work, std::span<int> info) override;
-  void charge_fault(const std::string& what, double seconds) override;
+  [[nodiscard]] int max_streams() const noexcept override;
+  [[nodiscard]] ChunkEstimate estimate(const ChunkWork& work) override;
+  double execute(const ChunkWork& work, std::span<int> info, const StreamSlot& slot) override;
+  void charge_fault(const std::string& what, double seconds, double start) override;
   [[nodiscard]] energy::EnergyResult call_energy(Precision prec, double busy_seconds,
                                                  double flops) const override;
 
@@ -131,8 +157,9 @@ class CpuExecutor final : public Executor {
   [[nodiscard]] Queue& queue() noexcept override { return numerics_; }
   [[nodiscard]] const cpu::CpuSpec& spec() const noexcept { return spec_; }
 
-  [[nodiscard]] double estimate(const ChunkWork& work) override;
-  double execute(const ChunkWork& work, std::span<int> info) override;
+  [[nodiscard]] int max_streams() const noexcept override { return 1; }
+  [[nodiscard]] ChunkEstimate estimate(const ChunkWork& work) override;
+  double execute(const ChunkWork& work, std::span<int> info, const StreamSlot& slot) override;
   [[nodiscard]] energy::EnergyResult call_energy(Precision prec, double busy_seconds,
                                                  double flops) const override;
 

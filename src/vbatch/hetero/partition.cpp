@@ -102,4 +102,27 @@ std::vector<int> assign_chunks(const std::vector<std::vector<double>>& estimate,
   return owner;
 }
 
+std::vector<std::vector<double>> effective_load(
+    const std::vector<std::vector<double>>& estimate,
+    const std::vector<std::vector<double>>& occupancy, const std::vector<int>& streams) {
+  require(estimate.size() == occupancy.size() && estimate.size() == streams.size(),
+          "effective_load: estimate/occupancy/streams row counts must match");
+  std::vector<std::vector<double>> eff(estimate.size());
+  for (std::size_t e = 0; e < estimate.size(); ++e) {
+    require(estimate[e].size() == occupancy[e].size(),
+            "effective_load: estimate/occupancy column counts must match");
+    require(streams[e] >= 1, "effective_load: streams entries must be >= 1");
+    eff[e].resize(estimate[e].size());
+    for (std::size_t c = 0; c < estimate[e].size(); ++c) {
+      if (streams[e] == 1) {
+        eff[e][c] = estimate[e][c];  // serial executor: the exact estimate, bitwise
+      } else {
+        const double share = std::max(occupancy[e][c], 1.0 / static_cast<double>(streams[e]));
+        eff[e][c] = estimate[e][c] * share;
+      }
+    }
+  }
+  return eff;
+}
+
 }  // namespace vbatch::hetero

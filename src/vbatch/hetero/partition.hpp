@@ -63,4 +63,15 @@ enum class Partition : std::uint8_t { CostModel, RoundRobin, FirstOnly };
 [[nodiscard]] std::vector<int> assign_chunks(
     const std::vector<std::vector<double>>& estimate, Partition policy, int executors);
 
+/// Overlap-aware load matrix for the LPT assignment: on an executor with k
+/// concurrent streams, a chunk of occupancy o effectively costs
+/// estimate × max(o, 1/k) seconds of device capacity — k overlapped
+/// low-occupancy chunks share the device, so each charges only its slot
+/// share. With streams[e] == 1 the result equals `estimate` bitwise (the
+/// serial partition is unchanged). `occupancy[e][c]` ∈ (0, 1];
+/// `streams[e]` ≥ 1.
+[[nodiscard]] std::vector<std::vector<double>> effective_load(
+    const std::vector<std::vector<double>>& estimate,
+    const std::vector<std::vector<double>>& occupancy, const std::vector<int>& streams);
+
 }  // namespace vbatch::hetero

@@ -169,23 +169,35 @@ HeteroResult hetero_impl(DevicePool& pool, Uplo uplo, Batch<T>& batch, int calle
   }
 
   // --- Estimate every (executor, chunk) pair: dry runs on the timing twins
-  // (GPU) or the analytic CPU model. Exact by construction.
+  // (GPU) or the analytic CPU model. Exact by construction. The dry run
+  // also yields the chunk's device occupancy — the overlap headroom the
+  // multi-stream schedule exploits.
   std::vector<std::vector<double>> est(static_cast<std::size_t>(E));
+  std::vector<std::vector<double>> occ(static_cast<std::size_t>(E));
+  std::vector<int> streams(static_cast<std::size_t>(E), 1);
   for (int e = 0; e < E; ++e) {
     est[static_cast<std::size_t>(e)].resize(static_cast<std::size_t>(C));
-    for (int c = 0; c < C; ++c)
-      est[static_cast<std::size_t>(e)][static_cast<std::size_t>(c)] =
-          pool.executor(e).estimate(work[static_cast<std::size_t>(c)]);
+    occ[static_cast<std::size_t>(e)].resize(static_cast<std::size_t>(C));
+    streams[static_cast<std::size_t>(e)] = pool.executor(e).streams();
+    for (int c = 0; c < C; ++c) {
+      const ChunkEstimate ce = pool.executor(e).estimate(work[static_cast<std::size_t>(c)]);
+      est[static_cast<std::size_t>(e)][static_cast<std::size_t>(c)] = ce.seconds;
+      occ[static_cast<std::size_t>(e)][static_cast<std::size_t>(c)] = ce.occupancy;
+    }
   }
 
-  // --- Static partition, then the virtual-time work-stealing schedule.
+  // --- Static partition (overlap-aware: a multi-stream executor absorbs
+  // low-occupancy chunks at their slot share, not their serial seconds),
+  // then the virtual-time work-stealing schedule.
   ScheduleParams sp;
-  sp.owner = assign_chunks(est, opts.partition, E);
+  sp.owner = assign_chunks(effective_load(est, occ, streams), opts.partition, E);
   sp.estimate = est;
   sp.executors = E;
   sp.work_stealing = opts.work_stealing;
   sp.steal = opts.steal;
   sp.seed = opts.steal_seed;
+  sp.streams = streams;
+  sp.occupancy = occ;
   sp.initial_clock.assign(static_cast<std::size_t>(E), 0.0);
   sp.initial_clock[0] = sweep_seconds;
 
@@ -203,19 +215,24 @@ HeteroResult hetero_impl(DevicePool& pool, Uplo uplo, Batch<T>& batch, int calle
 
   const ScheduleResult sched = run_schedule(
       sp,
-      [&](int e, int c) {
+      std::function<double(int, int, const StreamSlot&)>([&](int e, int c,
+                                                             const StreamSlot& slot) {
         return pool.executor(e).execute(work[static_cast<std::size_t>(c)],
-                                        data[static_cast<std::size_t>(c)].info);
-      },
+                                        data[static_cast<std::size_t>(c)].info, slot);
+      }),
       [&](const fault::FaultEvent& ev) {
         // Make the wasted virtual time visible on the acting executor's
         // timing authority (GPU timeline records → profiler fault column
-        // and energy integration; the CPU model is charged via busy).
+        // and energy integration; the CPU model is charged via busy). The
+        // schedule position pins the record so overlapped streams report
+        // their waste where it actually happened.
         if (ev.exec < 0) return;
         Executor& ex = pool.executor(ev.exec);
         if (ev.waste_seconds > 0.0)
-          ex.charge_fault(std::string("fault.") + fault::to_string(ev.kind), ev.waste_seconds);
-        if (ev.backoff_seconds > 0.0) ex.charge_fault("fault.backoff", ev.backoff_seconds);
+          ex.charge_fault(std::string("fault.") + fault::to_string(ev.kind), ev.waste_seconds,
+                          ev.start);
+        if (ev.backoff_seconds > 0.0)
+          ex.charge_fault("fault.backoff", ev.backoff_seconds, ev.start + ev.waste_seconds);
       });
 
   // --- Merge: scatter chunk-local statuses back to submission order. A
@@ -252,6 +269,10 @@ HeteroResult hetero_impl(DevicePool& pool, Uplo uplo, Batch<T>& batch, int calle
     rep.finish_seconds = sched.finish[static_cast<std::size_t>(e)];
     rep.chunks = sched.chunks_run[static_cast<std::size_t>(e)];
     rep.stolen = sched.chunks_stolen[static_cast<std::size_t>(e)];
+    rep.streams = ex.streams();
+    rep.overlap = sched.occupied[static_cast<std::size_t>(e)] > 0.0
+                      ? rep.busy_seconds / sched.occupied[static_cast<std::size_t>(e)]
+                      : 1.0;
     rep.retries = sched.retries[static_cast<std::size_t>(e)];
     rep.lost = sched.lost[static_cast<std::size_t>(e)] != 0;
     for (int c = 0; c < C; ++c) {

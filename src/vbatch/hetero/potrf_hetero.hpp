@@ -66,6 +66,10 @@ struct ExecutorReport {
   int chunks = 0;
   int stolen = 0;               ///< chunks acquired by stealing
   int matrices = 0;
+  int streams = 1;              ///< concurrent stream slots (post-clamp)
+  /// Overlap ratio: busy seconds over the union of busy intervals. 1.0 for
+  /// a serial schedule; approaches `streams` under full overlap.
+  double overlap = 1.0;
   int retries = 0;              ///< transient attempts wasted on this executor
   bool lost = false;            ///< permanently lost (death or hung watchdog)
 };

@@ -4,20 +4,70 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <utility>
 
 #include "vbatch/util/error.hpp"
 #include "vbatch/util/rng.hpp"
 
 namespace vbatch::hetero {
 
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One chunk occupying a stream slot between dispatch and commit. `dur` is
+/// kept explicit (est / rate) rather than recomputed from end − start so a
+/// rate-1.0 chunk charges exactly its estimate to the busy ledger — the
+/// bitwise guarantee the single-stream compatibility tests pin.
+struct InFlight {
+  int chunk = -1;
+  int stream = 0;
+  int attempt = 0;
+  bool stolen = false;
+  double start = 0.0;
+  double dur = 0.0;
+  double end = 0.0;
+  double occ = 1.0;
+  double rate = 1.0;
+};
+
+/// Union length of [start, end) intervals — one executor's occupied time.
+double union_seconds(std::vector<std::pair<double, double>>& iv) {
+  if (iv.empty()) return 0.0;
+  std::sort(iv.begin(), iv.end());
+  double total = 0.0;
+  double lo = iv.front().first;
+  double hi = iv.front().second;
+  for (const auto& [s, e] : iv) {
+    if (s > hi) {
+      total += hi - lo;
+      lo = s;
+      hi = e;
+    } else {
+      hi = std::max(hi, e);
+    }
+  }
+  return total + (hi - lo);
+}
+
+}  // namespace
+
 ScheduleResult run_schedule(const ScheduleParams& params,
-                            const std::function<double(int, int)>& execute,
+                            const std::function<double(int, int, const StreamSlot&)>& execute,
                             const std::function<void(const fault::FaultEvent&)>& on_fault) {
   const int E = params.executors;
   const int C = static_cast<int>(params.owner.size());
   require(E >= 1, "run_schedule: need at least one executor");
   require(static_cast<int>(params.estimate.size()) == E,
           "run_schedule: estimate rows must match executor count");
+  require(params.streams.empty() || static_cast<int>(params.streams.size()) == E,
+          "run_schedule: streams must be empty or match executor count");
+  for (const int k : params.streams) require(k >= 1, "run_schedule: streams entries must be >= 1");
+  require(params.occupancy.empty() || static_cast<int>(params.occupancy.size()) == E,
+          "run_schedule: occupancy rows must be empty or match executor count");
+  for (const auto& row : params.occupancy)
+    for (const double o : row)
+      require(o > 0.0 && o <= 1.0, "run_schedule: occupancy values must be in (0, 1]");
   const fault::FaultPlan* plan =
       (params.faults != nullptr && !params.faults->empty()) ? params.faults : nullptr;
   if (plan != nullptr) {
@@ -43,6 +93,8 @@ ScheduleResult run_schedule(const ScheduleParams& params,
   res.chunks_run.assign(static_cast<std::size_t>(E), 0);
   res.chunks_stolen.assign(static_cast<std::size_t>(E), 0);
   res.executed_by.assign(static_cast<std::size_t>(C), -1);
+  res.occupied.assign(static_cast<std::size_t>(E), 0.0);
+  res.max_in_flight.assign(static_cast<std::size_t>(E), 0);
   res.retries.assign(static_cast<std::size_t>(E), 0);
   res.lost.assign(static_cast<std::size_t>(E), 0);
   res.attempts.assign(static_cast<std::size_t>(C), 0);
@@ -53,8 +105,9 @@ ScheduleResult run_schedule(const ScheduleParams& params,
     clock[static_cast<std::size_t>(e)] = params.initial_clock[static_cast<std::size_t>(e)];
   res.finish = clock;
 
-  // retired = nothing left to do (reversible: re-dispatched orphans wake a
-  // retired executor up); alive = not permanently lost.
+  // retired = nothing left to dispatch (reversible: re-dispatched orphans
+  // wake a retired executor up; in-flight chunks of a retired executor still
+  // commit); alive = not permanently lost.
   std::vector<char> retired(static_cast<std::size_t>(E), 0);
   std::vector<char> alive(static_cast<std::size_t>(E), 1);
   std::vector<int> completed(static_cast<std::size_t>(E), 0);
@@ -63,11 +116,22 @@ ScheduleResult run_schedule(const ScheduleParams& params,
                                       std::vector<int>(static_cast<std::size_t>(C), 0));
   std::vector<std::vector<char>> gave_up(static_cast<std::size_t>(E),
                                          std::vector<char>(static_cast<std::size_t>(C), 0));
+  // Stream slots currently holding a dispatched-but-uncommitted chunk, and
+  // the per-executor busy intervals for the occupied (union) ledger.
+  std::vector<std::vector<InFlight>> fly(static_cast<std::size_t>(E));
+  std::vector<std::vector<std::pair<double, double>>> intervals(static_cast<std::size_t>(E));
   Rng rng(params.seed);
   int left = C;
 
   auto estimate_of = [&](int e, int c) {
     return params.estimate[static_cast<std::size_t>(e)][static_cast<std::size_t>(c)];
+  };
+  auto occupancy_of = [&](int e, int c) {
+    if (params.occupancy.empty()) return 1.0;
+    return params.occupancy[static_cast<std::size_t>(e)][static_cast<std::size_t>(c)];
+  };
+  auto streams_of = [&](int e) {
+    return params.streams.empty() ? 1 : params.streams[static_cast<std::size_t>(e)];
   };
   auto remaining_load = [&](int e) {
     double load = 0.0;
@@ -78,18 +142,38 @@ ScheduleResult run_schedule(const ScheduleParams& params,
     if (on_fault) on_fault(ev);
     res.events.push_back(ev);
   };
+  // Earliest time executor e can start another chunk: its dispatch clock if
+  // a stream slot is free, else the first in-flight completion. With one
+  // stream this is exactly the post-execution clock of the serial schedule.
+  auto dispatch_ready = [&](int e) {
+    if (static_cast<int>(fly[static_cast<std::size_t>(e)].size()) < streams_of(e))
+      return clock[static_cast<std::size_t>(e)];
+    double first_free = kInf;
+    for (const InFlight& f : fly[static_cast<std::size_t>(e)])
+      first_free = std::min(first_free, f.end);
+    return std::max(clock[static_cast<std::size_t>(e)], first_free);
+  };
+  // Lowest stream index not occupied by an in-flight chunk.
+  auto free_stream = [&](int e) {
+    const auto& fl = fly[static_cast<std::size_t>(e)];
+    for (int s = 0;; ++s) {
+      bool used = false;
+      for (const InFlight& f : fl) used |= (f.stream == s);
+      if (!used) return s;
+    }
+  };
 
-  // Re-dispatches an orphaned chunk to the surviving executor whose current
-  // clock + estimate is lowest (greedy LPT over the live pool; ties go to
-  // the lowest index). Executors that exhausted their retries on the chunk
-  // are skipped; with nobody eligible the chunk is poisoned.
+  // Re-dispatches an orphaned chunk to the surviving executor that can
+  // finish it earliest (greedy LPT over the live pool; ties go to the
+  // lowest index). Executors that exhausted their retries on the chunk are
+  // skipped; with nobody eligible the chunk is poisoned.
   auto redispatch = [&](int c) {
     int pick = -1;
-    double pick_finish = std::numeric_limits<double>::infinity();
+    double pick_finish = kInf;
     for (int e = 0; e < E; ++e) {
       if (!alive[static_cast<std::size_t>(e)] || gave_up[static_cast<std::size_t>(e)][static_cast<std::size_t>(c)])
         continue;
-      const double f = clock[static_cast<std::size_t>(e)] + estimate_of(e, c);
+      const double f = dispatch_ready(e) + estimate_of(e, c);
       if (f < pick_finish) {
         pick = e;
         pick_finish = f;
@@ -112,32 +196,78 @@ ScheduleResult run_schedule(const ScheduleParams& params,
       if (alive[static_cast<std::size_t>(e)]) retired[static_cast<std::size_t>(e)] = 0;
   };
 
-  // Permanent executor loss: log it, drain the orphaned deque through the
-  // LPT re-dispatch above.
-  auto kill = [&](int e) {
+  // Permanent executor loss at virtual time t_death: log it, abort every
+  // chunk still in flight on the executor's streams (their numerics never
+  // committed — the partial intervals are pure waste), then drain the
+  // orphaned deque. Both sets re-dispatch through the LPT pass above.
+  auto kill = [&](int e, double t_death) {
     alive[static_cast<std::size_t>(e)] = 0;
     retired[static_cast<std::size_t>(e)] = 1;
     res.lost[static_cast<std::size_t>(e)] = 1;
     ++res.executors_lost;
+    clock[static_cast<std::size_t>(e)] = std::max(clock[static_cast<std::size_t>(e)], t_death);
     fault::FaultEvent ev;
     ev.kind = fault::FaultKind::ExecutorLoss;
     ev.exec = e;
-    ev.start = clock[static_cast<std::size_t>(e)];
+    ev.start = t_death;
     emit(ev);
+    std::vector<InFlight> doomed;
+    doomed.swap(fly[static_cast<std::size_t>(e)]);
     std::deque<int> orphans;
     orphans.swap(deque_of[static_cast<std::size_t>(e)]);
+    for (const InFlight& f : doomed) {
+      fault::FaultEvent iv;
+      iv.kind = fault::FaultKind::InFlightLost;
+      iv.exec = e;
+      iv.chunk = f.chunk;
+      iv.attempt = f.attempt;
+      iv.stream = f.stream;
+      iv.start = f.start;
+      iv.waste_seconds = std::max(0.0, t_death - f.start);
+      res.busy[static_cast<std::size_t>(e)] += iv.waste_seconds;
+      res.finish[static_cast<std::size_t>(e)] =
+          std::max(res.finish[static_cast<std::size_t>(e)], t_death);
+      if (iv.waste_seconds > 0.0)
+        intervals[static_cast<std::size_t>(e)].emplace_back(f.start, t_death);
+      emit(iv);
+    }
+    for (const InFlight& f : doomed) redispatch(f.chunk);
     for (int c : orphans) redispatch(c);
   };
 
   while (left > 0) {
-    // Next actor: earliest virtual clock among executors still in the game;
-    // ties go to the lowest index (deterministic).
-    int actor = -1;
+    // Earliest pending commit: the in-flight chunk with the smallest end
+    // time (ties: lowest executor, then dispatch order).
+    int ce = -1;
+    std::size_t ci = 0;
+    double ct = kInf;
     for (int e = 0; e < E; ++e) {
-      if (retired[static_cast<std::size_t>(e)]) continue;
-      if (actor < 0 || clock[static_cast<std::size_t>(e)] < clock[static_cast<std::size_t>(actor)])
-        actor = e;
+      const auto& fl = fly[static_cast<std::size_t>(e)];
+      for (std::size_t i = 0; i < fl.size(); ++i) {
+        if (fl[i].end < ct) {
+          ct = fl[i].end;
+          ce = e;
+          ci = i;
+        }
+      }
     }
+    // Earliest eligible dispatcher: a live, non-retired executor with a
+    // free stream slot (ties: lowest index).
+    int de = -1;
+    double dt = kInf;
+    for (int e = 0; e < E; ++e) {
+      if (retired[static_cast<std::size_t>(e)] || !alive[static_cast<std::size_t>(e)]) continue;
+      if (static_cast<int>(fly[static_cast<std::size_t>(e)].size()) >= streams_of(e)) continue;
+      if (clock[static_cast<std::size_t>(e)] < dt) {
+        dt = clock[static_cast<std::size_t>(e)];
+        de = e;
+      }
+    }
+    // Commits fire before dispatches at equal virtual time: completed work
+    // frees its slot (and may trigger a scheduled death) before new work is
+    // placed.
+    const bool committing = ce >= 0 && ct <= dt;
+    const int actor = committing ? ce : de;
     if (actor < 0) {
       // Every executor is retired or lost with work outstanding — possible
       // only when the whole pool died. Poison whatever is left (the deques
@@ -145,14 +275,35 @@ ScheduleResult run_schedule(const ScheduleParams& params,
       require(plan != nullptr, "run_schedule: all executors retired with work left");
       break;
     }
+    const double t_act = committing ? ct : clock[static_cast<std::size_t>(actor)];
 
-    // Scheduled death fires the moment the executor would act again.
+    // Scheduled death fires the moment the executor would act again —
+    // before the pending commit, so every chunk still in flight aborts.
     if (plan != nullptr) {
       const int after = plan->dies_after(actor);
       if (after >= 0 && completed[static_cast<std::size_t>(actor)] >= after) {
-        kill(actor);
+        kill(actor, t_act);
         continue;
       }
+    }
+
+    if (committing) {
+      const InFlight f = fly[static_cast<std::size_t>(actor)][ci];
+      fly[static_cast<std::size_t>(actor)].erase(
+          fly[static_cast<std::size_t>(actor)].begin() + static_cast<std::ptrdiff_t>(ci));
+      execute(actor, f.chunk, StreamSlot{f.stream, f.start, f.rate});
+      clock[static_cast<std::size_t>(actor)] =
+          std::max(clock[static_cast<std::size_t>(actor)], f.end);
+      res.busy[static_cast<std::size_t>(actor)] += f.dur;
+      res.finish[static_cast<std::size_t>(actor)] =
+          std::max(res.finish[static_cast<std::size_t>(actor)], f.end);
+      res.chunks_run[static_cast<std::size_t>(actor)] += 1;
+      if (f.stolen) res.chunks_stolen[static_cast<std::size_t>(actor)] += 1;
+      res.executed_by[static_cast<std::size_t>(f.chunk)] = actor;
+      completed[static_cast<std::size_t>(actor)] += 1;
+      intervals[static_cast<std::size_t>(actor)].emplace_back(f.start, f.end);
+      --left;
+      continue;
     }
 
     auto& own = deque_of[static_cast<std::size_t>(actor)];
@@ -204,7 +355,8 @@ ScheduleResult run_schedule(const ScheduleParams& params,
 
     if (chunk < 0) {
       // Nothing owned, nothing stealable: this executor is idle for now
-      // (re-dispatched orphans may wake it up again).
+      // (re-dispatched orphans may wake it up again; chunks already in
+      // flight on its streams still commit).
       retired[static_cast<std::size_t>(actor)] = 1;
       continue;
     }
@@ -215,15 +367,33 @@ ScheduleResult run_schedule(const ScheduleParams& params,
         plan != nullptr ? plan->attempt_outcome(actor, chunk, attempt) : fault::FaultKind::None;
 
     if (outcome == fault::FaultKind::None) {
-      const double seconds = execute(actor, chunk);
-      clock[static_cast<std::size_t>(actor)] += seconds;
-      res.busy[static_cast<std::size_t>(actor)] += seconds;
-      res.finish[static_cast<std::size_t>(actor)] = clock[static_cast<std::size_t>(actor)];
-      res.chunks_run[static_cast<std::size_t>(actor)] += 1;
-      if (stolen) res.chunks_stolen[static_cast<std::size_t>(actor)] += 1;
-      res.executed_by[static_cast<std::size_t>(chunk)] = actor;
-      completed[static_cast<std::size_t>(actor)] += 1;
-      --left;
+      // Reserve a stream slot. The chunk contends with the occupancy the
+      // chunks already in flight left behind: with free share s it runs at
+      // rate min(1, s / occ) — an empty device always yields rate exactly
+      // 1.0, which keeps single-stream durations bitwise equal to the
+      // estimates. The rate is fixed at dispatch (later arrivals yield
+      // instead of re-timing earlier chunks), keeping the event loop
+      // causal and deterministic.
+      const auto& fl = fly[static_cast<std::size_t>(actor)];
+      double used = 0.0;
+      for (const InFlight& f : fl) used += f.occ;
+      const double share =
+          std::max(1.0 - used, 1.0 / (static_cast<double>(fl.size()) + 1.0));
+      const double occ = occupancy_of(actor, chunk);
+      InFlight f;
+      f.chunk = chunk;
+      f.stream = free_stream(actor);
+      f.attempt = attempt;
+      f.stolen = stolen;
+      f.occ = occ;
+      f.rate = occ <= share ? 1.0 : share / occ;
+      f.start = clock[static_cast<std::size_t>(actor)];
+      f.dur = estimate_of(actor, chunk) / f.rate;
+      f.end = f.start + f.dur;
+      fly[static_cast<std::size_t>(actor)].push_back(f);
+      res.max_in_flight[static_cast<std::size_t>(actor)] =
+          std::max(res.max_in_flight[static_cast<std::size_t>(actor)],
+                   static_cast<int>(fly[static_cast<std::size_t>(actor)].size()));
       continue;
     }
 
@@ -231,6 +401,7 @@ ScheduleResult run_schedule(const ScheduleParams& params,
     ev.exec = actor;
     ev.chunk = chunk;
     ev.attempt = attempt;
+    ev.stream = free_stream(actor);
     ev.start = clock[static_cast<std::size_t>(actor)];
     if (outcome == fault::FaultKind::Hang) {
       // The attempt never completes; the watchdog declares the executor
@@ -240,17 +411,24 @@ ScheduleResult run_schedule(const ScheduleParams& params,
       ev.waste_seconds = params.retry.watchdog_seconds;
       clock[static_cast<std::size_t>(actor)] += ev.waste_seconds;
       res.busy[static_cast<std::size_t>(actor)] += ev.waste_seconds;
-      res.finish[static_cast<std::size_t>(actor)] = clock[static_cast<std::size_t>(actor)];
+      res.finish[static_cast<std::size_t>(actor)] =
+          std::max(res.finish[static_cast<std::size_t>(actor)],
+                   clock[static_cast<std::size_t>(actor)]);
+      if (ev.waste_seconds > 0.0)
+        intervals[static_cast<std::size_t>(actor)].emplace_back(ev.start,
+                                                                ev.start + ev.waste_seconds);
       ++res.hangs;
       emit(ev);
-      kill(actor);
+      kill(actor, clock[static_cast<std::size_t>(actor)]);
       redispatch(chunk);
       continue;
     }
 
     // Transient (simulated ECC / launch failure): the attempt's modelled
     // time is wasted, a deterministic exponential backoff precedes the
-    // retry. The work never commits — numerics run only on success.
+    // retry. The work never commits — numerics run only on success. The
+    // wasted attempt serializes on the dispatch clock (the slot never
+    // carried a live chunk); in-flight peers keep running.
     ev.kind = fault::FaultKind::Transient;
     ev.waste_seconds = estimate_of(actor, chunk);
     ev.backoff_seconds =
@@ -258,7 +436,12 @@ ScheduleResult run_schedule(const ScheduleParams& params,
         std::pow(params.retry.backoff_multiplier, static_cast<double>(attempt - 1));
     clock[static_cast<std::size_t>(actor)] += ev.waste_seconds + ev.backoff_seconds;
     res.busy[static_cast<std::size_t>(actor)] += ev.waste_seconds;
-    res.finish[static_cast<std::size_t>(actor)] = clock[static_cast<std::size_t>(actor)];
+    res.finish[static_cast<std::size_t>(actor)] =
+        std::max(res.finish[static_cast<std::size_t>(actor)],
+                 clock[static_cast<std::size_t>(actor)]);
+    if (ev.waste_seconds > 0.0)
+      intervals[static_cast<std::size_t>(actor)].emplace_back(ev.start,
+                                                              ev.start + ev.waste_seconds);
     res.retries[static_cast<std::size_t>(actor)] += 1;
     ++res.retries_total;
     res.backoff_seconds += ev.backoff_seconds;
@@ -274,8 +457,20 @@ ScheduleResult run_schedule(const ScheduleParams& params,
     }
   }
 
+  for (int e = 0; e < E; ++e)
+    res.occupied[static_cast<std::size_t>(e)] = union_seconds(intervals[static_cast<std::size_t>(e)]);
   res.makespan = *std::max_element(res.finish.begin(), res.finish.end());
   return res;
+}
+
+ScheduleResult run_schedule(const ScheduleParams& params,
+                            const std::function<double(int, int)>& execute,
+                            const std::function<void(const fault::FaultEvent&)>& on_fault) {
+  return run_schedule(
+      params,
+      std::function<double(int, int, const StreamSlot&)>(
+          [&execute](int e, int c, const StreamSlot&) { return execute(e, c); }),
+      on_fault);
 }
 
 }  // namespace vbatch::hetero

@@ -1,14 +1,28 @@
 // Dynamic work-stealing scheduler over the pool's virtual clocks, with
-// fault recovery.
+// multi-stream chunk overlap and fault recovery.
 //
 // The simulator has no real concurrency to exploit — every device clock is
 // modelled — so the scheduler is an event loop over virtual time: the
-// executor with the earliest clock acts next. An executor with work pops
-// the *front* of its own deque (its biggest remaining chunk, since chunks
+// earliest pending event (a chunk committing, or an executor with a free
+// stream slot dispatching) fires next. An executor with work pops the
+// *front* of its own deque (its biggest remaining chunk, since chunks
 // follow the size-sorted order); an idle executor steals from the *back* of
 // a victim's deque — the trailing, smallest chunks, which are the cheapest
 // to migrate and the classic candidates for rebalancing a size-sorted
 // batch.
+//
+// Multi-stream overlap (streams[e] > 1): an executor keeps up to streams[e]
+// chunks in flight. A chunk dispatched while others are in flight contends
+// for the device's modelled slot capacity — with occupancy occ and free
+// share s = max(1 − Σ occ_inflight, 1/(inflight+1)), it progresses at rate
+// min(1, s/occ), i.e. a low-occupancy chunk overlaps for free while
+// device-filling chunks degrade gracefully to the serial makespan. The
+// numerics of a chunk run exactly once, at COMMIT time, in global virtual-
+// time order — dispatch only reserves the slot — so factors and info are
+// bit-identical to the single-stream schedule for every stream count; only
+// the virtual-time placement (and hence the makespan) changes. With
+// streams[e] == 1 everywhere the loop reproduces the classic serial
+// schedule clock-for-clock.
 //
 // Victim selection is deterministic: StealPolicy::MostLoaded picks the peer
 // with the largest remaining modelled load, and all ties (and the Random
@@ -26,10 +40,13 @@
 // current clocks). A hang charges the watchdog interval and converts into
 // permanent executor loss; a scheduled death orphans the executor's deque,
 // which is likewise re-dispatched — down to a single survivor (CPU-only as
-// the last resort). The execute callback runs only for the one successful
-// attempt of each chunk, so recovered runs stay bit-identical to fault-free
-// ones; a chunk no survivor could complete is marked poisoned instead of
-// aborting the call.
+// the last resort). A dying executor also aborts every chunk still in
+// flight on its streams (their numerics never committed, so they
+// re-dispatch cleanly; the partial intervals are logged as InFlightLost
+// waste). The execute callback runs only for the one successful attempt of
+// each chunk, so recovered runs stay bit-identical to fault-free ones; a
+// chunk no survivor could complete is marked poisoned instead of aborting
+// the call.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +54,7 @@
 #include <vector>
 
 #include "vbatch/fault/fault_plan.hpp"
+#include "vbatch/hetero/stream_slot.hpp"
 
 namespace vbatch::hetero {
 
@@ -64,6 +82,14 @@ struct ScheduleParams {
   /// Per-executor clock offsets at t = 0 (e.g. executor 0 already spent the
   /// argument-check sweep before any chunk runs).
   std::vector<double> initial_clock;
+  /// Per-executor concurrent stream slots (empty = one stream everywhere,
+  /// the classic serial schedule). An executor with streams[e] = k keeps up
+  /// to k chunks in flight, contending for the modelled slot capacity.
+  std::vector<int> streams;
+  /// occupancy[e][c]: fraction of executor e's device slots chunk c keeps
+  /// busy, in (0, 1] (empty = 1.0 everywhere, i.e. no overlap headroom).
+  /// Drives the per-chunk contention rate of overlapped dispatches.
+  std::vector<std::vector<double>> occupancy;
   /// Fault injection oracle; null (or empty) = fault-free run.
   const fault::FaultPlan* faults = nullptr;
   /// Retry/backoff/watchdog bounds for the recovery loop.
@@ -77,6 +103,12 @@ struct ScheduleResult {
   std::vector<int> chunks_run;      ///< per-executor chunks completed
   std::vector<int> chunks_stolen;   ///< per-executor chunks acquired by stealing
   std::vector<int> executed_by;     ///< chunk → executor that completed it (-1 = poisoned)
+  /// Per-executor union of its busy intervals (chunks and fault waste on
+  /// any stream, overlaps counted once). busy / occupied is the overlap
+  /// ratio: 1.0 for a serial schedule, up to streams[e] under full overlap.
+  std::vector<double> occupied;
+  /// Per-executor high-water mark of simultaneously in-flight chunks.
+  std::vector<int> max_in_flight;
 
   // --- Fault-recovery ledger (all empty/zero on a fault-free run) --------
   std::vector<int> retries;         ///< per-executor transient attempts wasted
@@ -91,12 +123,20 @@ struct ScheduleResult {
   double backoff_seconds = 0.0;     ///< total virtual backoff across the pool
 };
 
-/// Runs the virtual-time loop. `execute(e, c)` must run chunk c on executor
-/// e and return the modelled seconds; it is called exactly once for the
-/// successful attempt of each completed chunk (never for faulted attempts
-/// or poisoned chunks). `on_fault`, when set, observes every fault event as
-/// it is logged — the hetero driver uses it to charge wasted intervals to
-/// the GPU timelines.
+/// Runs the virtual-time loop. `execute(e, c, slot)` must run chunk c on
+/// executor e in the given stream slot and return the serial modelled
+/// seconds; it is called exactly once for the successful attempt of each
+/// completed chunk (never for faulted or aborted-in-flight attempts, never
+/// for poisoned chunks), in global commit order. `on_fault`, when set,
+/// observes every fault event as it is logged — the hetero driver uses it
+/// to charge wasted intervals to the GPU timelines.
+[[nodiscard]] ScheduleResult run_schedule(
+    const ScheduleParams& params,
+    const std::function<double(int, int, const StreamSlot&)>& execute,
+    const std::function<void(const fault::FaultEvent&)>& on_fault = {});
+
+/// Slot-blind convenience overload (single-stream scheduling in tests and
+/// callers that predate stream overlap).
 [[nodiscard]] ScheduleResult run_schedule(
     const ScheduleParams& params, const std::function<double(int, int)>& execute,
     const std::function<void(const fault::FaultEvent&)>& on_fault = {});

@@ -1,0 +1,23 @@
+// StreamSlot: where the virtual-time scheduler placed one chunk inside its
+// executor's concurrent stream slots.
+//
+// Executors with set_streams(k > 1) keep up to k chunks in flight; the
+// scheduler hands every execution its slot so the executor can align the
+// chunk's timeline records with the schedule (a GPU executor retimes the
+// records it just appended into [start, start + serial/rate) on `stream`).
+// With a single stream the slot is always {0, clock, 1.0} and the placement
+// degenerates to the classic back-to-back layout.
+#pragma once
+
+namespace vbatch::hetero {
+
+struct StreamSlot {
+  int stream = 0;     ///< stream index inside the executor, 0-based
+  double start = 0.0; ///< executor virtual clock when the chunk was dispatched
+  /// Modelled progress rate under stream contention: the chunk occupies its
+  /// stream for serial_seconds / rate. 1.0 = no contention (the chunk's
+  /// occupancy fits in the device's free slot share at dispatch).
+  double rate = 1.0;
+};
+
+}  // namespace vbatch::hetero

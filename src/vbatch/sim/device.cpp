@@ -91,6 +91,32 @@ void Device::charge_interval(const std::string& name, double seconds) {
   clock_ += seconds;
 }
 
+void Device::charge_interval_at(const std::string& name, double at, double seconds) {
+  if (seconds <= 0.0) return;
+  KernelRecord rec;
+  rec.name = name;
+  rec.start = at;
+  rec.end = at + seconds;
+  rec.fault = true;
+  timeline_.add(std::move(rec));
+  clock_ = std::max(clock_, at + seconds);
+}
+
+void Device::retime_tail(std::size_t first_record, double base, double start, double rate,
+                         int stream) {
+  if (rate <= 0.0) rate = 1.0;
+  auto& recs = timeline_.mutable_records();
+  double tail = start;
+  for (std::size_t i = first_record; i < recs.size(); ++i) {
+    KernelRecord& rec = recs[i];
+    rec.start = start + (rec.start - base) / rate;
+    rec.end = start + (rec.end - base) / rate;
+    if (stream >= 0 && rec.stream < 0) rec.stream = stream;
+    tail = std::max(tail, rec.end);
+  }
+  clock_ = std::max(clock_, tail);
+}
+
 double Device::launch(const LaunchConfig& cfg, const BlockFn& fn) {
   const auto& costs = run_blocks(cfg, fn);
   const KernelTiming timing = schedule_kernel(spec_, cfg, costs, true, &plan_cache_);

@@ -87,6 +87,21 @@ class Device {
   /// profiler and the energy integration.
   void charge_interval(const std::string& name, double seconds);
 
+  /// Like charge_interval, but places the fault record at an absolute clock
+  /// position `at` instead of the current clock (the hetero scheduler uses
+  /// this to align wasted intervals with the virtual-time schedule when
+  /// chunks overlap on concurrent streams). The clock only moves forward.
+  void charge_interval_at(const std::string& name, double at, double seconds);
+
+  /// Remaps the records appended since `first_record` from the serial clock
+  /// window starting at `base` into the scheduled stream slot: a record time
+  /// t becomes start + (t - base) / rate (rate < 1 stretches the chunk, the
+  /// modelled cost of contending for the device's stream slots). Records not
+  /// yet stream-tagged get `stream` (>= 0); inner tags (e.g. the streamed
+  /// syrk) are preserved. The clock advances to the latest retimed end but
+  /// never moves backward — concurrent chunks may retime out of order.
+  void retime_tail(std::size_t first_record, double base, double start, double rate, int stream);
+
   /// Device-model clock in seconds since construction / last reset.
   [[nodiscard]] double time() const noexcept { return clock_; }
   void reset_time() noexcept { clock_ = 0.0; }

@@ -11,6 +11,7 @@ namespace vbatch::sim {
 std::vector<KernelProfile> profile_timeline(const Timeline& timeline) {
   std::map<std::string, KernelProfile> agg;
   std::map<std::string, std::set<int>> streams;
+  std::map<std::string, std::vector<std::pair<double, double>>> intervals;
   for (const auto& rec : timeline.records()) {
     KernelProfile& p = agg[rec.name];
     p.name = rec.name;
@@ -23,8 +24,27 @@ std::vector<KernelProfile> profile_timeline(const Timeline& timeline) {
     p.resident_sum += rec.resident_per_sm;
     if (rec.fault) ++p.faults;
     if (rec.stream >= 0) streams[rec.name].insert(rec.stream);
+    if (rec.end > rec.start) intervals[rec.name].emplace_back(rec.start, rec.end);
   }
   for (auto& [name, used] : streams) agg[name].streams = static_cast<int>(used.size());
+  for (auto& [name, iv] : intervals) {
+    // Union of the kernel's intervals: records on concurrent streams overlap
+    // and must count once toward the span the overlap ratio divides by.
+    std::sort(iv.begin(), iv.end());
+    double span = 0.0;
+    double lo = iv.front().first;
+    double hi = iv.front().second;
+    for (const auto& [s, e] : iv) {
+      if (s > hi) {
+        span += hi - lo;
+        lo = s;
+        hi = e;
+      } else {
+        hi = std::max(hi, e);
+      }
+    }
+    agg[name].span_seconds = span + (hi - lo);
+  }
   std::vector<KernelProfile> out;
   out.reserve(agg.size());
   for (auto& [name, p] : agg) out.push_back(std::move(p));
@@ -39,8 +59,9 @@ void print_profile(std::ostream& os, const std::vector<KernelProfile>& profiles)
   os << std::left << std::setw(28) << "kernel" << std::right << std::setw(8) << "time%"
      << std::setw(10) << "launches" << std::setw(12) << "time(us)" << std::setw(10) << "GF/s"
      << std::setw(10) << "GB/s" << std::setw(10) << "res/SM" << std::setw(9) << "exits%"
-     << std::setw(9) << "streams" << std::setw(8) << "faults" << '\n';
-  os << std::string(114, '-') << '\n';
+     << std::setw(9) << "streams" << std::setw(9) << "overlap" << std::setw(8) << "faults"
+     << '\n';
+  os << std::string(123, '-') << '\n';
   for (const auto& p : profiles) {
     os << std::left << std::setw(28) << p.name << std::right << std::fixed
        << std::setprecision(1) << std::setw(8) << (total > 0 ? p.seconds / total * 100.0 : 0.0)
@@ -48,9 +69,9 @@ void print_profile(std::ostream& os, const std::vector<KernelProfile>& profiles)
        << p.gflops() << std::setw(10) << p.gbytes_per_s() << std::setw(10) << p.avg_resident()
        << std::setw(9) << p.exit_fraction() * 100.0;
     if (p.streams > 0) {
-      os << std::setw(9) << p.streams;
+      os << std::setw(9) << p.streams << std::setw(9) << p.overlap();
     } else {
-      os << std::setw(9) << "-";
+      os << std::setw(9) << "-" << std::setw(9) << "-";
     }
     if (p.faults > 0) {
       os << std::setw(8) << p.faults;

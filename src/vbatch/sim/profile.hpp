@@ -25,6 +25,7 @@ struct KernelProfile {
   double resident_sum = 0.0;  ///< Σ per-launch residency (for the average)
   int streams = 0;  ///< distinct streams that carried this kernel (0 = sync launches)
   int faults = 0;   ///< fault-recovery intervals (wasted attempts, backoffs)
+  double span_seconds = 0.0;  ///< union of this kernel's record intervals
 
   [[nodiscard]] double gflops() const noexcept {
     return seconds > 0.0 ? flops / seconds * 1e-9 : 0.0;
@@ -37,6 +38,11 @@ struct KernelProfile {
   }
   [[nodiscard]] double exit_fraction() const noexcept {
     return blocks > 0 ? static_cast<double>(early_exits) / static_cast<double>(blocks) : 0.0;
+  }
+  /// Stream-overlap ratio: summed kernel time over the union of the
+  /// intervals it occupied. 1.0 = fully serial; k = k-way concurrency.
+  [[nodiscard]] double overlap() const noexcept {
+    return span_seconds > 0.0 ? seconds / span_seconds : 1.0;
   }
 };
 

@@ -492,6 +492,160 @@ TEST(HeteroScheduler, InitialClockDelaysExecutorZero) {
 }
 
 // ---------------------------------------------------------------------------
+// Multi-stream overlap (PR 5): stream slots, contention, death mid-flight
+// ---------------------------------------------------------------------------
+
+TEST(HeteroStreams, LowOccupancyChunksOverlap) {
+  // One executor with two stream slots and low-occupancy chunks: both
+  // dispatch at t=0 and run at full rate, so the makespan is one chunk
+  // while the busy ledger still charges both.
+  ScheduleParams sp;
+  sp.owner = {0, 0};
+  sp.estimate = {{1.0, 1.0}};
+  sp.executors = 1;
+  sp.streams = {2};
+  sp.occupancy = {{0.3, 0.3}};
+  const auto res = run_schedule(sp, [&](int, int) { return 1.0; });
+  EXPECT_DOUBLE_EQ(res.makespan, 1.0);
+  EXPECT_DOUBLE_EQ(res.busy[0], 2.0);
+  EXPECT_DOUBLE_EQ(res.occupied[0], 1.0);  // the two intervals coincide
+  EXPECT_EQ(res.max_in_flight[0], 2);
+}
+
+TEST(HeteroStreams, FullOccupancySerializesDespiteStreams) {
+  // Occupancy 1.0 leaves no free share: the second chunk's rate collapses
+  // to 1/2 and the makespan degenerates to the serial schedule — streams
+  // cannot conjure throughput the device does not have.
+  ScheduleParams sp;
+  sp.owner = {0, 0};
+  sp.estimate = {{1.0, 1.0}};
+  sp.executors = 1;
+  sp.streams = {2};
+  sp.occupancy = {{1.0, 1.0}};
+  const auto res = run_schedule(sp, [&](int, int) { return 1.0; });
+  EXPECT_DOUBLE_EQ(res.makespan, 2.0);
+  EXPECT_EQ(res.max_in_flight[0], 2);
+}
+
+TEST(HeteroStreams, SingleStreamParamsReproduceClassicSchedule) {
+  // streams={1,1} with occupancy attached must replay the classic steal
+  // schedule clock-for-clock (same trace as StealsFromBackOfMostLoadedVictim).
+  ScheduleParams sp;
+  sp.owner = {0, 0, 0, 0};
+  sp.estimate = {{1.0, 1.0, 1.0, 1.0}, {1.0, 1.0, 1.0, 1.0}};
+  sp.executors = 2;
+  sp.streams = {1, 1};
+  sp.occupancy = {{0.2, 0.2, 0.2, 0.2}, {0.2, 0.2, 0.2, 0.2}};
+  const auto res = run_schedule(sp, [&](int, int) { return 1.0; });
+  EXPECT_DOUBLE_EQ(res.makespan, 2.0);
+  EXPECT_EQ(res.executed_by, (std::vector<int>{0, 0, 1, 1}));
+  EXPECT_EQ(res.max_in_flight[0], 1);
+}
+
+TEST(HeteroStreams, DeathAbortsAndRedispatchesEveryChunkInFlight) {
+  // Executor 0 (4 streams) dispatches all four chunks at t=0 and dies after
+  // committing one: the three still in flight abort (their numerics never
+  // ran), log InFlightLost, and re-dispatch to the survivor.
+  ScheduleParams sp;
+  sp.owner = {0, 0, 0, 0};
+  sp.estimate = {{1.0, 1.0, 1.0, 1.0}, {1.0, 1.0, 1.0, 1.0}};
+  sp.executors = 2;
+  sp.streams = {4, 1};
+  sp.occupancy = {{0.2, 0.2, 0.2, 0.2}, {1.0, 1.0, 1.0, 1.0}};
+  const auto plan = fault::FaultPlan(fault::parse_fault_spec("die:exec=0,after=1"));
+  sp.faults = &plan;
+  std::vector<int> ran;  // chunks whose numerics actually committed
+  const auto res = run_schedule(sp, [&](int, int c) {
+    ran.push_back(c);
+    return 1.0;
+  });
+  EXPECT_EQ(res.executors_lost, 1);
+  EXPECT_EQ(res.lost[0], 1);
+  EXPECT_EQ(res.chunks_poisoned, 0);
+  EXPECT_EQ(res.executed_by, (std::vector<int>{0, 1, 1, 1}));
+  EXPECT_EQ(res.chunks_run[0], 1);
+  EXPECT_EQ(res.chunks_run[1], 3);
+  EXPECT_EQ(res.max_in_flight[0], 4);
+  // Numerics ran exactly once per chunk — the aborted attempts never committed.
+  EXPECT_EQ(static_cast<int>(ran.size()), 4);
+  int in_flight_lost = 0;
+  std::vector<int> lost_streams;
+  for (const auto& ev : res.events)
+    if (ev.kind == fault::FaultKind::InFlightLost) {
+      ++in_flight_lost;
+      EXPECT_EQ(ev.exec, 0);
+      EXPECT_DOUBLE_EQ(ev.waste_seconds, 1.0);
+      lost_streams.push_back(ev.stream);
+    }
+  EXPECT_EQ(in_flight_lost, 3);
+  std::sort(lost_streams.begin(), lost_streams.end());
+  EXPECT_EQ(lost_streams, (std::vector<int>{1, 2, 3}));  // stream 0's chunk committed
+  // The wasted partial intervals stay on the busy ledger: 1 commit + 3 aborts.
+  EXPECT_DOUBLE_EQ(res.busy[0], 4.0);
+}
+
+TEST(HeteroStreamsBitIdentity, EveryStreamCountMatchesSingleDevice) {
+  // The acceptance criterion of the overlap work: stream counts change the
+  // modelled time only — factors and info stay memcmp-identical.
+  const auto sizes = test_sizes(120, 300);
+  const Baseline base = single_device_baseline(sizes);
+  for (int k : {1, 2, 4}) {
+    const std::string suffix = ":" + std::to_string(k) + "streams";
+    const std::string pools[] = {"k40c" + suffix, "k40c" + suffix + ",p100" + suffix,
+                                 "cpu,k40c" + suffix, "k40c" + suffix + ",k40c"};
+    for (const std::string& desc : pools) {
+      DevicePool pool = DevicePool::parse(desc);
+      Queue q;
+      Batch<double> batch(q, sizes);
+      Rng fill(7);
+      batch.fill_spd(fill);
+      const auto r = potrf_vbatched_hetero<double>(pool, Uplo::Lower, batch);
+      EXPECT_GT(r.seconds, 0.0) << desc;
+      expect_bit_identical(base.factors, snapshot(batch), desc.c_str());
+      for (int i = 0; i < batch.count(); ++i)
+        EXPECT_EQ(base.info[static_cast<std::size_t>(i)],
+                  batch.info()[static_cast<std::size_t>(i)])
+            << desc << ": info " << i;
+    }
+  }
+}
+
+TEST(HeteroStreamsBitIdentity, FaultsUnderStreamsKeepTheFactors) {
+  // Executor death with chunks in flight on a 4-stream pool: the survivor
+  // finishes and the factors still match the fault-free single-device run.
+  const auto sizes = test_sizes(100, 280);
+  const Baseline base = single_device_baseline(sizes);
+  DevicePool pool = DevicePool::parse("k40c:4streams,k40c");
+  pool.set_faults(fault::parse_fault_spec("die:exec=0,after=1"));
+  Queue q;
+  Batch<double> batch(q, sizes);
+  Rng fill(7);
+  batch.fill_spd(fill);
+  const auto r = potrf_vbatched_hetero<double>(pool, Uplo::Lower, batch);
+  EXPECT_EQ(r.executors_lost, 1);
+  EXPECT_TRUE(r.executors[0].lost);
+  EXPECT_EQ(r.chunks_poisoned, 0);
+  expect_bit_identical(base.factors, snapshot(batch), "death under streams");
+  for (int i = 0; i < batch.count(); ++i)
+    EXPECT_EQ(base.info[static_cast<std::size_t>(i)], batch.info()[static_cast<std::size_t>(i)]);
+}
+
+TEST(HeteroStreams, ReportCarriesStreamsAndOverlap) {
+  Rng rng(71);
+  const auto sizes = gaussian_sizes(rng, 240, 64);
+  Queue q(sim::DeviceSpec::k40c(), sim::ExecMode::TimingOnly);
+  Batch<double> batch(q, sizes);
+  DevicePool pool = DevicePool::parse("k40c:4streams");
+  const auto r = potrf_vbatched_hetero<double>(pool, Uplo::Lower, batch);
+  ASSERT_EQ(r.executors.size(), 1u);
+  EXPECT_EQ(r.executors[0].streams, 4);
+  // Small matrices on four streams must actually overlap ...
+  EXPECT_GT(r.executors[0].overlap, 1.0);
+  // ... but never beyond the stream count.
+  EXPECT_LE(r.executors[0].overlap, 4.0 + 1e-12);
+}
+
+// ---------------------------------------------------------------------------
 // DevicePool
 // ---------------------------------------------------------------------------
 
@@ -505,6 +659,48 @@ TEST(DevicePool, ParseBuildsTheRequestedExecutors) {
   EXPECT_EQ(pool.executor(2).name(), "p100#1");
   EXPECT_EQ(pool.executor(3).name(), "k40c#2");
   EXPECT_EQ(pool.describe(), "cpu + k40c#0 + p100#1 + k40c#2");
+}
+
+TEST(DevicePool, ParseStreamSuffixConfiguresExecutors) {
+  DevicePool pool = DevicePool::parse("k40c:4streams,cpu:1streams,p100");
+  EXPECT_EQ(pool.executor(0).streams(), 4);
+  EXPECT_EQ(pool.executor(1).streams(), 1);
+  EXPECT_EQ(pool.executor(2).streams(), 1);
+  // describe() round-trips the suffix, but only where it carries information.
+  EXPECT_NE(pool.describe().find("k40c#0:4streams"), std::string::npos) << pool.describe();
+  EXPECT_EQ(pool.describe().find("cpu:"), std::string::npos) << pool.describe();
+}
+
+TEST(DevicePool, ParseClampsStreamsToTheDeviceLimit) {
+  DevicePool pool = DevicePool::parse("k40c:999streams");
+  EXPECT_EQ(pool.executor(0).streams(), sim::DeviceSpec::k40c().max_concurrent_streams);
+}
+
+TEST(DevicePool, ParseRejectsBadStreamSuffix) {
+  // Malformed stream suffixes get a named InvalidArgument, never a silently
+  // single-stream executor: zero/negative/missing/non-numeric counts, a
+  // misspelled tail, and multi-stream requests on the single-queue cpu.
+  const char* bad[] = {"k40c:0streams", "k40c:-1streams", "k40c:streams", "k40c:xstreams",
+                       "k40c:4stream", "k40c:4streamsx", "k40c:", "cpu:2streams"};
+  for (const char* csv : bad) {
+    EXPECT_THROW((void)DevicePool::parse(csv), Error) << "accepted: '" << csv << "'";
+  }
+  try {
+    (void)DevicePool::parse("k40c:0streams");
+    FAIL() << "zero stream count accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("stream count"), std::string::npos) << e.what();
+  }
+}
+
+TEST(DevicePool, SetStreamsValidatesAndClamps) {
+  DevicePool pool = DevicePool::parse("k40c,cpu");
+  EXPECT_THROW(pool.executor(0).set_streams(0), Error);
+  EXPECT_THROW(pool.executor(0).set_streams(-3), Error);
+  pool.executor(0).set_streams(1000);  // silently clamps to the device limit
+  EXPECT_EQ(pool.executor(0).streams(), sim::DeviceSpec::k40c().max_concurrent_streams);
+  pool.executor(1).set_streams(8);  // the cpu executor clamps to its one queue
+  EXPECT_EQ(pool.executor(1).streams(), 1);
 }
 
 TEST(DevicePool, ParseRejectsBadInput) {

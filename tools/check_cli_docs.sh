@@ -1,0 +1,25 @@
+#!/bin/sh
+# CLI-flag drift check: every --flag named in docs/api.md must appear in
+# `vbatch_cli --help`, so the knob table cannot silently document flags the
+# driver no longer (or does not yet) accept.
+#
+# Usage: check_cli_docs.sh <path-to-vbatch_cli> [repo_root]
+set -eu
+
+cli="${1:?usage: check_cli_docs.sh <vbatch_cli> [repo_root]}"
+root="${2:-$(dirname "$0")/..}"
+api="$root/docs/api.md"
+
+help_out=$("$cli" --help)
+status=0
+for flag in $(grep -o -- '--[a-z][a-z-]*' "$api" | sort -u); do
+  case "$help_out" in
+    *"$flag"*) ;;
+    *)
+      echo "FAILED: docs/api.md names '$flag' but '$cli --help' does not list it" >&2
+      status=1
+      ;;
+  esac
+done
+[ "$status" -eq 0 ] && echo "check_cli_docs: every docs/api.md flag is in --help"
+exit $status

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation set.
+
+Validates every relative link (and its #anchor, if any) in README.md,
+DESIGN.md and docs/*.md against the files and headings that actually
+exist. Anchors are matched against GitHub's heading slugs (lowercase,
+punctuation stripped, spaces to hyphens, -N suffixes on duplicates).
+External http(s)/mailto links are ignored — this is a hygiene check for
+the docs cross-reference graph, not a crawler.
+
+Usage: check_md_links.py [repo_root]     (exit 0 clean, 1 on broken links)
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(title: str, seen: dict) -> str:
+    slug = re.sub(r"[^\w\- ]", "", title.lower(), flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    n = seen.get(slug, 0)
+    seen[slug] = n + 1
+    return slug if n == 0 else f"{slug}-{n}"
+
+
+def heading_slugs(path: Path) -> set:
+    slugs, seen, in_fence = set(), {}, False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            slugs.add(github_slug(m.group(2), seen))
+    return slugs
+
+
+def links_of(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    doc_files = [root / "README.md", root / "DESIGN.md"]
+    doc_files += sorted((root / "docs").glob("*.md"))
+    doc_files = [f for f in doc_files if f.is_file()]
+
+    slug_cache = {}
+    errors = []
+    for doc in doc_files:
+        for lineno, target in links_of(doc):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+                continue
+            path_part, _, anchor = target.partition("#")
+            dest = doc if not path_part else (doc.parent / path_part).resolve()
+            where = f"{doc.relative_to(root)}:{lineno}"
+            if not dest.exists():
+                errors.append(f"{where}: broken link '{target}' (no such file)")
+                continue
+            if anchor:
+                if dest.suffix != ".md":
+                    continue  # anchors into non-markdown files are not checked
+                if dest not in slug_cache:
+                    slug_cache[dest] = heading_slugs(dest)
+                if anchor not in slug_cache[dest]:
+                    errors.append(f"{where}: broken anchor '{target}' "
+                                  f"(no heading slug '{anchor}' in {dest.name})")
+
+    for e in errors:
+        print(f"FAILED: {e}", file=sys.stderr)
+    print(f"check_md_links: {len(doc_files)} files, "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

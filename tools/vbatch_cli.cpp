@@ -14,7 +14,12 @@
 //     --device k40c|p100                        (default k40c; also selects
 //                      the matching power model for --energy)
 //     --hetero LIST    run on a heterogeneous pool instead of one device,
-//                      e.g. --hetero cpu,k40c,p100 (tokens: cpu, k40c, p100)
+//                      e.g. --hetero cpu,k40c,p100 (tokens: cpu, k40c, p100;
+//                      a token may carry a ':Nstreams' suffix, e.g. k40c:4streams)
+//     --streams N      concurrent stream slots per pool executor
+//                      (requires --hetero; overrides any ':Nstreams' suffix;
+//                      GPUs clamp to the device limit, the cpu executor to 1;
+//                      factors are bit-identical for every stream count)
 //     --inject-faults SPEC
 //                      deterministic fault injection into the hetero pool
 //                      (requires --hetero; docs/robustness.md), e.g.
@@ -32,6 +37,7 @@
 //                      (default: VBATCH_NUM_THREADS or hardware concurrency;
 //                      results are identical for any thread count)
 //     --seed N         RNG seed                 (default 2016)
+//     --help           print usage and exit
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -58,6 +64,7 @@ struct CliOptions {
   std::string device = "k40c";
   std::string hetero;  ///< non-empty = heterogeneous pool description
   std::string inject_faults;  ///< non-empty = fault spec for the hetero pool
+  int streams = 0;  ///< >0 = override stream slots on every pool executor
   vbatch::PotrfOptions potrf;
   bool tune = false;
   bool profile = false;
@@ -67,14 +74,14 @@ struct CliOptions {
   std::uint64_t seed = 2016;
 };
 
-[[noreturn]] void usage(const char* argv0) {
+[[noreturn]] void usage(const char* argv0, int exit_code) {
   std::printf("usage: %s [--batch N] [--nmax N] [--dist uniform|gaussian]\n"
-              "          [--precision s|d] [--device k40c|p100] [--hetero cpu,k40c,...]\n"
-              "          [--inject-faults SPEC] [--path auto|fused|separated]\n"
+              "          [--precision s|d] [--device k40c|p100] [--hetero cpu,k40c:4streams,...]\n"
+              "          [--inject-faults SPEC] [--streams N] [--path auto|fused|separated]\n"
               "          [--etm classic|aggressive] [--no-sort] [--tune]\n"
-              "          [--profile] [--energy] [--verify] [--threads N] [--seed N]\n",
+              "          [--profile] [--energy] [--verify] [--threads N] [--seed N] [--help]\n",
               argv0);
-  std::exit(2);
+  std::exit(exit_code);
 }
 
 CliOptions parse(int argc, char** argv) {
@@ -82,9 +89,10 @@ CliOptions parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
-      if (i + 1 >= argc) usage(argv[0]);
+      if (i + 1 >= argc) usage(argv[0], 2);
       return argv[++i];
     };
+    if (arg == "--help") usage(argv[0], 0);
     if (arg == "--batch") o.batch = std::atoi(next());
     else if (arg == "--nmax") o.nmax = std::atoi(next());
     else if (arg == "--seed") o.seed = static_cast<std::uint64_t>(std::atoll(next()));
@@ -92,39 +100,44 @@ CliOptions parse(int argc, char** argv) {
       const std::string v = next();
       if (v == "uniform") o.dist = vbatch::SizeDist::Uniform;
       else if (v == "gaussian") o.dist = vbatch::SizeDist::Gaussian;
-      else usage(argv[0]);
+      else usage(argv[0], 2);
     } else if (arg == "--precision") {
       const std::string v = next();
       if (v == "s") o.double_precision = false;
       else if (v == "d") o.double_precision = true;
-      else usage(argv[0]);
+      else usage(argv[0], 2);
     } else if (arg == "--path") {
       const std::string v = next();
       if (v == "auto") o.potrf.path = vbatch::PotrfPath::Auto;
       else if (v == "fused") o.potrf.path = vbatch::PotrfPath::Fused;
       else if (v == "separated") o.potrf.path = vbatch::PotrfPath::Separated;
-      else usage(argv[0]);
+      else usage(argv[0], 2);
     } else if (arg == "--etm") {
       const std::string v = next();
       if (v == "classic") o.potrf.etm = vbatch::EtmMode::Classic;
       else if (v == "aggressive") o.potrf.etm = vbatch::EtmMode::Aggressive;
-      else usage(argv[0]);
+      else usage(argv[0], 2);
     } else if (arg == "--device") {
       o.device = next();
-      if (o.device != "k40c" && o.device != "p100") usage(argv[0]);
+      if (o.device != "k40c" && o.device != "p100") usage(argv[0], 2);
     } else if (arg == "--hetero") o.hetero = next();
     else if (arg == "--inject-faults") o.inject_faults = next();
+    else if (arg == "--streams") o.streams = std::atoi(next());
     else if (arg == "--no-sort") o.potrf.implicit_sorting = false;
     else if (arg == "--tune") o.tune = true;
     else if (arg == "--profile") o.profile = true;
     else if (arg == "--energy") o.energy = true;
     else if (arg == "--verify") o.verify = true;
     else if (arg == "--threads") o.threads = std::atoi(next());
-    else usage(argv[0]);
+    else usage(argv[0], 2);
   }
-  if (o.batch < 1 || o.nmax < 1 || o.threads < 0) usage(argv[0]);
+  if (o.batch < 1 || o.nmax < 1 || o.threads < 0 || o.streams < 0) usage(argv[0], 2);
   if (!o.inject_faults.empty() && o.hetero.empty()) {
     std::fprintf(stderr, "--inject-faults requires --hetero (faults target the pool)\n");
+    std::exit(2);
+  }
+  if (o.streams > 0 && o.hetero.empty()) {
+    std::fprintf(stderr, "--streams requires --hetero (streams belong to pool executors)\n");
     std::exit(2);
   }
   return o;
@@ -174,6 +187,8 @@ int run(const CliOptions& o) {
       std::fprintf(stderr, "--hetero %s: %s\n", o.hetero.c_str(), err.what());
       return 2;
     }
+    if (o.streams > 0)
+      for (int e = 0; e < pool.size(); ++e) pool.executor(e).set_streams(o.streams);
     if (!o.inject_faults.empty()) {
       try {
         pool.set_faults(fault::parse_fault_spec(o.inject_faults));
@@ -192,12 +207,16 @@ int run(const CliOptions& o) {
         "  (%d chunks, %d stolen)\n",
         to_string(hr.path_taken), hr.flops * 1e-9, hr.seconds * 1e3, hr.gflops(), hr.chunks,
         hr.steals);
-    for (const auto& ex : hr.executors)
+    for (const auto& ex : hr.executors) {
       std::printf("  %-10s %4d matrices  %2d chunks (%d stolen)  busy %8.3f ms  %7.1f Gflop/s"
-                  "%s%s\n",
+                  "%s%s",
                   ex.name.c_str(), ex.matrices, ex.chunks, ex.stolen, ex.busy_seconds * 1e3,
                   ex.busy_seconds > 0.0 ? ex.flops / ex.busy_seconds * 1e-9 : 0.0,
                   ex.retries > 0 ? "  [retries]" : "", ex.lost ? "  [LOST]" : "");
+      if (ex.streams > 1)
+        std::printf("  [%d streams, %.2fx overlap]", ex.streams, ex.overlap);
+      std::printf("\n");
+    }
     if (hr.retries > 0 || hr.executors_lost > 0 || hr.chunks_poisoned > 0)
       std::printf("recovery: %d retries (%.3f ms backoff), %d hangs, %d executors lost, "
                   "%d chunks poisoned\n",
