@@ -1,25 +1,36 @@
 // wallclock_blas — host wall-clock benchmark for the BLAS micro-kernel
 // engine (docs/blas.md).
 //
-// Part 1 measures naive-vs-blocked Gflop/s for the level-3 kernels the
-// library's hot paths use — gemm NN, gemm NT (the fused-step rank-k shape),
-// syrk and trsm — over the paper's size range, pinning the dispatch to the
-// *_ref loops and then to the packed engine (micro::Dispatch::ForceRef /
-// ForceBlocked) on identical inputs.
+// Part 1 measures Gflop/s for the level-3 kernels the library's hot paths
+// use — gemm NN, gemm NT (the fused-step rank-k shape), syrk and trsm —
+// over the paper's size range, three ways on identical inputs:
+//
+//   ref     the *_ref loops (micro::Dispatch::ForceRef);
+//   scalar  the packed engine pinned to Isa::Scalar with the default
+//           profile — exactly the pre-vectorization engine;
+//   blk     the packed engine under the active ISA and profile.
+//
+// Two regression gates ride on the sweep (evaluated only when the bearing
+// sizes are in --sizes, so trimmed runs stay cheap):
+//   * NT vector gate — on a vector ISA, blk NT-gemm must be >= 2x the
+//     scalar engine at every n in {128, 256, 384};
+//   * NN n=512 gate — blk NN at 512 must hold >= 0.9x its n=384 rate (the
+//     balanced NC split removed the historical tail dip; this keeps it out).
 //
 // Part 2 measures the end-to-end Full-mode wall clock of a vbatched
 // Cholesky run with the engine disabled (ForceRef) and enabled (Auto, the
-// production policy), and re-checks the factorization residual gate
-// ‖A − L·Lᵀ‖_F / (n·‖A‖_F) on every matrix in both configurations.
+// production policy) for every requested size distribution, and re-checks
+// the factorization residual gate ‖A − L·Lᵀ‖_F / (n·‖A‖_F) on every matrix
+// in both configurations.
 //
 // Output: a human-readable table on stdout plus one JSON line appended to
-// BENCH_blas.json (override with --out). The run fails (non-zero exit) only
-// on a numerics problem — a residual above the gate or a nonzero info —
-// never on a low speedup.
+// BENCH_blas.json (override with --out). The run fails (non-zero exit) on a
+// numerics problem or on a failed regression gate.
 //
 // Usage:
 //   wallclock_blas [--sizes n1,n2,...] [--batch N] [--nmax N]
-//                  [--dist uniform|gaussian] [--reps N] [--seed N]
+//                  [--dist uniform,gaussian,skewed,cluster] [--reps N]
+//                  [--seed N] [--isa scalar|sse2|neon|avx2|avx512] [--tune]
 //                  [--out FILE]
 #include <algorithm>
 #include <chrono>
@@ -31,6 +42,7 @@
 
 #include "vbatch/blas/blas.hpp"
 #include "vbatch/blas/microkernel.hpp"
+#include "vbatch/core/autotune.hpp"
 #include "vbatch/core/potrf_vbatched.hpp"
 #include "vbatch/core/size_dist.hpp"
 #include "vbatch/util/flops.hpp"
@@ -44,15 +56,17 @@ struct Options {
   std::vector<int> sizes{8, 16, 32, 64, 96, 128, 192, 256, 384, 512};
   int batch = 300;
   int nmax = 384;
-  SizeDist dist = SizeDist::Uniform;
+  std::vector<SizeDist> dists{SizeDist::Uniform};
   int reps = 2;
   std::uint64_t seed = 2016;
   std::string out = "BENCH_blas.json";
+  bool tune = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::printf("usage: %s [--sizes n1,n2,...] [--batch N] [--nmax N]\n"
-              "          [--dist uniform|gaussian] [--reps N] [--seed N] [--out FILE]\n",
+              "          [--dist uniform,gaussian,skewed,cluster] [--reps N] [--seed N]\n"
+              "          [--isa scalar|sse2|neon|avx2|avx512] [--tune] [--out FILE]\n",
               argv0);
   std::exit(2);
 }
@@ -65,6 +79,24 @@ std::vector<int> parse_sizes(const std::string& csv) {
     const std::string tok = csv.substr(pos, comma == std::string::npos ? csv.size() - pos
                                                                        : comma - pos);
     out.push_back(std::atoi(tok.c_str()));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::vector<SizeDist> parse_dists(const std::string& csv, const char* argv0) {
+  std::vector<SizeDist> out;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok = csv.substr(pos, comma == std::string::npos ? csv.size() - pos
+                                                                       : comma - pos);
+    if (tok == "uniform") out.push_back(SizeDist::Uniform);
+    else if (tok == "gaussian") out.push_back(SizeDist::Gaussian);
+    else if (tok == "skewed") out.push_back(SizeDist::Skewed);
+    else if (tok == "cluster") out.push_back(SizeDist::Cluster);
+    else usage(argv0);
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
@@ -85,14 +117,16 @@ Options parse(int argc, char** argv) {
     else if (arg == "--reps") o.reps = std::atoi(next());
     else if (arg == "--seed") o.seed = static_cast<std::uint64_t>(std::atoll(next()));
     else if (arg == "--out") o.out = next();
-    else if (arg == "--dist") {
-      const std::string v = next();
-      if (v == "uniform") o.dist = SizeDist::Uniform;
-      else if (v == "gaussian") o.dist = SizeDist::Gaussian;
-      else usage(argv[0]);
+    else if (arg == "--tune") o.tune = true;
+    else if (arg == "--dist") o.dists = parse_dists(next(), argv[0]);
+    else if (arg == "--isa") {
+      const auto isa = blas::micro::parse_isa(next());
+      if (!isa) usage(argv[0]);
+      blas::micro::set_isa(*isa);
     } else usage(argv[0]);
   }
-  if (o.batch < 1 || o.nmax < 1 || o.reps < 1 || o.sizes.empty()) usage(argv[0]);
+  if (o.batch < 1 || o.nmax < 1 || o.reps < 1 || o.sizes.empty() || o.dists.empty())
+    usage(argv[0]);
   for (int n : o.sizes)
     if (n < 1) usage(argv[0]);
   return o;
@@ -119,13 +153,9 @@ double time_op(double flops, int outer_reps, F&& fn) {
 
 struct KernelSeries {
   std::vector<double> ref_gflops;
-  std::vector<double> blk_gflops;
+  std::vector<double> scalar_gflops;  ///< packed engine, Isa::Scalar (PR 2 engine)
+  std::vector<double> blk_gflops;     ///< packed engine, active ISA + profile
 };
-
-void append_point(KernelSeries& s, double flops, double ref_sec, double blk_sec) {
-  s.ref_gflops.push_back(flops / ref_sec * 1e-9);
-  s.blk_gflops.push_back(flops / blk_sec * 1e-9);
-}
 
 std::string json_array(const std::vector<double>& v) {
   std::string out = "[";
@@ -191,16 +221,25 @@ E2eResult run_e2e(const Options& o, const std::vector<int>& sizes) {
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
-  std::printf("wallclock_blas: sizes");
+  if (o.tune) {
+    BlasTuneSettings ts;
+    ts.verbose = true;
+    const BlasTuneResult tr = ensure_blas_tuned(ts);
+    std::printf("wallclock_blas: tuning profile %s (%s)\n",
+                tr.loaded_from_cache ? "loaded" : "swept", tr.cache_path.c_str());
+  }
+  const blas::micro::Isa isa = blas::micro::active_isa();
+  const bool vector_isa = isa != blas::micro::Isa::Scalar;
+
+  std::printf("wallclock_blas: isa=%s, sizes", to_string(isa));
   for (int n : o.sizes) std::printf(" %d", n);
-  std::printf(", e2e batch=%d nmax=%d %s, reps=%d\n", o.batch, o.nmax, to_string(o.dist),
-              o.reps);
+  std::printf(", e2e batch=%d nmax=%d, reps=%d\n", o.batch, o.nmax, o.reps);
 
   KernelSeries gemm_nn, gemm_nt, syrk_s, trsm_s;
   Rng rng(o.seed);
 
-  std::printf("  %5s | %21s | %21s | %21s | %21s\n", "n", "gemm NN ref/blk Gf/s",
-              "gemm NT ref/blk Gf/s", "syrk ref/blk Gf/s", "trsm ref/blk Gf/s");
+  std::printf("  %5s | %28s | %28s | %28s | %28s\n", "n", "gemm NN ref/sc/blk Gf/s",
+              "gemm NT ref/sc/blk Gf/s", "syrk ref/sc/blk Gf/s", "trsm ref/sc/blk Gf/s");
   for (int ni : o.sizes) {
     const index_t n = ni;
     const std::size_t nn = static_cast<std::size_t>(n * n);
@@ -221,49 +260,58 @@ int main(int argc, char** argv) {
     const double syrk_flops = flops::syrk(n, n);
     const double trsm_flops = flops::trsm(n, n, false);
 
-    double ref_nn, blk_nn, ref_nt, blk_nt, ref_sy, blk_sy, ref_tr, blk_tr;
-    {
-      blas::micro::DispatchGuard guard(blas::micro::Dispatch::ForceRef);
-      ref_nn = time_op(gemm_flops, o.reps, [&] {
+    // One measurement pass of all four kernels under the current pins.
+    double t_nn, t_nt, t_sy, t_tr;
+    auto measure = [&] {
+      t_nn = time_op(gemm_flops, o.reps, [&] {
         blas::gemm<double>(Trans::NoTrans, Trans::NoTrans, 1.0, av, bv, 0.0, cv);
       });
-      ref_nt = time_op(gemm_flops, o.reps, [&] {
+      t_nt = time_op(gemm_flops, o.reps, [&] {
         blas::gemm<double>(Trans::NoTrans, Trans::Trans, 1.0, av, bv, 0.0, cv);
       });
-      ref_sy = time_op(syrk_flops, o.reps, [&] {
+      t_sy = time_op(syrk_flops, o.reps, [&] {
         blas::syrk<double>(Uplo::Lower, Trans::NoTrans, 1.0, av, 0.0, cv);
       });
-      ref_tr = time_op(trsm_flops, o.reps, [&] {
+      t_tr = time_op(trsm_flops, o.reps, [&] {
         c = rhs0;
         blas::trsm<double>(Side::Right, Uplo::Lower, Trans::Trans, Diag::NonUnit, 1.0, triv,
                            cv);
       });
+    };
+    auto record = [&](std::vector<double> KernelSeries::*member) {
+      (gemm_nn.*member).push_back(gemm_flops / t_nn * 1e-9);
+      (gemm_nt.*member).push_back(gemm_flops / t_nt * 1e-9);
+      (syrk_s.*member).push_back(syrk_flops / t_sy * 1e-9);
+      (trsm_s.*member).push_back(trsm_flops / t_tr * 1e-9);
+    };
+    {
+      blas::micro::DispatchGuard guard(blas::micro::Dispatch::ForceRef);
+      measure();
+      record(&KernelSeries::ref_gflops);
+    }
+    {
+      // The scalar anchor: Isa::Scalar with the default profile is exactly
+      // the pre-vectorization engine. The outer ProfileGuard restores any
+      // tuned profile once the IsaGuard has switched the ISA back.
+      blas::micro::ProfileGuard pguard(blas::micro::active_profile());
+      blas::micro::IsaGuard iguard(blas::micro::Isa::Scalar);
+      blas::micro::DispatchGuard guard(blas::micro::Dispatch::ForceBlocked);
+      measure();
+      record(&KernelSeries::scalar_gflops);
     }
     {
       blas::micro::DispatchGuard guard(blas::micro::Dispatch::ForceBlocked);
-      blk_nn = time_op(gemm_flops, o.reps, [&] {
-        blas::gemm<double>(Trans::NoTrans, Trans::NoTrans, 1.0, av, bv, 0.0, cv);
-      });
-      blk_nt = time_op(gemm_flops, o.reps, [&] {
-        blas::gemm<double>(Trans::NoTrans, Trans::Trans, 1.0, av, bv, 0.0, cv);
-      });
-      blk_sy = time_op(syrk_flops, o.reps, [&] {
-        blas::syrk<double>(Uplo::Lower, Trans::NoTrans, 1.0, av, 0.0, cv);
-      });
-      blk_tr = time_op(trsm_flops, o.reps, [&] {
-        c = rhs0;
-        blas::trsm<double>(Side::Right, Uplo::Lower, Trans::Trans, Diag::NonUnit, 1.0, triv,
-                           cv);
-      });
+      measure();
+      record(&KernelSeries::blk_gflops);
     }
-    append_point(gemm_nn, gemm_flops, ref_nn, blk_nn);
-    append_point(gemm_nt, gemm_flops, ref_nt, blk_nt);
-    append_point(syrk_s, syrk_flops, ref_sy, blk_sy);
-    append_point(trsm_s, trsm_flops, ref_tr, blk_tr);
-    std::printf("  %5d | %9.3f/%-9.3f | %9.3f/%-9.3f | %9.3f/%-9.3f | %9.3f/%-9.3f\n", ni,
-                gemm_nn.ref_gflops.back(), gemm_nn.blk_gflops.back(), gemm_nt.ref_gflops.back(),
-                gemm_nt.blk_gflops.back(), syrk_s.ref_gflops.back(), syrk_s.blk_gflops.back(),
-                trsm_s.ref_gflops.back(), trsm_s.blk_gflops.back());
+    auto row = [](const KernelSeries& s) {
+      static char buf[64];
+      std::snprintf(buf, sizeof buf, "%8.2f/%8.2f/%8.2f", s.ref_gflops.back(),
+                    s.scalar_gflops.back(), s.blk_gflops.back());
+      return std::string(buf);
+    };
+    std::printf("  %5d | %s | %s | %s | %s\n", ni, row(gemm_nn).c_str(), row(gemm_nt).c_str(),
+                row(syrk_s).c_str(), row(trsm_s).c_str());
   }
 
   // Minimum double-precision gemm speedup over the n >= 64 sizes (the
@@ -277,52 +325,111 @@ int main(int argc, char** argv) {
   if (min_speedup_nn > 1e299) min_speedup_nn = 0.0;
   if (min_speedup_nt > 1e299) min_speedup_nt = 0.0;
 
-  // End-to-end Full-mode wall clock, engine off vs on.
-  Rng size_rng(o.seed);
-  const auto e2e_sizes = make_sizes(o.dist, size_rng, o.batch, o.nmax);
-  E2eResult e2e_ref, e2e_blk;
-  {
-    blas::micro::DispatchGuard guard(blas::micro::Dispatch::ForceRef);
-    e2e_ref = run_e2e(o, e2e_sizes);
+  // Gate 1: vectorized NT-gemm >= 2x the scalar engine at the gate sizes
+  // (only meaningful on a vector ISA; vacuous when none of the sizes ran).
+  constexpr int kVectorGateSizes[] = {128, 256, 384};
+  double min_vector_ratio_nt = 1e300;
+  for (std::size_t i = 0; i < o.sizes.size(); ++i) {
+    if (std::find(std::begin(kVectorGateSizes), std::end(kVectorGateSizes), o.sizes[i]) ==
+        std::end(kVectorGateSizes))
+      continue;
+    min_vector_ratio_nt =
+        std::min(min_vector_ratio_nt, gemm_nt.blk_gflops[i] / gemm_nt.scalar_gflops[i]);
   }
-  {
-    blas::micro::DispatchGuard guard(blas::micro::Dispatch::Auto);
-    e2e_blk = run_e2e(o, e2e_sizes);
-  }
-  const double e2e_speedup =
-      e2e_blk.wall_seconds > 0.0 ? e2e_ref.wall_seconds / e2e_blk.wall_seconds : 0.0;
-  constexpr double kResidualGate = 1e-8;
-  const bool residual_ok = e2e_ref.max_residual < kResidualGate &&
-                           e2e_blk.max_residual < kResidualGate && e2e_ref.info_clean &&
-                           e2e_blk.info_clean;
+  const bool vector_gate_ran = vector_isa && min_vector_ratio_nt < 1e299;
+  const bool nt_vector_2x_ok = !vector_gate_ran || min_vector_ratio_nt >= 2.0;
+  if (min_vector_ratio_nt > 1e299) min_vector_ratio_nt = 0.0;
 
-  std::printf("  gemm double min speedup (n>=64): NN %.2fx, NT %.2fx\n", min_speedup_nn,
+  // Gate 2: the n=512 NN rate must hold >= 0.9x the n=384 rate — the
+  // balanced NC split removed the historical tail dip; keep it out.
+  double nn512_ratio = 0.0;
+  bool nn512_ok = true;
+  {
+    const auto it384 = std::find(o.sizes.begin(), o.sizes.end(), 384);
+    const auto it512 = std::find(o.sizes.begin(), o.sizes.end(), 512);
+    if (it384 != o.sizes.end() && it512 != o.sizes.end()) {
+      const auto i384 = static_cast<std::size_t>(it384 - o.sizes.begin());
+      const auto i512 = static_cast<std::size_t>(it512 - o.sizes.begin());
+      nn512_ratio = gemm_nn.blk_gflops[i512] / gemm_nn.blk_gflops[i384];
+      nn512_ok = nn512_ratio >= 0.9;
+    }
+  }
+
+  // End-to-end Full-mode wall clock, engine off vs on, per distribution.
+  struct E2ePoint {
+    SizeDist dist;
+    E2eResult ref, blk;
+  };
+  std::vector<E2ePoint> e2e;
+  bool residual_ok = true;
+  for (SizeDist dist : o.dists) {
+    Rng size_rng(o.seed);
+    const auto e2e_sizes = make_sizes(dist, size_rng, o.batch, o.nmax);
+    E2ePoint pt;
+    pt.dist = dist;
+    {
+      blas::micro::DispatchGuard guard(blas::micro::Dispatch::ForceRef);
+      pt.ref = run_e2e(o, e2e_sizes);
+    }
+    {
+      blas::micro::DispatchGuard guard(blas::micro::Dispatch::Auto);
+      pt.blk = run_e2e(o, e2e_sizes);
+    }
+    constexpr double kResidualGate = 1e-8;
+    if (pt.ref.max_residual >= kResidualGate || pt.blk.max_residual >= kResidualGate ||
+        !pt.ref.info_clean || !pt.blk.info_clean)
+      residual_ok = false;
+    std::printf("  e2e %-8s: ref %.3f s, blocked %.3f s, speedup %.2fx, "
+                "max residual %.2e/%.2e\n",
+                to_string(dist), pt.ref.wall_seconds, pt.blk.wall_seconds,
+                pt.blk.wall_seconds > 0.0 ? pt.ref.wall_seconds / pt.blk.wall_seconds : 0.0,
+                pt.ref.max_residual, pt.blk.max_residual);
+    e2e.push_back(pt);
+  }
+
+  std::printf("  gemm double min speedup vs ref (n>=64): NN %.2fx, NT %.2fx\n", min_speedup_nn,
               min_speedup_nt);
-  std::printf("  e2e Full-mode: ref %.3f s, blocked %.3f s, speedup %.2fx, "
-              "max residual %.2e/%.2e (%s)\n",
-              e2e_ref.wall_seconds, e2e_blk.wall_seconds, e2e_speedup, e2e_ref.max_residual,
-              e2e_blk.max_residual, residual_ok ? "PASS" : "FAIL");
+  if (vector_gate_ran)
+    std::printf("  NT vector gate (>=2.0x scalar engine at 128/256/384): %.2fx (%s)\n",
+                min_vector_ratio_nt, nt_vector_2x_ok ? "PASS" : "FAIL");
+  if (nn512_ratio > 0.0)
+    std::printf("  NN n=512 gate (>=0.9x of n=384): %.2fx (%s)\n", nn512_ratio,
+                nn512_ok ? "PASS" : "FAIL");
+  std::printf("  residual gates: %s\n", residual_ok ? "PASS" : "FAIL");
 
-  std::string json = "{\"bench\":\"wallclock_blas\",\"sizes\":" + json_int_array(o.sizes);
+  std::string json = std::string("{\"bench\":\"wallclock_blas\",\"isa\":\"") + to_string(isa) +
+                     "\",\"tuned\":" + (o.tune ? "true" : "false") +
+                     ",\"sizes\":" + json_int_array(o.sizes);
   auto add_series = [&json](const char* name, const KernelSeries& s) {
     json += std::string(",\"") + name + "_ref_gflops\":" + json_array(s.ref_gflops);
+    json += std::string(",\"") + name + "_scalar_gflops\":" + json_array(s.scalar_gflops);
     json += std::string(",\"") + name + "_blk_gflops\":" + json_array(s.blk_gflops);
   };
   add_series("gemm_nn", gemm_nn);
   add_series("gemm_nt", gemm_nt);
   add_series("syrk", syrk_s);
   add_series("trsm", trsm_s);
-  char tail[512];
-  std::snprintf(tail, sizeof(tail),
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
                 ",\"gemm_min_speedup_nn_64up\":%.3f,\"gemm_min_speedup_nt_64up\":%.3f,"
-                "\"e2e_batch\":%d,\"e2e_nmax\":%d,\"e2e_dist\":\"%s\","
-                "\"e2e_ref_seconds\":%.6e,\"e2e_blocked_seconds\":%.6e,"
-                "\"e2e_speedup\":%.3f,\"e2e_max_residual_ref\":%.3e,"
-                "\"e2e_max_residual_blocked\":%.3e,\"residual_ok\":%s}",
-                min_speedup_nn, min_speedup_nt, o.batch, o.nmax, to_string(o.dist),
-                e2e_ref.wall_seconds, e2e_blk.wall_seconds, e2e_speedup, e2e_ref.max_residual,
-                e2e_blk.max_residual, residual_ok ? "true" : "false");
-  json += tail;
+                "\"nt_vector_min_ratio\":%.3f,\"nt_vector_2x_ok\":%s,"
+                "\"nn512_ratio\":%.3f,\"nn512_ok\":%s,"
+                "\"e2e_batch\":%d,\"e2e_nmax\":%d,\"residual_ok\":%s,\"e2e\":[",
+                min_speedup_nn, min_speedup_nt, min_vector_ratio_nt,
+                nt_vector_2x_ok ? "true" : "false", nn512_ratio, nn512_ok ? "true" : "false",
+                o.batch, o.nmax, residual_ok ? "true" : "false");
+  json += buf;
+  for (std::size_t i = 0; i < e2e.size(); ++i) {
+    const E2ePoint& pt = e2e[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"dist\":\"%s\",\"ref_seconds\":%.6e,\"blocked_seconds\":%.6e,"
+                  "\"speedup\":%.3f,\"max_residual_ref\":%.3e,\"max_residual_blocked\":%.3e}",
+                  i ? "," : "", to_string(pt.dist), pt.ref.wall_seconds, pt.blk.wall_seconds,
+                  pt.blk.wall_seconds > 0.0 ? pt.ref.wall_seconds / pt.blk.wall_seconds : 0.0,
+                  pt.ref.max_residual, pt.blk.max_residual);
+    json += buf;
+  }
+  json += "]}";
   std::printf("%s\n", json.c_str());
   if (std::FILE* f = std::fopen(o.out.c_str(), "a")) {
     std::fprintf(f, "%s\n", json.c_str());
@@ -333,6 +440,10 @@ int main(int argc, char** argv) {
 
   if (!residual_ok) {
     std::fprintf(stderr, "FAILED: residual gate or info check failed\n");
+    return 1;
+  }
+  if (!nt_vector_2x_ok || !nn512_ok) {
+    std::fprintf(stderr, "FAILED: performance regression gate failed\n");
     return 1;
   }
   return 0;

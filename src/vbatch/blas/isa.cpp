@@ -1,0 +1,93 @@
+#include "vbatch/blas/isa.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vbatch::blas::micro {
+
+namespace detail {
+
+Isa clamp_isa(Isa i) noexcept {
+  // Preference order within each architecture family; walking down from the
+  // request always ends at Scalar, which every host supports.
+  while (!isa_supported(i)) {
+    switch (i) {
+      case Isa::Avx512: i = Isa::Avx2; break;
+      case Isa::Avx2: i = Isa::Sse2; break;
+      case Isa::Neon: i = Isa::Sse2; break;  // cross-family request on x86
+      case Isa::Sse2:
+#if defined(__aarch64__)
+        i = Isa::Neon;
+        break;
+#else
+        i = Isa::Scalar;
+        break;
+#endif
+      case Isa::Scalar: return Isa::Scalar;
+    }
+  }
+  return i;
+}
+
+Isa initial_isa() noexcept {
+  if (const char* env = std::getenv("VBATCH_ISA"); env && env[0] != '\0') {
+    if (const auto parsed = parse_isa(env)) {
+      const Isa got = clamp_isa(*parsed);
+      if (got != *parsed)
+        std::fprintf(stderr, "vbatch: VBATCH_ISA=%s not supported on this host, using %s\n",
+                     env, to_string(got));
+      return got;
+    }
+    std::fprintf(stderr,
+                 "vbatch: ignoring unknown VBATCH_ISA=%s "
+                 "(expected scalar|sse2|neon|avx2|avx512)\n",
+                 env);
+  }
+  return detect_isa();
+}
+
+}  // namespace detail
+
+std::optional<Isa> parse_isa(std::string_view name) noexcept {
+  if (name == "scalar") return Isa::Scalar;
+  if (name == "sse2") return Isa::Sse2;
+  if (name == "neon") return Isa::Neon;
+  if (name == "avx2") return Isa::Avx2;
+  if (name == "avx512") return Isa::Avx512;
+  return std::nullopt;
+}
+
+bool isa_supported(Isa i) noexcept {
+  switch (i) {
+    case Isa::Scalar: return true;
+#if defined(__x86_64__) || defined(__i386__)
+    case Isa::Sse2: return true;  // baseline on x86-64
+    case Isa::Avx2: return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case Isa::Avx512: return __builtin_cpu_supports("avx512f");
+    case Isa::Neon: return false;
+#elif defined(__aarch64__)
+    case Isa::Neon: return true;  // mandatory in AArch64
+    case Isa::Sse2:
+    case Isa::Avx2:
+    case Isa::Avx512: return false;
+#else
+    default: return false;
+#endif
+  }
+  return false;
+}
+
+Isa detect_isa() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  if (isa_supported(Isa::Avx2)) return Isa::Avx2;  // Avx512 stays opt-in
+  if (isa_supported(Isa::Sse2)) return Isa::Sse2;
+#elif defined(__aarch64__)
+  return Isa::Neon;
+#endif
+  return Isa::Scalar;
+}
+
+// active_isa() / set_isa() are defined in tuning.cpp next to the profile
+// slot they read and write.
+
+}  // namespace vbatch::blas::micro

@@ -1,0 +1,85 @@
+// Runtime ISA detection and selection for the host BLAS micro-kernels.
+//
+// The vectorized MR×NR tiles in the micro-kernel engine are compiled per
+// instruction set (128-bit SSE2/NEON baseline, AVX2+FMA, AVX-512F) into
+// separate translation units; this header owns the process-wide decision of
+// which set the engine is allowed to use. Detection is cpuid-based
+// (`__builtin_cpu_supports` on x86, compile-time on AArch64) with a scalar
+// fallback that reproduces the PR 2 engine bit for bit. The decision can be
+// overridden — `VBATCH_ISA` in the environment, `--isa` on the CLI, or
+// set_isa() from code — and is always clamped to what the host supports, so
+// forcing `avx2` on a SSE2-only machine degrades rather than faults.
+//
+// Results are bit-reproducible for a fixed (ISA, tuning profile) pair; see
+// docs/blas.md for the dispatch table and the determinism contract.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace vbatch::blas::micro {
+
+/// Instruction sets the engine has kernels for, in increasing preference
+/// order. Scalar is the portable fallback (identical arithmetic order to the
+/// PR 2 register-tiled engine); Sse2/Neon are the 128-bit baselines of their
+/// architectures; Avx512 is opt-in (see detect_isa).
+enum class Isa : int { Scalar = 0, Sse2, Neon, Avx2, Avx512 };
+
+[[nodiscard]] constexpr const char* to_string(Isa i) noexcept {
+  switch (i) {
+    case Isa::Scalar: return "scalar";
+    case Isa::Sse2: return "sse2";
+    case Isa::Neon: return "neon";
+    case Isa::Avx2: return "avx2";
+    case Isa::Avx512: return "avx512";
+  }
+  return "?";
+}
+
+/// Parses an ISA name ("scalar", "sse2", "neon", "avx2", "avx512");
+/// std::nullopt for anything else.
+[[nodiscard]] std::optional<Isa> parse_isa(std::string_view name) noexcept;
+
+/// True when the host can execute kernels of the given set (Scalar always
+/// can; vector sets require the matching cpuid feature / architecture).
+[[nodiscard]] bool isa_supported(Isa i) noexcept;
+
+/// The best ISA the host supports, with AVX-512 deliberately *not* auto-
+/// selected (license-based frequency throttling makes it a measured,
+/// opt-in choice — request it via VBATCH_ISA=avx512 / --isa avx512).
+[[nodiscard]] Isa detect_isa() noexcept;
+
+/// The ISA the engine currently dispatches on. Resolved once on first use:
+/// VBATCH_ISA if set (unknown names warn once and fall back), else
+/// detect_isa(). Always a supported set. (Defined in tuning.cpp: the ISA is
+/// carried by the active TuningProfile so the two can never disagree.)
+[[nodiscard]] Isa active_isa() noexcept;
+
+/// Overrides the active ISA, clamping to the best supported set at or below
+/// the request (e.g. Avx512 on an AVX2 host becomes Avx2, Neon on x86
+/// becomes Sse2). Installs defaults(isa) as the active tuning profile when
+/// the ISA actually changes. Returns the ISA actually installed. Not meant
+/// to be toggled while kernels are in flight on the worker pool.
+Isa set_isa(Isa i) noexcept;
+
+namespace detail {
+/// Walks the request down to the best supported set (…→Sse2/Neon→Scalar).
+[[nodiscard]] Isa clamp_isa(Isa i) noexcept;
+/// VBATCH_ISA if parseable (clamped, warning on downgrade), else
+/// detect_isa(). The profile slot's lazy initializer.
+[[nodiscard]] Isa initial_isa() noexcept;
+}  // namespace detail
+
+/// RAII guard pinning the active ISA for a scope (tests/benches).
+class IsaGuard {
+ public:
+  explicit IsaGuard(Isa i) noexcept : prev_(active_isa()) { set_isa(i); }
+  ~IsaGuard() { set_isa(prev_); }
+  IsaGuard(const IsaGuard&) = delete;
+  IsaGuard& operator=(const IsaGuard&) = delete;
+
+ private:
+  Isa prev_;
+};
+
+}  // namespace vbatch::blas::micro

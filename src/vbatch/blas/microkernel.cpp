@@ -4,17 +4,22 @@
 #include <atomic>
 #include <vector>
 
-#define VBATCH_RESTRICT __restrict__
+#include "vbatch/blas/microkernel_tile.hpp"
+#include "vbatch/util/error.hpp"
 
 namespace vbatch::blas::micro {
 
 namespace {
 
+using detail::KernelEntry;
+using detail::MicroFn;
+using detail::type_index_v;
+
 std::atomic<int> g_dispatch{static_cast<int>(Dispatch::Auto)};
 
 // Thread-local packing buffers, one pair per scalar type. They grow to the
-// fixed maximum (MC×KC for A, KC×NC for B, rounded up to whole slivers) on
-// first use and are reused by every subsequent call on the same thread.
+// largest MC×KC (A) / KC×NC (B) the thread has seen, rounded up to whole
+// slivers, and are reused by every subsequent call on the same thread.
 template <typename T>
 std::vector<T>& pack_buffer_a() {
   static thread_local std::vector<T> buf;
@@ -33,8 +38,7 @@ std::vector<T>& pack_buffer_b() {
 // so the micro-kernel never needs a row mask.
 template <typename T>
 void pack_a(ConstMatrixView<T> a, Trans trans, index_t i0, index_t p0, index_t mc, index_t kc,
-            T* VBATCH_RESTRICT dst) {
-  constexpr int MR = Tiling<T>::MR;
+            int MR, T* VBATCH_RESTRICT dst) {
   for (index_t ip = 0; ip < mc; ip += MR) {
     const index_t mr = std::min<index_t>(MR, mc - ip);
     T* VBATCH_RESTRICT panel = dst + (ip / MR) * (MR * kc);
@@ -62,8 +66,7 @@ void pack_a(ConstMatrixView<T> a, Trans trans, index_t i0, index_t p0, index_t m
 // one k-slice contiguous), zero-padding partial slivers.
 template <typename T>
 void pack_b(ConstMatrixView<T> b, Trans trans, index_t p0, index_t j0, index_t kc, index_t nc,
-            T* VBATCH_RESTRICT dst) {
-  constexpr int NR = Tiling<T>::NR;
+            int NR, T* VBATCH_RESTRICT dst) {
   for (index_t jp = 0; jp < nc; jp += NR) {
     const index_t nr = std::min<index_t>(NR, nc - jp);
     T* VBATCH_RESTRICT panel = dst + (jp / NR) * (NR * kc);
@@ -87,26 +90,122 @@ void pack_b(ConstMatrixView<T> b, Trans trans, index_t p0, index_t j0, index_t k
   }
 }
 
-// The register tile: acc[MR×NR] += Σ_l a_sliver(:, l) ⊗ b_sliver(l, :).
-// MR/NR are compile-time constants, so the i/j loops fully unroll and the
-// accumulators live in vector registers; the only memory traffic per k-step
-// is MR + NR contiguous loads from the packed panels.
-template <typename T>
-inline void micro_tile(index_t kc, const T* VBATCH_RESTRICT ap, const T* VBATCH_RESTRICT bp,
-                       T* VBATCH_RESTRICT acc) {
-  constexpr int MR = Tiling<T>::MR;
-  constexpr int NR = Tiling<T>::NR;
-  for (index_t l = 0; l < kc; ++l) {
-    const T* VBATCH_RESTRICT av = ap + l * MR;
-    const T* VBATCH_RESTRICT bv = bp + l * NR;
-    for (int j = 0; j < NR; ++j) {
-      const T bval = bv[j];
-      for (int i = 0; i < MR; ++i) acc[j * MR + i] += av[i] * bval;
-    }
+// The per-ISA kernel tables, searched best-first: every vector set falls
+// back through the 128-bit table to the scalar one, so a profile whose tile
+// has no compiled kernel under the active ISA still resolves (ultimately to
+// the runtime-shaped generic tile, which shares the scalar accumulation
+// order). Tables above the active ISA are never consulted, so no kernel can
+// execute instructions the host lacks.
+std::span<const KernelEntry> table_for(Isa isa) noexcept {
+  switch (isa) {
+#if defined(VBATCH_HAVE_AVX512_TU)
+    case Isa::Avx512: return detail::kernels_avx512();
+#endif
+#if defined(VBATCH_HAVE_AVX2_TU)
+    case Isa::Avx2: return detail::kernels_avx2();
+#endif
+    case Isa::Sse2:
+    case Isa::Neon: return detail::kernels_v128();
+    default: return detail::kernels_scalar();
   }
 }
 
+Isa next_lower(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::Avx512: return Isa::Avx2;
+    case Isa::Avx2:
+#if defined(__aarch64__)
+      return Isa::Neon;
+#else
+      return Isa::Sse2;
+#endif
+    case Isa::Sse2:
+    case Isa::Neon:
+    default: return Isa::Scalar;
+  }
+}
+
+template <typename T>
+MicroFn<T> find_tile(Isa isa, int mr, int nr) noexcept {
+  for (;;) {
+    for (const KernelEntry& e : table_for(isa))
+      if (e.type == type_index_v<T> && e.mr == mr && e.nr == nr)
+        return reinterpret_cast<MicroFn<T>>(const_cast<void*>(e.fn));
+    if (isa == Isa::Scalar) return nullptr;
+    isa = next_lower(isa);
+  }
+}
+
+// Splits [0, total) into the same number of chunks greedy `block`-sized
+// splitting would produce, but sizes balanced in multiples of `unit` (the
+// register-tile extent) so no chunk degenerates to a sliver. Greedy NC
+// splitting gave n = 512, NC = 384 chunks of 384 + 128 — the packed-B reuse
+// collapses in the 128-wide tail and throughput dipped ~15%; balanced
+// splitting yields 256 + 256. The k loop must NOT use this: the k-split
+// fixes the accumulation order, and we keep the PR 2 greedy order so a
+// fixed (ISA, profile) stays bit-reproducible against history.
+class BalancedSplit {
+ public:
+  BalancedSplit(index_t total, index_t block, index_t unit) noexcept : unit_(unit), total_(total) {
+    const index_t nb = total > 0 ? (total + block - 1) / block : 0;
+    const index_t units = (total + unit - 1) / unit;
+    count_ = nb;
+    base_ = nb > 0 ? units / nb : 0;
+    rem_ = nb > 0 ? units % nb : 0;
+  }
+  [[nodiscard]] index_t count() const noexcept { return count_; }
+  [[nodiscard]] index_t begin(index_t i) const noexcept {
+    return (i * base_ + std::min(i, rem_)) * unit_;
+  }
+  [[nodiscard]] index_t length(index_t i) const noexcept {
+    const index_t units = base_ + (i < rem_ ? 1 : 0);
+    return std::min(units * unit_, total_ - begin(i));
+  }
+
+ private:
+  index_t unit_, total_, count_ = 0, base_ = 0, rem_ = 0;
+};
+
 }  // namespace
+
+namespace detail {
+
+namespace {
+
+// Compile-time scalar tiles for the default (anchor) shapes of each scalar
+// type; every other shape the tuner may pick resolves to the runtime-shaped
+// generic tile. The accumulation order is identical either way.
+const KernelEntry kScalarEntries[] = {
+    {Isa::Scalar, type_index_v<float>, 8, 4,
+     reinterpret_cast<const void*>(&tile_scalar<float, 8, 4>)},
+    {Isa::Scalar, type_index_v<float>, 4, 4,
+     reinterpret_cast<const void*>(&tile_scalar<float, 4, 4>)},
+    {Isa::Scalar, type_index_v<double>, 4, 4,
+     reinterpret_cast<const void*>(&tile_scalar<double, 4, 4>)},
+    {Isa::Scalar, type_index_v<double>, 8, 4,
+     reinterpret_cast<const void*>(&tile_scalar<double, 8, 4>)},
+    {Isa::Scalar, type_index_v<std::complex<float>>, 4, 2,
+     reinterpret_cast<const void*>(&tile_scalar<std::complex<float>, 4, 2>)},
+    {Isa::Scalar, type_index_v<std::complex<float>>, 4, 4,
+     reinterpret_cast<const void*>(&tile_scalar<std::complex<float>, 4, 4>)},
+    {Isa::Scalar, type_index_v<std::complex<double>>, 2, 2,
+     reinterpret_cast<const void*>(&tile_scalar<std::complex<double>, 2, 2>)},
+    {Isa::Scalar, type_index_v<std::complex<double>>, 4, 4,
+     reinterpret_cast<const void*>(&tile_scalar<std::complex<double>, 4, 4>)},
+};
+
+}  // namespace
+
+std::span<const KernelEntry> kernels_scalar() noexcept { return kScalarEntries; }
+
+#if !defined(VBATCH_HAVE_AVX2_TU)
+std::span<const KernelEntry> kernels_avx2() noexcept { return {}; }
+#endif
+#if !defined(VBATCH_HAVE_AVX512_TU)
+std::span<const KernelEntry> kernels_avx512() noexcept { return {}; }
+#endif
+
+}  // namespace detail
 
 void set_dispatch(Dispatch d) noexcept {
   g_dispatch.store(static_cast<int>(d), std::memory_order_relaxed);
@@ -117,13 +216,38 @@ Dispatch dispatch() noexcept {
 }
 
 template <typename T>
-void gemm_blocked(Trans trans_a, Trans trans_b, T alpha, ConstMatrixView<T> a,
-                  ConstMatrixView<T> b, T beta, MatrixView<T> c) {
-  constexpr int MR = Tiling<T>::MR;
-  constexpr int NR = Tiling<T>::NR;
-  constexpr index_t KC = Tiling<T>::KC;
-  constexpr index_t MC = Tiling<T>::MC;
-  constexpr index_t NC = Tiling<T>::NC;
+std::vector<TilePair> supported_tiles(Isa isa) {
+  std::vector<TilePair> out;
+  for (;;) {
+    for (const detail::KernelEntry& e : table_for(isa)) {
+      if (e.type != detail::type_index_v<T>) continue;
+      const bool seen = std::any_of(out.begin(), out.end(), [&](const TilePair& t) {
+        return t.mr == e.mr && t.nr == e.nr;
+      });
+      if (!seen) out.push_back({e.mr, e.nr});
+    }
+    if (isa == Isa::Scalar) break;
+    isa = next_lower(isa);
+  }
+  return out;
+}
+
+template std::vector<TilePair> supported_tiles<float>(Isa);
+template std::vector<TilePair> supported_tiles<double>(Isa);
+template std::vector<TilePair> supported_tiles<std::complex<float>>(Isa);
+template std::vector<TilePair> supported_tiles<std::complex<double>>(Isa);
+
+template <typename T>
+void gemm_blocked_shaped(Trans trans_a, Trans trans_b, T alpha, ConstMatrixView<T> a,
+                         ConstMatrixView<T> b, T beta, MatrixView<T> c, const KernelShape& shape) {
+  require(shape.mr >= 1 && shape.mr <= kMaxMR && shape.nr >= 1 && shape.nr <= kMaxNR &&
+              shape.kc >= 1 && shape.mc >= shape.mr && shape.nc >= shape.nr,
+          "gemm_blocked_shaped: shape out of bounds");
+  const int MR = shape.mr;
+  const int NR = shape.nr;
+  const index_t KC = shape.kc;
+  const index_t MC = shape.mc;
+  const index_t NC = shape.nc;
 
   const index_t m = c.rows();
   const index_t n = c.cols();
@@ -141,26 +265,39 @@ void gemm_blocked(Trans trans_a, Trans trans_b, T alpha, ConstMatrixView<T> a,
   }
   if (k == 0 || alpha == T(0)) return;
 
+  const detail::MicroFn<T> tile = find_tile<T>(active_isa(), MR, NR);
+
   auto& abuf = pack_buffer_a<T>();
   auto& bbuf = pack_buffer_b<T>();
-  abuf.resize(static_cast<std::size_t>((MC + MR - 1) / MR * MR * KC));
-  bbuf.resize(static_cast<std::size_t>((NC + NR - 1) / NR * NR * KC));
+  const std::size_t a_need = static_cast<std::size_t>((MC + MR - 1) / MR * MR * KC);
+  const std::size_t b_need = static_cast<std::size_t>((NC + NR - 1) / NR * NR * KC);
+  if (abuf.size() < a_need) abuf.resize(a_need);
+  if (bbuf.size() < b_need) bbuf.resize(b_need);
 
-  for (index_t jj = 0; jj < n; jj += NC) {
-    const index_t nc = std::min(NC, n - jj);
+  alignas(64) T acc[kMaxMR * kMaxNR];
+
+  const BalancedSplit nsplit(n, NC, NR);
+  const BalancedSplit msplit(m, MC, MR);
+  for (index_t jb = 0; jb < nsplit.count(); ++jb) {
+    const index_t jj = nsplit.begin(jb);
+    const index_t nc = nsplit.length(jb);
     for (index_t pp = 0; pp < k; pp += KC) {
       const index_t kc = std::min(KC, k - pp);
-      pack_b(b, trans_b, pp, jj, kc, nc, bbuf.data());
-      for (index_t ii = 0; ii < m; ii += MC) {
-        const index_t mc = std::min(MC, m - ii);
-        pack_a(a, trans_a, ii, pp, mc, kc, abuf.data());
+      pack_b(b, trans_b, pp, jj, kc, nc, NR, bbuf.data());
+      for (index_t ib = 0; ib < msplit.count(); ++ib) {
+        const index_t ii = msplit.begin(ib);
+        const index_t mc = msplit.length(ib);
+        pack_a(a, trans_a, ii, pp, mc, kc, MR, abuf.data());
         for (index_t jr = 0; jr < nc; jr += NR) {
           const index_t nr = std::min<index_t>(NR, nc - jr);
           const T* bp = bbuf.data() + (jr / NR) * (NR * kc);
           for (index_t ir = 0; ir < mc; ir += MR) {
             const index_t mr = std::min<index_t>(MR, mc - ir);
-            T acc[MR * NR] = {};
-            micro_tile<T>(kc, abuf.data() + (ir / MR) * (MR * kc), bp, acc);
+            const T* ap = abuf.data() + (ir / MR) * (MR * kc);
+            if (tile)
+              tile(kc, ap, bp, acc);
+            else
+              detail::tile_generic<T>(kc, ap, bp, acc, MR, NR);
             for (index_t j = 0; j < nr; ++j) {
               T* VBATCH_RESTRICT ccol = &c(ii + ir, jj + jr + j);
               const T* VBATCH_RESTRICT av = acc + j * MR;
@@ -173,19 +310,24 @@ void gemm_blocked(Trans trans_a, Trans trans_b, T alpha, ConstMatrixView<T> a,
   }
 }
 
-template void gemm_blocked<float>(Trans, Trans, float, ConstMatrixView<float>,
-                                  ConstMatrixView<float>, float, MatrixView<float>);
-template void gemm_blocked<double>(Trans, Trans, double, ConstMatrixView<double>,
-                                   ConstMatrixView<double>, double, MatrixView<double>);
-template void gemm_blocked<std::complex<float>>(Trans, Trans, std::complex<float>,
-                                                ConstMatrixView<std::complex<float>>,
-                                                ConstMatrixView<std::complex<float>>,
-                                                std::complex<float>,
-                                                MatrixView<std::complex<float>>);
-template void gemm_blocked<std::complex<double>>(Trans, Trans, std::complex<double>,
-                                                 ConstMatrixView<std::complex<double>>,
-                                                 ConstMatrixView<std::complex<double>>,
-                                                 std::complex<double>,
-                                                 MatrixView<std::complex<double>>);
+template <typename T>
+void gemm_blocked(Trans trans_a, Trans trans_b, T alpha, ConstMatrixView<T> a,
+                  ConstMatrixView<T> b, T beta, MatrixView<T> c) {
+  gemm_blocked_shaped<T>(trans_a, trans_b, alpha, a, b, beta, c, shape_of<T>(active_profile()));
+}
+
+#define VBATCH_INSTANTIATE_GEMM(T)                                                      \
+  template void gemm_blocked_shaped<T>(Trans, Trans, T, ConstMatrixView<T>,             \
+                                       ConstMatrixView<T>, T, MatrixView<T>,            \
+                                       const KernelShape&);                             \
+  template void gemm_blocked<T>(Trans, Trans, T, ConstMatrixView<T>, ConstMatrixView<T>, T, \
+                                MatrixView<T>)
+
+VBATCH_INSTANTIATE_GEMM(float);
+VBATCH_INSTANTIATE_GEMM(double);
+VBATCH_INSTANTIATE_GEMM(std::complex<float>);
+VBATCH_INSTANTIATE_GEMM(std::complex<double>);
+
+#undef VBATCH_INSTANTIATE_GEMM
 
 }  // namespace vbatch::blas::micro

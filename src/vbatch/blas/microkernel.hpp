@@ -10,10 +10,16 @@
 //     op(A) into MR-row slivers, op(B) into NR-column slivers — so the
 //     innermost loops read contiguous, unit-stride memory regardless of
 //     the caller's leading dimensions or transposition flags;
-//   * an MR×NR register tile accumulates KC-long rank-1 updates with
-//     compile-time bounds, which the compiler unrolls and auto-vectorizes;
+//   * an MR×NR register tile accumulates KC-long rank-1 updates. The tile
+//     is an explicitly vectorized kernel selected at runtime from the
+//     per-ISA tables (isa.hpp: SSE2/NEON, AVX2+FMA, AVX-512F) with a
+//     scalar fallback that reproduces the original engine bit for bit;
 //   * the m/n/k loops are blocked by MC/KC/NC so the packed A block stays
-//     L2-resident and each packed B sliver stays L1-resident.
+//     L2-resident and each packed B sliver stays L1-resident. The m and n
+//     ranges are split into *balanced*, tile-aligned chunks (never a
+//     degenerate tail chunk — the former n=512 NC-tail dip), while the k
+//     range keeps the greedy KC split because the k-split order is what
+//     fixes the floating-point accumulation order.
 //
 // All four trans combinations reduce to the same packed core (packing
 // applies the transposition and, for complex scalars, the library's
@@ -21,19 +27,31 @@
 // m, n, k are handled by zero-padding partial slivers and masking the
 // write-back, so the engine is exact for every size including 0 and 1.
 //
+// Blocking depths and the register tile are no longer compile-time: the
+// engine reads the active TuningProfile (tuning.hpp), which defaults per
+// ISA and can be measured by the cache-hierarchy autotuner
+// (core/autotune.hpp) and persisted across runs. For a fixed
+// (ISA, profile) pair the results are bit-reproducible.
+//
 // Dispatch policy lives here too: blas::gemm and friends call the engine
-// above a small-size cutoff (`use_blocked`) and fall back to the *_ref
-// loops below it. Tests and benches can pin either path via set_dispatch.
-// See docs/blas.md for the tiling parameters and how to retune them.
+// above a small-size cutoff (`use_blocked`, itself profile-driven) and
+// fall back to the *_ref loops below it. Tests and benches can pin either
+// path via set_dispatch. See docs/blas.md for the tuning story.
 #pragma once
 
+#include <vector>
+
+#include "vbatch/blas/tuning.hpp"
 #include "vbatch/util/matrix_view.hpp"
 #include "vbatch/util/types.hpp"
 
 namespace vbatch::blas::micro {
 
-/// Blocking parameters per scalar type. MR×NR is the register tile; KC/MC/NC
-/// are the cache-blocking depths (see docs/blas.md for the sizing rationale).
+/// The PR 2 compile-time blocking constants, kept as the *scalar anchor*:
+/// `TuningProfile::defaults(Isa::Scalar)` equals these values, and the
+/// scalar tile accumulates in exactly the order the original engine did, so
+/// `VBATCH_ISA=scalar` (or `--isa scalar`) reproduces historical results
+/// bit for bit. New code should read the active profile instead.
 template <typename T>
 struct Tiling;
 
@@ -83,17 +101,41 @@ class DispatchGuard {
 /// Cutoff policy: true when the packed engine is expected to beat the
 /// reference loops for a gemm-shaped problem of the given extents. Below the
 /// cutoff the packing traffic (m·k + k·n writes) is not amortized by the
-/// 2·m·n·k flops.
+/// 2·m·n·k flops. The thresholds come from the active profile (min_m,
+/// min_mnk), so an autotuned profile moves the crossover with the tile.
 template <typename T>
-[[nodiscard]] constexpr bool use_blocked(index_t m, index_t n, index_t k) noexcept {
-  return m >= Tiling<T>::MR && n >= 4 && k >= 8 &&
-         static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k) >= 4096.0;
+[[nodiscard]] inline bool use_blocked(index_t m, index_t n, index_t k) noexcept {
+  const KernelShape& s = shape_of<T>(active_profile());
+  return m >= s.min_m && n >= 4 && k >= 8 &&
+         static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k) >= s.min_mnk;
 }
 
-/// C = alpha·op(A)·op(B) + beta·C through the packed MR×NR core. Dimensions
-/// must already be validated (blas::gemm does); any m, n, k ≥ 0 is handled.
+/// C = alpha·op(A)·op(B) + beta·C through the packed core with an explicit
+/// blocking shape — the autotuner's sweep primitive. `shape` must satisfy
+/// validate_profile bounds (mr ≤ kMaxMR, nr ≤ kMaxNR); the register tile is
+/// the best compiled kernel for (active ISA, T, mr, nr), falling back to a
+/// runtime-shaped scalar tile with the same accumulation order.
+template <typename T>
+void gemm_blocked_shaped(Trans trans_a, Trans trans_b, T alpha, ConstMatrixView<T> a,
+                         ConstMatrixView<T> b, T beta, MatrixView<T> c, const KernelShape& shape);
+
+/// C = alpha·op(A)·op(B) + beta·C using the active profile's shape for T.
+/// Dimensions must already be validated (blas::gemm does); any m, n, k ≥ 0
+/// is handled.
 template <typename T>
 void gemm_blocked(Trans trans_a, Trans trans_b, T alpha, ConstMatrixView<T> a,
                   ConstMatrixView<T> b, T beta, MatrixView<T> c);
+
+/// One register-tile shape a compiled kernel exists for.
+struct TilePair {
+  int mr, nr;
+};
+
+/// The (mr, nr) tiles reachable for scalar type T under `isa` — the union of
+/// the ISA's own table and every fallback table below it, deduplicated. The
+/// autotuner restricts its sweep to this set (plus the generic tile's
+/// arbitrary shapes); tests use it to cover every compiled kernel.
+template <typename T>
+[[nodiscard]] std::vector<TilePair> supported_tiles(Isa isa);
 
 }  // namespace vbatch::blas::micro

@@ -1,0 +1,22 @@
+// AVX2+FMA tiles (256-bit). This TU is the only one compiled with
+// -mavx2 -mfma (src/CMakeLists.txt adds it on x86-64 when the compiler
+// accepts the flags and defines VBATCH_HAVE_AVX2_TU); the runtime dispatcher
+// only hands these pointers out after __builtin_cpu_supports("avx2") &&
+// ("fma"), so no illegal instruction can ever execute on an older host.
+#include "vbatch/blas/microkernel_tile.hpp"
+
+namespace vbatch::blas::micro::detail {
+
+namespace {
+
+// float W=8 → MR ∈ {8, 16, 24}; double W=4 → MR ∈ {4, 8, 12}.
+const KernelEntry kEntries[] = {
+    VBATCH_TILE_FAMILY(Isa::Avx2, float, 8),
+    VBATCH_TILE_FAMILY(Isa::Avx2, double, 4),
+};
+
+}  // namespace
+
+std::span<const KernelEntry> kernels_avx2() noexcept { return kEntries; }
+
+}  // namespace vbatch::blas::micro::detail

@@ -1,0 +1,22 @@
+// AVX-512F tiles (512-bit). Compiled with -mavx512f only where the compiler
+// supports it (VBATCH_HAVE_AVX512_TU); selected exclusively when the user
+// opts in via VBATCH_ISA=avx512 / --isa avx512 on a host whose cpuid reports
+// avx512f — detect_isa() never auto-picks it (frequency-license throttling
+// makes 512-bit a measured choice, see docs/blas.md).
+#include "vbatch/blas/microkernel_tile.hpp"
+
+namespace vbatch::blas::micro::detail {
+
+namespace {
+
+// float W=16 → MR ∈ {16, 32, 48}; double W=8 → MR ∈ {8, 16, 24}.
+const KernelEntry kEntries[] = {
+    VBATCH_TILE_FAMILY(Isa::Avx512, float, 16),
+    VBATCH_TILE_FAMILY(Isa::Avx512, double, 8),
+};
+
+}  // namespace
+
+std::span<const KernelEntry> kernels_avx512() noexcept { return kEntries; }
+
+}  // namespace vbatch::blas::micro::detail

@@ -1,0 +1,28 @@
+// 128-bit vector tiles: the SSE2 baseline of x86-64 and the NEON baseline of
+// AArch64. Compiled without extra -m flags — 16-byte compiler-vector types
+// lower to the architecture's baseline SIMD on either family (and to decent
+// scalar code elsewhere, where the entries are simply never selected because
+// isa_supported() rejects both tags).
+#include "vbatch/blas/microkernel_tile.hpp"
+
+namespace vbatch::blas::micro::detail {
+
+namespace {
+
+#if defined(__aarch64__)
+constexpr Isa kTag = Isa::Neon;
+#else
+constexpr Isa kTag = Isa::Sse2;
+#endif
+
+// float W=4 → MR ∈ {4, 8, 12}; double W=2 → MR ∈ {2, 4, 6}.
+const KernelEntry kEntries[] = {
+    VBATCH_TILE_FAMILY(kTag, float, 4),
+    VBATCH_TILE_FAMILY(kTag, double, 2),
+};
+
+}  // namespace
+
+std::span<const KernelEntry> kernels_v128() noexcept { return kEntries; }
+
+}  // namespace vbatch::blas::micro::detail

@@ -156,12 +156,14 @@ void trmm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha, ConstMatrixView
   const index_t nrhs = side == Side::Left ? n : m;
 
   const micro::Dispatch d = micro::dispatch();
+  // Same crossover policy as trsm: 8× the profile's gemm threshold
+  // (= the historical 32768 under the default profile).
+  const double work = static_cast<double>(ka) * static_cast<double>(ka) * static_cast<double>(nrhs);
   const bool blocked =
       ka > kTrmmBaseOrder &&
       (d == micro::Dispatch::ForceBlocked ||
        (d == micro::Dispatch::Auto &&
-        static_cast<double>(ka) * static_cast<double>(ka) * static_cast<double>(nrhs) >=
-            32768.0));
+        work >= 8.0 * micro::shape_of<T>(micro::active_profile()).min_mnk));
   if (!blocked) {
     trmm_ref(side, uplo, trans, diag, alpha, a, b);
     return;

@@ -183,12 +183,16 @@ void trsm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha, ConstMatrixView
   const index_t nrhs = side == Side::Left ? n : m;
 
   const micro::Dispatch d = micro::dispatch();
+  // The recursion only pays once its gemm updates clear the packed engine's
+  // crossover with room to amortize the triangular base cases — 8× the
+  // profile's gemm threshold matches the historical 32768 (= 8 · 4096) under
+  // the default profile and moves with an autotuned one.
+  const double work = static_cast<double>(ka) * static_cast<double>(ka) * static_cast<double>(nrhs);
   const bool blocked =
       ka > kTrsmBaseOrder &&
       (d == micro::Dispatch::ForceBlocked ||
        (d == micro::Dispatch::Auto &&
-        static_cast<double>(ka) * static_cast<double>(ka) * static_cast<double>(nrhs) >=
-            32768.0));
+        work >= 8.0 * micro::shape_of<T>(micro::active_profile()).min_mnk));
   if (!blocked) {
     trsm_ref(side, uplo, trans, diag, alpha, a, b);
     return;

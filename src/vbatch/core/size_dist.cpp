@@ -26,9 +26,37 @@ std::vector<int> gaussian_sizes(Rng& rng, int count, int nmax) {
   return sizes;
 }
 
+std::vector<int> skewed_sizes(Rng& rng, int count, int nmax) {
+  require(count > 0 && nmax >= 1, "skewed_sizes: bad arguments");
+  const double ln_max = std::log(static_cast<double>(nmax));
+  std::vector<int> sizes(static_cast<std::size_t>(count));
+  for (auto& s : sizes) {
+    const double v = std::exp(rng.uniform() * ln_max);
+    s = std::clamp(static_cast<int>(std::lround(v)), 1, nmax);
+  }
+  return sizes;
+}
+
+std::vector<int> cluster_sizes(Rng& rng, int count, int nmax) {
+  require(count > 0 && nmax >= 1, "cluster_sizes: bad arguments");
+  static constexpr double kCentres[] = {0.2, 0.45, 0.7, 0.95};
+  std::vector<int> sizes(static_cast<std::size_t>(count));
+  for (auto& s : sizes) {
+    const double centre = kCentres[rng.uniform_int(0, 3)] * static_cast<double>(nmax);
+    const double v = centre * rng.uniform(0.95, 1.05);
+    s = std::clamp(static_cast<int>(std::lround(v)), 1, nmax);
+  }
+  return sizes;
+}
+
 std::vector<int> make_sizes(SizeDist dist, Rng& rng, int count, int nmax) {
-  return dist == SizeDist::Uniform ? uniform_sizes(rng, count, nmax)
-                                   : gaussian_sizes(rng, count, nmax);
+  switch (dist) {
+    case SizeDist::Uniform: return uniform_sizes(rng, count, nmax);
+    case SizeDist::Gaussian: return gaussian_sizes(rng, count, nmax);
+    case SizeDist::Skewed: return skewed_sizes(rng, count, nmax);
+    case SizeDist::Cluster: return cluster_sizes(rng, count, nmax);
+  }
+  return uniform_sizes(rng, count, nmax);
 }
 
 SizeStats size_stats(const std::vector<int>& sizes) {

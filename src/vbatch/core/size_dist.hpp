@@ -1,8 +1,12 @@
 // Matrix-size distribution generators (paper §IV-B, Fig. 3).
 //
-// Two pseudo-random generators shape the vbatched test batches: a uniform
-// distribution over [1, Nmax] and a Gaussian centred at ⌊Nmax/2⌋ with few
-// sizes near the interval boundaries.
+// The paper's two pseudo-random generators shape the vbatched test batches:
+// a uniform distribution over [1, Nmax] and a Gaussian centred at ⌊Nmax/2⌋
+// with few sizes near the interval boundaries. Two stress shapes extend the
+// pair for the end-to-end benches: Skewed (a right-tailed log-uniform pile
+// of small matrices with rare large ones — the irregular workloads the
+// paper's Fig. 10 sweeps) and Cluster (a few tight size groups, the shape a
+// fixed-size batched library would bucket by).
 #pragma once
 
 #include <cstdint>
@@ -12,10 +16,16 @@
 
 namespace vbatch {
 
-enum class SizeDist : std::uint8_t { Uniform, Gaussian };
+enum class SizeDist : std::uint8_t { Uniform, Gaussian, Skewed, Cluster };
 
 [[nodiscard]] constexpr const char* to_string(SizeDist d) noexcept {
-  return d == SizeDist::Uniform ? "uniform" : "gaussian";
+  switch (d) {
+    case SizeDist::Uniform: return "uniform";
+    case SizeDist::Gaussian: return "gaussian";
+    case SizeDist::Skewed: return "skewed";
+    case SizeDist::Cluster: return "cluster";
+  }
+  return "?";
 }
 
 /// Sizes drawn uniformly from [1, nmax].
@@ -23,6 +33,14 @@ enum class SizeDist : std::uint8_t { Uniform, Gaussian };
 
 /// Sizes drawn from N(⌊nmax/2⌋, (nmax/6)²), clamped to [1, nmax].
 [[nodiscard]] std::vector<int> gaussian_sizes(Rng& rng, int count, int nmax);
+
+/// Right-tailed sizes: exp(U · ln nmax) rounded, i.e. log-uniform over
+/// [1, nmax] — most matrices small, a thin tail of large ones.
+[[nodiscard]] std::vector<int> skewed_sizes(Rng& rng, int count, int nmax);
+
+/// Sizes drawn from 4 tight clusters centred at ~{0.2, 0.45, 0.7, 0.95}·nmax
+/// with ±5% jitter, clamped to [1, nmax].
+[[nodiscard]] std::vector<int> cluster_sizes(Rng& rng, int count, int nmax);
 
 /// Dispatch on the enum.
 [[nodiscard]] std::vector<int> make_sizes(SizeDist dist, Rng& rng, int count, int nmax);

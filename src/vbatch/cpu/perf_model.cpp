@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "vbatch/blas/tuning.hpp"
 
 namespace vbatch::cpu {
 
@@ -41,5 +46,25 @@ double CpuSpec::multithreaded_seconds(Precision p, int n, double flops) const no
 }
 
 CpuSpec CpuSpec::dual_e5_2670() { return CpuSpec{}; }
+
+CpuSpec CpuSpec::host_calibrated(std::int64_t bench_n, int reps) {
+  namespace micro = blas::micro;
+  CpuSpec spec;
+  const micro::TuningProfile& prof = micro::active_profile();
+  const double sp =
+      micro::benchmark_shape<float>(micro::shape_of<float>(prof), bench_n, reps);
+  const double dp =
+      micro::benchmark_shape<double>(micro::shape_of<double>(prof), bench_n, reps);
+
+  static char name_buf[96];
+  std::snprintf(name_buf, sizeof(name_buf), "host (measured, isa=%s)",
+                micro::to_string(prof.isa));
+  spec.name = name_buf;
+  spec.cores = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  spec.clock_ghz = 1.0;  // measured Gflop/s carried in the per-cycle fields
+  spec.sp_flops_per_cycle_per_core = std::max(sp, 0.5);
+  spec.dp_flops_per_cycle_per_core = std::max(dp, 0.25);
+  return spec;
+}
 
 }  // namespace vbatch::cpu

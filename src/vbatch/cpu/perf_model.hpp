@@ -50,6 +50,17 @@ struct CpuSpec {
 
   /// The paper's testbed (§IV-A).
   [[nodiscard]] static CpuSpec dual_e5_2670();
+
+  /// A spec calibrated to *this* host's micro-kernel engine: per-core peak
+  /// is measured by running an NT-gemm of order `bench_n` through the
+  /// packed engine under the active ISA and tuning profile (so the numbers
+  /// track the vectorized kernels, not the paper's 2012 testbed), and
+  /// `cores` comes from the OS. Only the core_peak product matters
+  /// downstream, so clock_ghz is pinned to 1 and the measured Gflop/s land
+  /// in the flops-per-cycle fields. The efficiency-ramp constants are kept:
+  /// they describe the small-size falloff, which the measurement at
+  /// `bench_n` does not resolve.
+  [[nodiscard]] static CpuSpec host_calibrated(std::int64_t bench_n = 192, int reps = 2);
 };
 
 }  // namespace vbatch::cpu

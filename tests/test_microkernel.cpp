@@ -21,6 +21,10 @@ namespace {
 using namespace vbatch;
 using blas::micro::Dispatch;
 using blas::micro::DispatchGuard;
+using blas::micro::Isa;
+using blas::micro::IsaGuard;
+using blas::micro::isa_supported;
+using blas::micro::to_string;
 
 template <typename T>
 T make_scalar(double re, double im) {
@@ -142,6 +146,43 @@ TYPED_TEST(MicrokernelTest, GemmBlockedIsDeterministic) {
   blas::micro::gemm_blocked<T>(Trans::NoTrans, Trans::Trans, make_scalar<T>(1.1, 0.2), a, b,
                                make_scalar<T>(0.4, -0.1), v2);
   ASSERT_EQ(std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(T)), 0);
+}
+
+// Every ISA the host can execute must agree with the reference loops; the
+// dispatcher's job is to change speed, never answers. Exercises all four
+// trans combos at sizes that straddle every compiled tile width (the widest
+// is AVX-512 float MR=48) plus the deeper-than-KC accumulation path.
+TYPED_TEST(MicrokernelTest, GemmMatchesRefUnderEverySupportedIsa) {
+  using T = TypeParam;
+  const T alpha = make_scalar<T>(1.2, 0.5);
+  const T beta = make_scalar<T>(0.6, -0.3);
+  for (Isa isa : {Isa::Scalar, Isa::Sse2, Isa::Neon, Isa::Avx2, Isa::Avx512}) {
+    if (!isa_supported(isa)) continue;
+    IsaGuard guard(isa);
+    Rng rng(19);
+    const index_t shapes[][3] = {{1, 1, 1}, {7, 5, 9}, {49, 9, 33}, {97, 23, 300}};
+    for (Trans ta : {Trans::NoTrans, Trans::Trans})
+      for (Trans tb : {Trans::NoTrans, Trans::Trans})
+        for (const auto& s : shapes) {
+          const index_t m = s[0], n = s[1], k = s[2];
+          const index_t ar = ta == Trans::NoTrans ? m : k;
+          const index_t ac = ta == Trans::NoTrans ? k : m;
+          const index_t br = tb == Trans::NoTrans ? k : n;
+          const index_t bc = tb == Trans::NoTrans ? n : k;
+          auto abuf = random_buffer<T>(rng, ar, ac, ar);
+          auto bbuf = random_buffer<T>(rng, br, bc, br);
+          auto cblk = random_buffer<T>(rng, m, n, m);
+          auto cref = cblk;
+          ConstMatrixView<T> a(abuf.data(), ar, ac, ar);
+          ConstMatrixView<T> b(bbuf.data(), br, bc, br);
+          MatrixView<T> c1(cblk.data(), m, n, m);
+          MatrixView<T> c2(cref.data(), m, n, m);
+          blas::micro::gemm_blocked<T>(ta, tb, alpha, a, b, beta, c1);
+          blas::gemm_ref<T>(ta, tb, alpha, a, b, beta, c2);
+          ASSERT_LT(max_rel_diff<T>(c1, c2), tol_for<T>(k))
+              << to_string(isa) << " m=" << m << " n=" << n << " k=" << k;
+        }
+  }
 }
 
 // ---------------------------------------------------------------------------

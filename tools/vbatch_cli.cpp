@@ -9,7 +9,7 @@
 //   vbatch_cli [options]
 //     --batch N        batch count              (default 1000)
 //     --nmax N         maximum matrix size      (default 256)
-//     --dist uniform|gaussian                   (default uniform)
+//     --dist uniform|gaussian|skewed|cluster    (default uniform)
 //     --precision s|d                           (default d)
 //     --device k40c|p100                        (default k40c; also selects
 //                      the matching power model for --energy)
@@ -29,7 +29,16 @@
 //     --path auto|fused|separated               (default auto)
 //     --etm classic|aggressive                  (default aggressive)
 //     --no-sort        disable implicit sorting
-//     --tune           run the autotuner first and use its configuration
+//     --tune           run the autotuners first and use their results: the
+//                      host BLAS cache-hierarchy tuner (loads the persisted
+//                      profile when one exists — see VBATCH_TUNING_FILE in
+//                      docs/api.md — and sweeps + saves otherwise), then the
+//                      Cholesky configuration sweep
+//     --isa scalar|sse2|neon|avx2|avx512
+//                      pin the host micro-kernel instruction set (default:
+//                      VBATCH_ISA or cpuid detection; clamped to what the
+//                      host supports; scalar reproduces the pre-vectorized
+//                      engine bit for bit)
 //     --profile        print the kernel profile
 //     --energy         print energy to solution vs the CPU baseline
 //     --verify         run in Full mode and check residuals (slower)
@@ -44,6 +53,7 @@
 #include <string>
 
 #include "vbatch/blas/blas.hpp"
+#include "vbatch/blas/isa.hpp"
 #include "vbatch/core/autotune.hpp"
 #include "vbatch/core/potrf_vbatched.hpp"
 #include "vbatch/core/size_dist.hpp"
@@ -75,10 +85,11 @@ struct CliOptions {
 };
 
 [[noreturn]] void usage(const char* argv0, int exit_code) {
-  std::printf("usage: %s [--batch N] [--nmax N] [--dist uniform|gaussian]\n"
+  std::printf("usage: %s [--batch N] [--nmax N] [--dist uniform|gaussian|skewed|cluster]\n"
               "          [--precision s|d] [--device k40c|p100] [--hetero cpu,k40c:4streams,...]\n"
               "          [--inject-faults SPEC] [--streams N] [--path auto|fused|separated]\n"
               "          [--etm classic|aggressive] [--no-sort] [--tune]\n"
+              "          [--isa scalar|sse2|neon|avx2|avx512]\n"
               "          [--profile] [--energy] [--verify] [--threads N] [--seed N] [--help]\n",
               argv0);
   std::exit(exit_code);
@@ -100,7 +111,16 @@ CliOptions parse(int argc, char** argv) {
       const std::string v = next();
       if (v == "uniform") o.dist = vbatch::SizeDist::Uniform;
       else if (v == "gaussian") o.dist = vbatch::SizeDist::Gaussian;
+      else if (v == "skewed") o.dist = vbatch::SizeDist::Skewed;
+      else if (v == "cluster") o.dist = vbatch::SizeDist::Cluster;
       else usage(argv[0], 2);
+    } else if (arg == "--isa") {
+      const auto isa = vbatch::blas::micro::parse_isa(next());
+      if (!isa) usage(argv[0], 2);
+      const auto got = vbatch::blas::micro::set_isa(*isa);
+      if (got != *isa)
+        std::fprintf(stderr, "note: --isa %s not supported on this host, using %s\n",
+                     to_string(*isa), to_string(got));
     } else if (arg == "--precision") {
       const std::string v = next();
       if (v == "s") o.double_precision = false;
@@ -165,6 +185,16 @@ int run(const CliOptions& o) {
 
   PotrfOptions opts = o.potrf;
   if (o.tune) {
+    // Host BLAS first: load the persisted per-(host, ISA) profile when one
+    // exists, otherwise sweep the cache-derived candidates and save it.
+    BlasTuneSettings bts;
+    bts.verbose = true;
+    const BlasTuneResult bt = ensure_blas_tuned(bts);
+    std::printf("blas tune: isa=%s, profile %s (%s)\n",
+                to_string(blas::micro::active_isa()),
+                bt.loaded_from_cache ? "loaded from cache, sweep skipped"
+                                     : "swept and saved",
+                bt.cache_path.c_str());
     const auto tuned = autotune_potrf<T>(q, sizes);
     std::printf("autotune: %zu candidates\n", tuned.candidates.size());
     for (const auto& c : tuned.candidates) std::printf("  %s\n", c.describe().c_str());
