@@ -11,11 +11,11 @@ double PowerModel::watts(double utilization) const noexcept {
 }
 
 PowerModel PowerModel::k40c() {
-  return PowerModel{"Tesla K40c (modelled)", 25.0, 235.0, 0.6};
+  return PowerModel{"Tesla K40c (modelled)", 25.0, 235.0, 0.6, 12.0};
 }
 
 PowerModel PowerModel::p100() {
-  return PowerModel{"Tesla P100 (modelled)", 30.0, 250.0, 0.6};
+  return PowerModel{"Tesla P100 (modelled)", 30.0, 250.0, 0.6, 15.0};
 }
 
 PowerModel PowerModel::dual_e5_2670() {

@@ -13,6 +13,10 @@ struct PowerModel {
   double idle_watts = 0.0;
   double max_watts = 0.0;   ///< board/package power at full load (TDP-ish)
   double util_exponent = 0.6;
+  /// Extra board power (above idle) while a host↔device staging copy is on
+  /// the wire — the DMA engines and the PCIe PHY. Charged per transfer
+  /// second by the out-of-core streaming path; 0 for the CPU (no link).
+  double transfer_watts = 0.0;
 
   /// Instantaneous power at the given utilisation in [0, 1].
   [[nodiscard]] double watts(double utilization) const noexcept;

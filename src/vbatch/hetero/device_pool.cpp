@@ -1,6 +1,9 @@
 #include "vbatch/hetero/device_pool.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
@@ -25,21 +28,16 @@ Executor& DevicePool::add_cpu(const cpu::CpuSpec& spec, const energy::PowerModel
 
 namespace {
 
-/// Splits an optional ":Nstreams" suffix off a parse token, returning N
-/// (1 when absent). Malformed suffixes name the offending token — the same
-/// fail-loudly policy as the device-name matching below.
-int split_stream_suffix(std::string& token) {
-  const std::size_t colon = token.find(':');
-  if (colon == std::string::npos) return 1;
-  const std::string full = token;
-  const std::string suffix = token.substr(colon + 1);
-  token = token.substr(0, colon);
-  constexpr std::string_view kTail = "streams";
-  if (suffix.size() < kTail.size() ||
-      suffix.compare(suffix.size() - kTail.size(), kTail.size(), kTail) != 0)
-    throw_error(Status::InvalidArgument,
-                "DevicePool: malformed stream suffix in '" + full + "' (expected ':Nstreams')");
-  const std::string digits = suffix.substr(0, suffix.size() - kTail.size());
+/// The optional ":..."-suffixes of a parse token: ":Nstreams" and/or
+/// ":Xgb", in either order, each at most once.
+struct TokenSuffix {
+  int streams = 1;
+  double arena_gb = 0.0;  ///< 0 = no arena suffix given
+  bool has_arena = false;
+};
+
+/// Parses one ":Nstreams" segment (the leading ':' already stripped).
+int parse_stream_segment(const std::string& digits, const std::string& full) {
   if (digits.empty())
     throw_error(Status::InvalidArgument, "DevicePool: stream count missing in '" + full +
                                              "' (expected ':Nstreams' with N >= 1)");
@@ -57,6 +55,66 @@ int split_stream_suffix(std::string& token) {
     throw_error(Status::InvalidArgument,
                 "DevicePool: stream count must be >= 1 in '" + full + "'");
   return static_cast<int>(std::min<long>(value, 1 << 20));
+}
+
+/// Parses one ":Xgb" segment (the leading ':' already stripped): a positive
+/// decimal arena budget in GiB.
+double parse_arena_segment(const std::string& digits, const std::string& full) {
+  if (digits.empty())
+    throw_error(Status::InvalidArgument, "DevicePool: arena budget missing in '" + full +
+                                             "' (expected ':Ngb' with N > 0)");
+  char* end = nullptr;
+  const double value = std::strtod(digits.c_str(), &end);
+  if (end != digits.c_str() + digits.size())
+    throw_error(Status::InvalidArgument,
+                "DevicePool: arena budget must be a number in '" + full + "'");
+  if (!(value > 0.0) || !std::isfinite(value))
+    throw_error(Status::InvalidArgument,
+                "DevicePool: arena budget must be > 0 in '" + full + "'");
+  return value;
+}
+
+/// Splits the optional suffixes off a parse token. Each ':'-separated
+/// segment must end in "streams" (stream slots) or "gb" (staging-arena
+/// budget); anything else, or a repeated suffix kind, names the offending
+/// token — the same fail-loudly policy as the device-name matching below.
+TokenSuffix split_suffixes(std::string& token) {
+  TokenSuffix out;
+  const std::string full = token;
+  const std::size_t colon = token.find(':');
+  if (colon == std::string::npos) return out;
+  std::string rest = token.substr(colon + 1);
+  token = token.substr(0, colon);
+  if (rest.empty())
+    throw_error(Status::InvalidArgument, "DevicePool: malformed suffix in '" + full +
+                                             "' (expected ':Nstreams' or ':Ngb')");
+  bool has_streams = false;
+  while (!rest.empty()) {
+    const std::size_t next = rest.find(':');
+    const std::string seg = next == std::string::npos ? rest : rest.substr(0, next);
+    rest = next == std::string::npos ? std::string{} : rest.substr(next + 1);
+    constexpr std::string_view kStreams = "streams";
+    constexpr std::string_view kGb = "gb";
+    if (seg.size() >= kStreams.size() &&
+        seg.compare(seg.size() - kStreams.size(), kStreams.size(), kStreams) == 0) {
+      if (has_streams)
+        throw_error(Status::InvalidArgument,
+                    "DevicePool: duplicate stream suffix in '" + full + "'");
+      has_streams = true;
+      out.streams = parse_stream_segment(seg.substr(0, seg.size() - kStreams.size()), full);
+    } else if (seg.size() >= kGb.size() &&
+               seg.compare(seg.size() - kGb.size(), kGb.size(), kGb) == 0) {
+      if (out.has_arena)
+        throw_error(Status::InvalidArgument,
+                    "DevicePool: duplicate arena suffix in '" + full + "'");
+      out.has_arena = true;
+      out.arena_gb = parse_arena_segment(seg.substr(0, seg.size() - kGb.size()), full);
+    } else {
+      throw_error(Status::InvalidArgument, "DevicePool: malformed suffix ':" + seg + "' in '" +
+                                               full + "' (expected ':Nstreams' or ':Ngb')");
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -80,23 +138,28 @@ DevicePool DevicePool::parse(const std::string& csv) {
     if (token.empty())
       throw_error(Status::InvalidArgument, "DevicePool: empty device segment in '" + csv +
                                                "' (doubled or stray comma)");
-    const int streams = split_stream_suffix(token);
+    const TokenSuffix suffix = split_suffixes(token);
     Executor* added = nullptr;
     if (token == "k40c") {
       added = &pool.add_gpu(sim::DeviceSpec::k40c(), energy::PowerModel::k40c(), "k40c");
     } else if (token == "p100") {
       added = &pool.add_gpu(sim::DeviceSpec::p100(), energy::PowerModel::p100(), "p100");
     } else if (token == "cpu") {
-      if (streams > 1)
+      if (suffix.streams > 1)
         throw_error(Status::InvalidArgument,
                     "DevicePool: the cpu executor has a single queue (':" +
-                        std::to_string(streams) + "streams' not supported)");
+                        std::to_string(suffix.streams) + "streams' not supported)");
+      if (suffix.has_arena)
+        throw_error(Status::InvalidArgument,
+                    "DevicePool: the cpu executor works in host memory (':...gb' arena suffix "
+                    "not supported)");
       added = &pool.add_cpu();
     } else {
       throw_error(Status::InvalidArgument,
                   "DevicePool: unknown device '" + token + "' (expected k40c, p100, or cpu)");
     }
-    added->set_streams(streams);  // clamps to the device's stream limit
+    added->set_streams(suffix.streams);  // clamps to the device's stream limit
+    if (suffix.has_arena) added->set_arena_gb(suffix.arena_gb);
   }
   require(pool.size() > 0, "DevicePool: empty device list");
   return pool;
@@ -117,6 +180,11 @@ std::string DevicePool::describe() const {
     if (!out.empty()) out += " + ";
     out += e->name();
     if (e->streams() > 1) out += ":" + std::to_string(e->streams()) + "streams";
+    if (e->arena_explicit()) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), ":%ggb", e->arena_bytes() / (1024.0 * 1024.0 * 1024.0));
+      out += buf;
+    }
   }
   return out;
 }

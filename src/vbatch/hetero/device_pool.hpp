@@ -34,13 +34,16 @@ class DevicePool {
   /// Builds a pool from a comma-separated device list. Tokens: "k40c",
   /// "p100", "cpu" (surrounding whitespace is trimmed), each optionally
   /// suffixed ":Nstreams" (N >= 1) to give the executor N concurrent
-  /// stream slots — "k40c:4streams,p100". GPU counts above the device's
-  /// max_concurrent_streams clamp silently (mirroring launch_concurrent);
-  /// the CPU accepts only ":1streams". Throws Status::InvalidArgument on
+  /// stream slots and/or ":Ngb" (N > 0, decimal GiB) to cap its staging
+  /// arena for out-of-core streaming — "k40c:4streams:2gb,p100". Suffixes
+  /// may appear in either order, each at most once. GPU stream counts above
+  /// the device's max_concurrent_streams clamp silently (mirroring
+  /// launch_concurrent); the CPU accepts only ":1streams" and no arena
+  /// suffix (it works in host memory). Throws Status::InvalidArgument on
   /// unknown tokens, an empty list, an empty segment (stray / doubled
-  /// comma), a repeated "cpu", or a malformed stream suffix (":streams",
-  /// ":0streams", non-numeric N) — never silently builds a degenerate
-  /// pool.
+  /// comma), a repeated "cpu", or a malformed suffix (":streams",
+  /// ":0streams", ":gb", ":0gb", non-numeric or duplicated values) — never
+  /// silently builds a degenerate pool.
   [[nodiscard]] static DevicePool parse(const std::string& csv);
 
   /// Attaches a fault-injection spec (docs/robustness.md): every
@@ -59,8 +62,9 @@ class DevicePool {
   [[nodiscard]] int gpu_count() const noexcept;
   [[nodiscard]] bool has_cpu() const noexcept;
 
-  /// "k40c#0:4streams + k40c#1 + cpu" — for logs and JSON labels (the
-  /// stream suffix appears only for multi-stream executors).
+  /// "k40c#0:4streams:2gb + k40c#1 + cpu" — for logs and JSON labels (the
+  /// stream suffix appears only for multi-stream executors, the arena
+  /// suffix only for explicitly capped ones).
   [[nodiscard]] std::string describe() const;
 
  private:

@@ -16,6 +16,21 @@ void Executor::set_streams(int k) {
   streams_ = std::min(k, max_streams());
 }
 
+void Executor::set_arena_gb(double gb) { set_arena_bytes(gb * 1024.0 * 1024.0 * 1024.0); }
+
+void Executor::set_arena_bytes(double bytes) {
+  if (!is_gpu())
+    throw_error(Status::InvalidArgument,
+                "Executor::set_arena_bytes: the CPU executor works in host memory and has no "
+                "staging arena");
+  if (!(bytes > 0.0))
+    throw_error(Status::InvalidArgument,
+                "Executor::set_arena_bytes: arena budget must be positive (got " +
+                    std::to_string(bytes) + " bytes)");
+  arena_bytes_ = bytes;
+  arena_explicit_ = true;
+}
+
 void Executor::charge_fault(const std::string& /*what*/, double /*seconds*/, double /*start*/) {}
 
 // --- GpuExecutor -----------------------------------------------------------
@@ -24,7 +39,11 @@ GpuExecutor::GpuExecutor(std::string name, const sim::DeviceSpec& spec,
                          const energy::PowerModel& power)
     : Executor(std::move(name), power),
       queue_(spec, sim::ExecMode::Full),
-      scratch_(spec, sim::ExecMode::TimingOnly) {}
+      scratch_(spec, sim::ExecMode::TimingOnly) {
+  // Default staging budget: the whole card. Out-of-core streaming kicks in
+  // only when the batch footprint exceeds it (or a caller shrinks it).
+  init_arena_bytes(static_cast<double>(spec.global_mem_bytes));
+}
 
 GpuExecutor::~GpuExecutor() = default;
 
@@ -73,6 +92,15 @@ double GpuExecutor::execute(const ChunkWork& work, std::span<int> info, const St
   // exactly like before.
   dev.retime_tail(first, base, call_t0_ + slot.start, slot.rate,
                   streams() > 1 ? slot.stream : -1);
+  // A streamed chunk also lands its two staging copies on the timeline's
+  // transfer lane at the schedule's placement (resident chunks carry no
+  // transfer fields and record nothing).
+  if (slot.h2d_seconds > 0.0)
+    dev.record_transfer(sim::TransferDir::H2D, slot.chunk, slot.bytes,
+                        call_t0_ + slot.h2d_start, slot.h2d_seconds);
+  if (slot.d2h_seconds > 0.0)
+    dev.record_transfer(sim::TransferDir::D2H, slot.chunk, slot.bytes,
+                        call_t0_ + slot.d2h_start, slot.d2h_seconds);
   return serial;
 }
 

@@ -88,6 +88,19 @@ class Executor {
   /// executor's one-core-per-matrix model already uses every core, so 1.
   [[nodiscard]] virtual int max_streams() const noexcept = 0;
 
+  /// Staging-arena budget for out-of-core streaming (docs/heterogeneous.md,
+  /// "Out-of-core streaming"). A GPU executor defaults to its spec's global
+  /// memory; when the batch footprint exceeds the budget the hetero driver
+  /// stages chunks through the arena instead of assuming residency. The CPU
+  /// executor works in host memory — it has no arena, and setting one
+  /// throws Status::InvalidArgument. Budgets must be positive.
+  void set_arena_gb(double gb);
+  void set_arena_bytes(double bytes);
+  [[nodiscard]] double arena_bytes() const noexcept { return arena_bytes_; }
+  /// True once a caller pinned the budget (parse suffix, --arena-gb); the
+  /// driver then leaves it alone when applying VBATCH_ARENA_GB defaults.
+  [[nodiscard]] bool arena_explicit() const noexcept { return arena_explicit_; }
+
   /// Exact modelled cost of the chunk here: serial seconds from a
   /// timing-only dry run of the same driver `execute` uses, plus the
   /// chunk's modelled device occupancy (the overlap headroom).
@@ -114,10 +127,17 @@ class Executor {
   [[nodiscard]] virtual energy::EnergyResult call_energy(Precision prec, double busy_seconds,
                                                          double flops) const = 0;
 
+ protected:
+  /// GpuExecutor seeds the default budget (spec global memory) here without
+  /// marking it explicit.
+  void init_arena_bytes(double bytes) noexcept { arena_bytes_ = bytes; }
+
  private:
   std::string name_;
   energy::PowerModel power_;
   int streams_ = 1;
+  double arena_bytes_ = 0.0;
+  bool arena_explicit_ = false;
 };
 
 /// A simulated GPU device (K40c, P100, ...) wrapped in a core::Queue.

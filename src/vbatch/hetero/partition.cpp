@@ -125,4 +125,25 @@ std::vector<std::vector<double>> effective_load(
   return eff;
 }
 
+std::vector<std::vector<double>> effective_load(
+    const std::vector<std::vector<double>>& estimate,
+    const std::vector<std::vector<double>>& occupancy, const std::vector<int>& streams,
+    const std::vector<std::vector<double>>& h2d, const std::vector<std::vector<double>>& d2h,
+    bool prefetch) {
+  std::vector<std::vector<double>> eff = effective_load(estimate, occupancy, streams);
+  require(h2d.empty() || h2d.size() == estimate.size(),
+          "effective_load: h2d rows must be empty or match executor count");
+  require(d2h.size() == h2d.size(), "effective_load: h2d/d2h row counts must match");
+  for (std::size_t e = 0; e < h2d.size(); ++e) {
+    if (h2d[e].empty()) continue;  // resident: the overlap-only load, bitwise
+    require(h2d[e].size() == eff[e].size() && d2h[e].size() == eff[e].size(),
+            "effective_load: transfer column counts must match estimate");
+    for (std::size_t c = 0; c < eff[e].size(); ++c) {
+      const double staging = h2d[e][c] + d2h[e][c];
+      eff[e][c] = prefetch ? std::max(eff[e][c], staging) : eff[e][c] + staging;
+    }
+  }
+  return eff;
+}
+
 }  // namespace vbatch::hetero

@@ -74,4 +74,19 @@ enum class Partition : std::uint8_t { CostModel, RoundRobin, FirstOnly };
     const std::vector<std::vector<double>>& estimate,
     const std::vector<std::vector<double>>& occupancy, const std::vector<int>& streams);
 
+/// Transfer-aware variant for out-of-core streaming: `h2d[e][c]` /
+/// `d2h[e][c]` are the per-chunk staging seconds (an empty row e keeps that
+/// executor resident and its column bitwise equal to the overlap-only
+/// overload). A streaming executor's chunk additionally pays its
+/// non-overlappable transfer share: with prefetch the double-buffered
+/// pipeline hides the smaller of compute and transfer behind the other, so
+/// the chunk costs max(compute_eff, h2d + d2h); synchronous staging
+/// serializes all three. The LPT assignment then stops over-subscribing a
+/// bandwidth-starved device with work its link cannot feed.
+[[nodiscard]] std::vector<std::vector<double>> effective_load(
+    const std::vector<std::vector<double>>& estimate,
+    const std::vector<std::vector<double>>& occupancy, const std::vector<int>& streams,
+    const std::vector<std::vector<double>>& h2d, const std::vector<std::vector<double>>& d2h,
+    bool prefetch);
+
 }  // namespace vbatch::hetero

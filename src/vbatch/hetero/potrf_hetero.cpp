@@ -186,11 +186,69 @@ HeteroResult hetero_impl(DevicePool& pool, Uplo uplo, Batch<T>& batch, int calle
     }
   }
 
+  // --- Out-of-core staging decision (docs/heterogeneous.md, "Out-of-core
+  // streaming"). A chunk's staged footprint is the sum of its matrices'
+  // stored columns — lda × n elements each way. A GPU executor streams when
+  // forced (Staging::Streamed) or when the whole batch cannot be resident
+  // inside its arena budget (Staging::Auto); the budget itself is the
+  // parse/CLI-pinned value, else the VBATCH_ARENA_GB environment default,
+  // else the device's global memory.
+  std::vector<double> chunk_bytes(static_cast<std::size_t>(C), 0.0);
+  double footprint = 0.0;
+  for (int c = 0; c < C; ++c) {
+    const ChunkData<T>& d = data[static_cast<std::size_t>(c)];
+    double bytes = 0.0;
+    for (std::size_t i = 0; i < d.n.size(); ++i)
+      bytes += static_cast<double>(d.lda[i]) * static_cast<double>(d.n[i]) *
+               static_cast<double>(sizeof(T));
+    chunk_bytes[static_cast<std::size_t>(c)] = bytes;
+    footprint += bytes;
+  }
+  double env_arena_bytes = 0.0;
+  if (const char* env = std::getenv("VBATCH_ARENA_GB"); env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const double gb = std::strtod(env, &end);
+    require(end != env && *end == '\0' && gb > 0.0,
+            "potrf_vbatched_hetero: VBATCH_ARENA_GB must be a positive number");
+    env_arena_bytes = gb * 1024.0 * 1024.0 * 1024.0;
+  }
+  std::vector<double> arena(static_cast<std::size_t>(E), 0.0);
+  std::vector<char> streamed(static_cast<std::size_t>(E), 0);
+  std::vector<std::vector<double>> h2d(static_cast<std::size_t>(E));
+  std::vector<std::vector<double>> d2h(static_cast<std::size_t>(E));
+  for (int e = 0; e < E; ++e) {
+    Executor& ex = pool.executor(e);
+    if (!ex.is_gpu()) continue;  // the CPU works in host memory: no staging
+    double budget = ex.arena_bytes();
+    if (!ex.arena_explicit() && env_arena_bytes > 0.0) budget = env_arena_bytes;
+    arena[static_cast<std::size_t>(e)] = budget;
+    const bool wants = opts.staging == HeteroOptions::Staging::Streamed ||
+                       (opts.staging == HeteroOptions::Staging::Auto && footprint > budget);
+    if (opts.staging == HeteroOptions::Staging::Resident)
+      require(footprint <= budget,
+              "potrf_vbatched_hetero: batch footprint exceeds the staging arena with "
+              "Staging::Resident (stream the pool or raise the arena budget)");
+    if (!wants) continue;
+    streamed[static_cast<std::size_t>(e)] = 1;
+    const sim::DeviceSpec& spec = static_cast<GpuExecutor&>(ex).spec();
+    h2d[static_cast<std::size_t>(e)].resize(static_cast<std::size_t>(C));
+    d2h[static_cast<std::size_t>(e)].resize(static_cast<std::size_t>(C));
+    for (int c = 0; c < C; ++c) {
+      const double bytes = chunk_bytes[static_cast<std::size_t>(c)];
+      h2d[static_cast<std::size_t>(e)][static_cast<std::size_t>(c)] = spec.h2d_seconds(bytes);
+      d2h[static_cast<std::size_t>(e)][static_cast<std::size_t>(c)] = spec.d2h_seconds(bytes);
+    }
+  }
+  const bool any_streamed =
+      std::any_of(streamed.begin(), streamed.end(), [](char s) { return s != 0; });
+
   // --- Static partition (overlap-aware: a multi-stream executor absorbs
-  // low-occupancy chunks at their slot share, not their serial seconds),
-  // then the virtual-time work-stealing schedule.
+  // low-occupancy chunks at their slot share, not their serial seconds;
+  // transfer-aware: a streaming executor also pays its non-overlappable
+  // staging share), then the virtual-time work-stealing schedule.
   ScheduleParams sp;
-  sp.owner = assign_chunks(effective_load(est, occ, streams), opts.partition, E);
+  sp.owner = assign_chunks(effective_load(est, occ, streams, h2d, d2h, opts.prefetch),
+                           opts.partition, E);
   sp.estimate = est;
   sp.executors = E;
   sp.work_stealing = opts.work_stealing;
@@ -198,6 +256,13 @@ HeteroResult hetero_impl(DevicePool& pool, Uplo uplo, Batch<T>& batch, int calle
   sp.seed = opts.steal_seed;
   sp.streams = streams;
   sp.occupancy = occ;
+  if (any_streamed) {
+    sp.h2d = std::move(h2d);
+    sp.d2h = std::move(d2h);
+    sp.chunk_bytes = chunk_bytes;
+    sp.arena = arena;
+    sp.prefetch = opts.prefetch;
+  }
   sp.initial_clock.assign(static_cast<std::size_t>(E), 0.0);
   sp.initial_clock[0] = sweep_seconds;
 
@@ -275,6 +340,12 @@ HeteroResult hetero_impl(DevicePool& pool, Uplo uplo, Batch<T>& batch, int calle
                       : 1.0;
     rep.retries = sched.retries[static_cast<std::size_t>(e)];
     rep.lost = sched.lost[static_cast<std::size_t>(e)] != 0;
+    rep.streamed = streamed[static_cast<std::size_t>(e)] != 0;
+    rep.h2d_seconds = sched.h2d_seconds[static_cast<std::size_t>(e)];
+    rep.d2h_seconds = sched.d2h_seconds[static_cast<std::size_t>(e)];
+    rep.h2d_bytes = sched.h2d_bytes[static_cast<std::size_t>(e)];
+    rep.d2h_bytes = sched.d2h_bytes[static_cast<std::size_t>(e)];
+    rep.pipeline_seconds = sched.pipeline[static_cast<std::size_t>(e)];
     for (int c = 0; c < C; ++c) {
       if (sched.executed_by[static_cast<std::size_t>(c)] == e) {
         rep.flops += chunks[static_cast<std::size_t>(c)].flops;
@@ -284,8 +355,16 @@ HeteroResult hetero_impl(DevicePool& pool, Uplo uplo, Batch<T>& batch, int calle
     const energy::EnergyResult active = ex.call_energy(prec, rep.busy_seconds, rep.flops);
     rep.joules = active.joules;
     meter.add(active);
+    // Staging copies keep the DMA engines and the PCIe PHY powered for
+    // their wire time — charged on top of the compute integration.
+    rep.transfer_joules =
+        ex.power().transfer_watts * (rep.h2d_seconds + rep.d2h_seconds);
+    if (rep.transfer_joules > 0.0)
+      meter.add(energy::EnergyResult{rep.transfer_joules, 0.0});
     meter.add_idle(ex.power(), sched.makespan - sched.finish[static_cast<std::size_t>(e)]);
     result.steals += rep.stolen;
+    result.h2d_bytes += rep.h2d_bytes;
+    result.d2h_bytes += rep.d2h_bytes;
     result.executors.push_back(std::move(rep));
   }
   meter.set_wall_seconds(sched.makespan);

@@ -54,6 +54,18 @@ struct HeteroOptions {
   /// Only consulted when the pool carries a fault spec (or the
   /// VBATCH_INJECT_FAULTS environment knob is set).
   fault::RetryPolicy retry;
+
+  /// Out-of-core staging policy (docs/heterogeneous.md, "Out-of-core
+  /// streaming"). Auto streams a GPU executor exactly when the batch
+  /// footprint exceeds its arena budget; Streamed forces every GPU executor
+  /// through the chunked pipeline (the testing/bench mode); Resident keeps
+  /// the classic everything-fits schedule and throws if it doesn't.
+  enum class Staging : std::uint8_t { Auto, Streamed, Resident };
+  Staging staging = Staging::Auto;
+  /// Double-buffered chunk prefetch on streaming executors: chunk k+1's H2D
+  /// overlaps chunk k's compute. false = synchronous staging (the
+  /// measurement baseline).
+  bool prefetch = true;
 };
 
 /// Per-executor slice of a heterogeneous run.
@@ -72,6 +84,18 @@ struct ExecutorReport {
   double overlap = 1.0;
   int retries = 0;              ///< transient attempts wasted on this executor
   bool lost = false;            ///< permanently lost (death or hung watchdog)
+
+  // --- Out-of-core staging slice (zeros for resident executors) ----------
+  bool streamed = false;        ///< ran the chunked out-of-core pipeline
+  double h2d_seconds = 0.0;     ///< committed host→device copy seconds
+  double d2h_seconds = 0.0;     ///< committed device→host copy seconds
+  double h2d_bytes = 0.0;       ///< bytes staged in
+  double d2h_bytes = 0.0;       ///< bytes written back
+  /// Union of compute + transfer intervals. (busy + h2d + d2h) / pipeline
+  /// measures how much staging traffic the double buffering hid; 1.0 means
+  /// everything overlapped, higher means exposed transfer time.
+  double pipeline_seconds = 0.0;
+  double transfer_joules = 0.0; ///< DMA/PHY energy of the staging copies
 };
 
 struct HeteroResult {
@@ -82,6 +106,8 @@ struct HeteroResult {
   int steals = 0;
   energy::EnergyResult energy;  ///< pool total: active + idle tails, over makespan
   std::vector<ExecutorReport> executors;
+  double h2d_bytes = 0.0;       ///< pool-wide bytes staged host→device
+  double d2h_bytes = 0.0;       ///< pool-wide bytes written back
 
   // --- Fault-recovery ledger (all zero/empty on a fault-free run) --------
   int retries = 0;              ///< transient attempts wasted pool-wide

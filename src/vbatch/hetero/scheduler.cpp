@@ -24,11 +24,18 @@ struct InFlight {
   int stream = 0;
   int attempt = 0;
   bool stolen = false;
-  double start = 0.0;
-  double dur = 0.0;
-  double end = 0.0;
+  double start = 0.0;  ///< compute start (== dispatch clock when resident)
+  double dur = 0.0;    ///< compute duration (est / rate)
+  double end = 0.0;    ///< commit time: compute end, or d2h end when streamed
   double occ = 1.0;
   double rate = 1.0;
+  // Out-of-core staging trajectory (all zero for a resident chunk).
+  bool streamed = false;
+  double bytes = 0.0;
+  double h2d_start = 0.0;
+  double h2d_end = 0.0;
+  double d2h_start = 0.0;
+  double d2h_end = 0.0;
 };
 
 /// Union length of [start, end) intervals — one executor's occupied time.
@@ -68,6 +75,30 @@ ScheduleResult run_schedule(const ScheduleParams& params,
   for (const auto& row : params.occupancy)
     for (const double o : row)
       require(o > 0.0 && o <= 1.0, "run_schedule: occupancy values must be in (0, 1]");
+  require(params.h2d.empty() || static_cast<int>(params.h2d.size()) == E,
+          "run_schedule: h2d rows must be empty or match executor count");
+  require(params.d2h.size() == params.h2d.size(),
+          "run_schedule: h2d/d2h row counts must match");
+  bool any_streamed = false;
+  for (std::size_t e = 0; e < params.h2d.size(); ++e) {
+    const auto& hrow = params.h2d[e];
+    const auto& drow = params.d2h[e];
+    require(hrow.size() == drow.size(), "run_schedule: h2d/d2h column counts must match");
+    require(hrow.empty() || static_cast<int>(hrow.size()) == C,
+            "run_schedule: h2d rows must be empty or match chunk count");
+    for (std::size_t c = 0; c < hrow.size(); ++c)
+      require(hrow[c] >= 0.0 && drow[c] >= 0.0,
+              "run_schedule: transfer seconds must be non-negative");
+    any_streamed |= !hrow.empty();
+  }
+  if (any_streamed) {
+    require(static_cast<int>(params.chunk_bytes.size()) == C,
+            "run_schedule: chunk_bytes must match chunk count when any executor streams");
+    for (const double b : params.chunk_bytes)
+      require(b >= 0.0, "run_schedule: chunk_bytes must be non-negative");
+  }
+  require(params.arena.empty() || static_cast<int>(params.arena.size()) == E,
+          "run_schedule: arena must be empty or match executor count");
   const fault::FaultPlan* plan =
       (params.faults != nullptr && !params.faults->empty()) ? params.faults : nullptr;
   if (plan != nullptr) {
@@ -99,6 +130,12 @@ ScheduleResult run_schedule(const ScheduleParams& params,
   res.lost.assign(static_cast<std::size_t>(E), 0);
   res.attempts.assign(static_cast<std::size_t>(C), 0);
   res.poisoned.assign(static_cast<std::size_t>(C), 0);
+  res.h2d_seconds.assign(static_cast<std::size_t>(E), 0.0);
+  res.d2h_seconds.assign(static_cast<std::size_t>(E), 0.0);
+  res.h2d_bytes.assign(static_cast<std::size_t>(E), 0.0);
+  res.d2h_bytes.assign(static_cast<std::size_t>(E), 0.0);
+  res.pipeline.assign(static_cast<std::size_t>(E), 0.0);
+  res.staging.assign(static_cast<std::size_t>(C), {0.0, 0.0, 0.0, 0.0});
 
   std::vector<double> clock(static_cast<std::size_t>(E), 0.0);
   for (int e = 0; e < E && e < static_cast<int>(params.initial_clock.size()); ++e)
@@ -120,11 +157,32 @@ ScheduleResult run_schedule(const ScheduleParams& params,
   // the per-executor busy intervals for the occupied (union) ledger.
   std::vector<std::vector<InFlight>> fly(static_cast<std::size_t>(E));
   std::vector<std::vector<std::pair<double, double>>> intervals(static_cast<std::size_t>(E));
+  // Pipeline intervals (compute + transfers) for the staging overlap span.
+  std::vector<std::vector<std::pair<double, double>>> pipe(static_cast<std::size_t>(E));
+  // Per-direction DMA lane clocks: copies in one direction serialize on
+  // their lane, the two directions are independent engines.
+  std::vector<double> h2d_free(static_cast<std::size_t>(E), 0.0);
+  std::vector<double> d2h_free(static_cast<std::size_t>(E), 0.0);
+  for (int e = 0; e < E; ++e)
+    h2d_free[static_cast<std::size_t>(e)] = d2h_free[static_cast<std::size_t>(e)] =
+        clock[static_cast<std::size_t>(e)];
   Rng rng(params.seed);
   int left = C;
 
   auto estimate_of = [&](int e, int c) {
     return params.estimate[static_cast<std::size_t>(e)][static_cast<std::size_t>(c)];
+  };
+  auto streamed_of = [&](int e) {
+    return !params.h2d.empty() && !params.h2d[static_cast<std::size_t>(e)].empty();
+  };
+  auto h2d_of = [&](int e, int c) {
+    return params.h2d[static_cast<std::size_t>(e)][static_cast<std::size_t>(c)];
+  };
+  auto d2h_of = [&](int e, int c) {
+    return params.d2h[static_cast<std::size_t>(e)][static_cast<std::size_t>(c)];
+  };
+  auto arena_of = [&](int e) {
+    return params.arena.empty() ? 0.0 : params.arena[static_cast<std::size_t>(e)];
   };
   auto occupancy_of = [&](int e, int c) {
     if (params.occupancy.empty()) return 1.0;
@@ -132,6 +190,13 @@ ScheduleResult run_schedule(const ScheduleParams& params,
   };
   auto streams_of = [&](int e) {
     return params.streams.empty() ? 1 : params.streams[static_cast<std::size_t>(e)];
+  };
+  // Pipeline slots the dispatcher may fill: the compute slots, plus one
+  // prefetch slot on a streaming executor (double buffering — the extra
+  // chunk stages while the others compute; compute concurrency itself stays
+  // capped at streams_of below).
+  auto capacity_of = [&](int e) {
+    return streams_of(e) + ((params.prefetch && streamed_of(e)) ? 1 : 0);
   };
   auto remaining_load = [&](int e) {
     double load = 0.0;
@@ -146,7 +211,7 @@ ScheduleResult run_schedule(const ScheduleParams& params,
   // a stream slot is free, else the first in-flight completion. With one
   // stream this is exactly the post-execution clock of the serial schedule.
   auto dispatch_ready = [&](int e) {
-    if (static_cast<int>(fly[static_cast<std::size_t>(e)].size()) < streams_of(e))
+    if (static_cast<int>(fly[static_cast<std::size_t>(e)].size()) < capacity_of(e))
       return clock[static_cast<std::size_t>(e)];
     double first_free = kInf;
     for (const InFlight& f : fly[static_cast<std::size_t>(e)])
@@ -222,13 +287,18 @@ ScheduleResult run_schedule(const ScheduleParams& params,
       iv.chunk = f.chunk;
       iv.attempt = f.attempt;
       iv.stream = f.stream;
-      iv.start = f.start;
-      iv.waste_seconds = std::max(0.0, t_death - f.start);
+      // A streamed chunk starts burning time at its H2D start — the staging
+      // already done when the executor died is waste too.
+      const double t_begin = f.streamed ? f.h2d_start : f.start;
+      iv.start = t_begin;
+      iv.waste_seconds = std::max(0.0, t_death - t_begin);
       res.busy[static_cast<std::size_t>(e)] += iv.waste_seconds;
       res.finish[static_cast<std::size_t>(e)] =
           std::max(res.finish[static_cast<std::size_t>(e)], t_death);
-      if (iv.waste_seconds > 0.0)
-        intervals[static_cast<std::size_t>(e)].emplace_back(f.start, t_death);
+      if (iv.waste_seconds > 0.0) {
+        intervals[static_cast<std::size_t>(e)].emplace_back(t_begin, t_death);
+        if (f.streamed) pipe[static_cast<std::size_t>(e)].emplace_back(t_begin, t_death);
+      }
       emit(iv);
     }
     for (const InFlight& f : doomed) redispatch(f.chunk);
@@ -257,7 +327,7 @@ ScheduleResult run_schedule(const ScheduleParams& params,
     double dt = kInf;
     for (int e = 0; e < E; ++e) {
       if (retired[static_cast<std::size_t>(e)] || !alive[static_cast<std::size_t>(e)]) continue;
-      if (static_cast<int>(fly[static_cast<std::size_t>(e)].size()) >= streams_of(e)) continue;
+      if (static_cast<int>(fly[static_cast<std::size_t>(e)].size()) >= capacity_of(e)) continue;
       if (clock[static_cast<std::size_t>(e)] < dt) {
         dt = clock[static_cast<std::size_t>(e)];
         de = e;
@@ -291,7 +361,16 @@ ScheduleResult run_schedule(const ScheduleParams& params,
       const InFlight f = fly[static_cast<std::size_t>(actor)][ci];
       fly[static_cast<std::size_t>(actor)].erase(
           fly[static_cast<std::size_t>(actor)].begin() + static_cast<std::ptrdiff_t>(ci));
-      execute(actor, f.chunk, StreamSlot{f.stream, f.start, f.rate});
+      StreamSlot slot{f.stream, f.start, f.rate};
+      if (f.streamed) {
+        slot.h2d_start = f.h2d_start;
+        slot.h2d_seconds = f.h2d_end - f.h2d_start;
+        slot.d2h_start = f.d2h_start;
+        slot.d2h_seconds = f.d2h_end - f.d2h_start;
+        slot.bytes = f.bytes;
+        slot.chunk = f.chunk;
+      }
+      execute(actor, f.chunk, slot);
       clock[static_cast<std::size_t>(actor)] =
           std::max(clock[static_cast<std::size_t>(actor)], f.end);
       res.busy[static_cast<std::size_t>(actor)] += f.dur;
@@ -301,7 +380,21 @@ ScheduleResult run_schedule(const ScheduleParams& params,
       if (f.stolen) res.chunks_stolen[static_cast<std::size_t>(actor)] += 1;
       res.executed_by[static_cast<std::size_t>(f.chunk)] = actor;
       completed[static_cast<std::size_t>(actor)] += 1;
-      intervals[static_cast<std::size_t>(actor)].emplace_back(f.start, f.end);
+      if (f.streamed) {
+        // Busy/occupied track compute only; the staging ledger and the
+        // pipeline span carry the transfers.
+        intervals[static_cast<std::size_t>(actor)].emplace_back(f.start, f.start + f.dur);
+        pipe[static_cast<std::size_t>(actor)].emplace_back(f.h2d_start, f.end);
+        res.h2d_seconds[static_cast<std::size_t>(actor)] += f.h2d_end - f.h2d_start;
+        res.d2h_seconds[static_cast<std::size_t>(actor)] += f.d2h_end - f.d2h_start;
+        res.h2d_bytes[static_cast<std::size_t>(actor)] += f.bytes;
+        res.d2h_bytes[static_cast<std::size_t>(actor)] += f.bytes;
+        res.staging[static_cast<std::size_t>(f.chunk)] = {f.h2d_start, f.h2d_end, f.d2h_start,
+                                                          f.d2h_end};
+      } else {
+        intervals[static_cast<std::size_t>(actor)].emplace_back(f.start, f.end);
+        pipe[static_cast<std::size_t>(actor)].emplace_back(f.start, f.end);
+      }
       --left;
       continue;
     }
@@ -367,18 +460,7 @@ ScheduleResult run_schedule(const ScheduleParams& params,
         plan != nullptr ? plan->attempt_outcome(actor, chunk, attempt) : fault::FaultKind::None;
 
     if (outcome == fault::FaultKind::None) {
-      // Reserve a stream slot. The chunk contends with the occupancy the
-      // chunks already in flight left behind: with free share s it runs at
-      // rate min(1, s / occ) — an empty device always yields rate exactly
-      // 1.0, which keeps single-stream durations bitwise equal to the
-      // estimates. The rate is fixed at dispatch (later arrivals yield
-      // instead of re-timing earlier chunks), keeping the event loop
-      // causal and deterministic.
       const auto& fl = fly[static_cast<std::size_t>(actor)];
-      double used = 0.0;
-      for (const InFlight& f : fl) used += f.occ;
-      const double share =
-          std::max(1.0 - used, 1.0 / (static_cast<double>(fl.size()) + 1.0));
       const double occ = occupancy_of(actor, chunk);
       InFlight f;
       f.chunk = chunk;
@@ -386,10 +468,92 @@ ScheduleResult run_schedule(const ScheduleParams& params,
       f.attempt = attempt;
       f.stolen = stolen;
       f.occ = occ;
-      f.rate = occ <= share ? 1.0 : share / occ;
-      f.start = clock[static_cast<std::size_t>(actor)];
-      f.dur = estimate_of(actor, chunk) / f.rate;
-      f.end = f.start + f.dur;
+      if (!streamed_of(actor)) {
+        // Resident dispatch (the classic schedule, kept bitwise intact).
+        // Reserve a stream slot. The chunk contends with the occupancy the
+        // chunks already in flight left behind: with free share s it runs
+        // at rate min(1, s / occ) — an empty device always yields rate
+        // exactly 1.0, which keeps single-stream durations bitwise equal to
+        // the estimates. The rate is fixed at dispatch (later arrivals
+        // yield instead of re-timing earlier chunks), keeping the event
+        // loop causal and deterministic.
+        double used = 0.0;
+        for (const InFlight& g : fl) used += g.occ;
+        const double share =
+            std::max(1.0 - used, 1.0 / (static_cast<double>(fl.size()) + 1.0));
+        f.rate = occ <= share ? 1.0 : share / occ;
+        f.start = clock[static_cast<std::size_t>(actor)];
+        f.dur = estimate_of(actor, chunk) / f.rate;
+        f.end = f.start + f.dur;
+      } else {
+        // Out-of-core dispatch: the whole trajectory is fixed now, from the
+        // per-direction lane clocks and the arena admission — deterministic
+        // because every in-flight release time is already known.
+        f.streamed = true;
+        f.bytes = params.chunk_bytes[static_cast<std::size_t>(chunk)];
+        const double h2d_sec = h2d_of(actor, chunk);
+        const double d2h_sec = d2h_of(actor, chunk);
+        // Arena admission: H2D may begin once the lane is free AND the
+        // in-flight resident bytes leave room. In-flight chunks hold their
+        // bytes until their D2H completes; walk the release times forward
+        // until the chunk fits. Earlier chunks' H2D starts are all <= this
+        // one's (the lane serializes), so the resident set at time t is
+        // exactly the in-flight chunks with d2h_end > t.
+        double t = std::max(clock[static_cast<std::size_t>(actor)],
+                            h2d_free[static_cast<std::size_t>(actor)]);
+        const double budget = arena_of(actor);
+        if (budget > 0.0) {
+          std::vector<std::pair<double, double>> releases;  // (d2h_end, bytes)
+          double resident = 0.0;
+          for (const InFlight& g : fl) {
+            if (!g.streamed || g.d2h_end <= t) continue;
+            resident += g.bytes;
+            releases.emplace_back(g.d2h_end, g.bytes);
+          }
+          std::sort(releases.begin(), releases.end());
+          std::size_t r = 0;
+          while (resident + f.bytes > budget && r < releases.size()) {
+            t = std::max(t, releases[r].first);
+            resident -= releases[r].second;
+            ++r;
+          }
+          require(resident + f.bytes <= budget,
+                  "run_schedule: a single chunk's footprint exceeds the staging arena "
+                  "(raise the arena budget or chunks_per_executor)");
+        }
+        f.h2d_start = t;
+        f.h2d_end = t + h2d_sec;
+        h2d_free[static_cast<std::size_t>(actor)] = f.h2d_end;
+        // Compute waits for the copy and for one of the streams_of compute
+        // slots — the prefetch slot stages, it never computes early.
+        double avail = f.h2d_end;
+        const int k = streams_of(actor);
+        if (static_cast<int>(fl.size()) >= k) {
+          std::vector<double> ends;
+          ends.reserve(fl.size());
+          for (const InFlight& g : fl) ends.push_back(g.start + g.dur);
+          std::sort(ends.begin(), ends.end());
+          avail = std::max(avail, ends[fl.size() - static_cast<std::size_t>(k)]);
+        }
+        f.start = avail;
+        // Contention counts only the chunks still computing when this one
+        // starts (the pipeline's staging phases don't occupy device slots).
+        double used = 0.0;
+        std::size_t computing = 0;
+        for (const InFlight& g : fl) {
+          if (g.start + g.dur <= avail) continue;
+          used += g.occ;
+          ++computing;
+        }
+        const double share =
+            std::max(1.0 - used, 1.0 / (static_cast<double>(computing) + 1.0));
+        f.rate = occ <= share ? 1.0 : share / occ;
+        f.dur = estimate_of(actor, chunk) / f.rate;
+        f.d2h_start = std::max(f.start + f.dur, d2h_free[static_cast<std::size_t>(actor)]);
+        f.d2h_end = f.d2h_start + d2h_sec;
+        d2h_free[static_cast<std::size_t>(actor)] = f.d2h_end;
+        f.end = f.d2h_end;
+      }
       fly[static_cast<std::size_t>(actor)].push_back(f);
       res.max_in_flight[static_cast<std::size_t>(actor)] =
           std::max(res.max_in_flight[static_cast<std::size_t>(actor)],
@@ -428,9 +592,15 @@ ScheduleResult run_schedule(const ScheduleParams& params,
     // time is wasted, a deterministic exponential backoff precedes the
     // retry. The work never commits — numerics run only on success. The
     // wasted attempt serializes on the dispatch clock (the slot never
-    // carried a live chunk); in-flight peers keep running.
+    // carried a live chunk); in-flight peers keep running. On a streaming
+    // executor the staging is wasted too: the retry re-stages the chunk
+    // from the pristine host input, so the faulted attempt charges its
+    // transfers alongside the compute.
     ev.kind = fault::FaultKind::Transient;
     ev.waste_seconds = estimate_of(actor, chunk);
+    if (streamed_of(actor)) {
+      ev.waste_seconds += h2d_of(actor, chunk) + d2h_of(actor, chunk);
+    }
     ev.backoff_seconds =
         params.retry.backoff_seconds *
         std::pow(params.retry.backoff_multiplier, static_cast<double>(attempt - 1));
@@ -445,6 +615,14 @@ ScheduleResult run_schedule(const ScheduleParams& params,
     res.retries[static_cast<std::size_t>(actor)] += 1;
     ++res.retries_total;
     res.backoff_seconds += ev.backoff_seconds;
+    if (streamed_of(actor)) {
+      // The failed attempt held both DMA lanes; they free with the clock.
+      h2d_free[static_cast<std::size_t>(actor)] = std::max(
+          h2d_free[static_cast<std::size_t>(actor)], clock[static_cast<std::size_t>(actor)]);
+      d2h_free[static_cast<std::size_t>(actor)] = std::max(
+          d2h_free[static_cast<std::size_t>(actor)], clock[static_cast<std::size_t>(actor)]);
+      pipe[static_cast<std::size_t>(actor)].emplace_back(ev.start, ev.start + ev.waste_seconds);
+    }
     emit(ev);
     if (attempt >= params.retry.max_attempts) {
       // This executor gives the chunk up; a surviving peer inherits it.
@@ -457,8 +635,10 @@ ScheduleResult run_schedule(const ScheduleParams& params,
     }
   }
 
-  for (int e = 0; e < E; ++e)
+  for (int e = 0; e < E; ++e) {
     res.occupied[static_cast<std::size_t>(e)] = union_seconds(intervals[static_cast<std::size_t>(e)]);
+    res.pipeline[static_cast<std::size_t>(e)] = union_seconds(pipe[static_cast<std::size_t>(e)]);
+  }
   res.makespan = *std::max_element(res.finish.begin(), res.finish.end());
   return res;
 }

@@ -32,6 +32,20 @@
 // on every executor, even a *different* schedule reproduces the same bits;
 // only the modelled makespan moves.
 //
+// Out-of-core streaming (docs/heterogeneous.md, "Out-of-core streaming"):
+// an executor whose h2d/d2h rows are set stages every chunk through a
+// bounded arena instead of assuming residency. A streamed chunk's
+// trajectory is fixed at dispatch: H2D on the executor's (serializing)
+// host→device DMA lane as soon as the arena admits the chunk's bytes,
+// compute once the copy lands and one of the streams[e] compute slots
+// frees, write-back on the independent D2H lane — and the chunk commits
+// (numerics run, exactly once, in global virtual-time order) when the
+// write-back completes. With prefetch on, the executor holds one extra
+// pipeline slot, so chunk k+1's H2D overlaps chunk k's compute and chunk
+// k-1's D2H (double buffering); with prefetch off the stages serialize per
+// slot (synchronous staging — the bench baseline). Executors without
+// transfer rows run the classic resident schedule clock-for-clock.
+//
 // Fault recovery (docs/robustness.md): when a FaultPlan is attached, every
 // attempt is first checked against the injection oracle. A transient fault
 // charges the attempt's modelled time plus a deterministic exponential
@@ -49,6 +63,7 @@
 // the call.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -94,6 +109,23 @@ struct ScheduleParams {
   const fault::FaultPlan* faults = nullptr;
   /// Retry/backoff/watchdog bounds for the recovery loop.
   fault::RetryPolicy retry;
+
+  // --- Out-of-core staging (empty = every executor resident, the classic
+  //     schedule). h2d[e][c] / d2h[e][c] are the per-chunk staging seconds
+  //     for executor e; an empty row e keeps that executor resident.
+  std::vector<std::vector<double>> h2d;
+  std::vector<std::vector<double>> d2h;
+  /// chunk_bytes[c]: payload footprint a streamed chunk holds in the arena
+  /// from H2D start to D2H completion. Required when any executor streams.
+  std::vector<double> chunk_bytes;
+  /// arena[e]: staging budget in bytes for streaming executors (<= 0 =
+  /// unbounded). A chunk's H2D waits until the in-flight resident bytes
+  /// plus its own fit the budget.
+  std::vector<double> arena;
+  /// Double-buffered prefetch: a streaming executor gets one extra pipeline
+  /// slot, so the next chunk's H2D runs while the current one computes.
+  /// false = synchronous staging (h2d → compute → d2h serialize per slot).
+  bool prefetch = true;
 };
 
 struct ScheduleResult {
@@ -109,6 +141,20 @@ struct ScheduleResult {
   std::vector<double> occupied;
   /// Per-executor high-water mark of simultaneously in-flight chunks.
   std::vector<int> max_in_flight;
+
+  // --- Out-of-core staging ledger (zeros when nobody streams) ------------
+  std::vector<double> h2d_seconds;  ///< per-executor committed H2D seconds
+  std::vector<double> d2h_seconds;  ///< per-executor committed D2H seconds
+  std::vector<double> h2d_bytes;    ///< per-executor bytes staged in
+  std::vector<double> d2h_bytes;    ///< per-executor bytes written back
+  /// Per-executor union of compute + transfer intervals (the pipeline
+  /// span). (busy + h2d + d2h) / pipeline measures how much of the staging
+  /// traffic the schedule hid behind compute.
+  std::vector<double> pipeline;
+  /// Per-chunk committed staging placement {h2d_start, h2d_end, d2h_start,
+  /// d2h_end} in virtual time; all zero for resident chunks. Tests use it
+  /// to assert the arena budget and the per-direction lane serialization.
+  std::vector<std::array<double, 4>> staging;
 
   // --- Fault-recovery ledger (all empty/zero on a fault-free run) --------
   std::vector<int> retries;         ///< per-executor transient attempts wasted

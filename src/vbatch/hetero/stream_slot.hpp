@@ -13,11 +13,22 @@ namespace vbatch::hetero {
 
 struct StreamSlot {
   int stream = 0;     ///< stream index inside the executor, 0-based
-  double start = 0.0; ///< executor virtual clock when the chunk was dispatched
+  double start = 0.0; ///< executor virtual clock where the compute begins
   /// Modelled progress rate under stream contention: the chunk occupies its
   /// stream for serial_seconds / rate. 1.0 = no contention (the chunk's
   /// occupancy fits in the device's free slot share at dispatch).
   double rate = 1.0;
+
+  // --- Out-of-core staging placement (all zero for a resident chunk). A
+  // streamed chunk's inputs occupy the executor's arena over
+  // [h2d_start, d2h_start + d2h_seconds); the GPU executor records the two
+  // copies on its timeline's transfer lane at these positions.
+  double h2d_start = 0.0;
+  double h2d_seconds = 0.0;
+  double d2h_start = 0.0;
+  double d2h_seconds = 0.0;
+  double bytes = 0.0;  ///< chunk payload footprint staged each way
+  int chunk = -1;      ///< chunk index (transfer-record label)
 };
 
 }  // namespace vbatch::hetero

@@ -102,6 +102,20 @@ void Device::charge_interval_at(const std::string& name, double at, double secon
   clock_ = std::max(clock_, at + seconds);
 }
 
+void Device::record_transfer(TransferDir dir, int chunk, double bytes, double at,
+                             double seconds) {
+  if (seconds <= 0.0) return;
+  TransferRecord rec;
+  rec.name = to_string(dir);
+  rec.dir = dir;
+  rec.chunk = chunk;
+  rec.bytes = bytes;
+  rec.start = at;
+  rec.end = at + seconds;
+  timeline_.add_transfer(std::move(rec));
+  clock_ = std::max(clock_, at + seconds);
+}
+
 void Device::retime_tail(std::size_t first_record, double base, double start, double rate,
                          int stream) {
   if (rate <= 0.0) rate = 1.0;

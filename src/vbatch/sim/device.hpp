@@ -102,6 +102,12 @@ class Device {
   /// never moves backward — concurrent chunks may retime out of order.
   void retime_tail(std::size_t first_record, double base, double start, double rate, int stream);
 
+  /// Appends a host↔device staging copy to the timeline's transfer lane at
+  /// an absolute clock interval [at, at + seconds). Transfers overlap
+  /// kernels by design (independent DMA engines), so the device clock only
+  /// ratchets forward to the transfer's end — it never stalls compute.
+  void record_transfer(TransferDir dir, int chunk, double bytes, double at, double seconds);
+
   /// Device-model clock in seconds since construction / last reset.
   [[nodiscard]] double time() const noexcept { return clock_; }
   void reset_time() noexcept { clock_ = 0.0; }

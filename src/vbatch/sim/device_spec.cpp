@@ -15,6 +15,12 @@ DeviceSpec DeviceSpec::k40c() {
   s.name = "Tesla K40c (simulated)";
   // Defaults above are the K40c values; peak: 15*192*2*0.745 = 4.29 SP Tflop/s,
   // 15*64*2*0.745 = 1.43 DP Tflop/s — matching the published board figures.
+  // Staging link: pinned-memory PCIe gen3 copies run slightly faster D2H
+  // than H2D on Kepler boards (bandwidthTest-style figures).
+  s.h2d_bandwidth_gbps = 6.0;
+  s.d2h_bandwidth_gbps = 6.6;
+  s.h2d_latency_us = 8.0;
+  s.d2h_latency_us = 8.0;
   return s;
 }
 
@@ -32,6 +38,11 @@ DeviceSpec DeviceSpec::p100() {
   s.mem_bandwidth_gbps = 732.0 * 0.8;  // HBM2, ECC overhead smaller
   s.global_mem_bytes = 16ull * 1024 * 1024 * 1024;
   s.kernel_launch_overhead_us = 4.0;
+  // Staging link: a healthier gen3 x16 implementation than the K40c's.
+  s.h2d_bandwidth_gbps = 11.5;
+  s.d2h_bandwidth_gbps = 12.3;
+  s.h2d_latency_us = 6.0;
+  s.d2h_latency_us = 6.0;
   // Peaks: 56*64*2*1.328 = 9.52 SP Tflop/s, 56*32*2*1.328 = 4.76 DP Tflop/s.
   return s;
 }

@@ -57,6 +57,16 @@ struct DeviceSpec {
   double pcie_bandwidth_gbps = 6.0;  // PCIe gen3 x16 achievable
   double pcie_latency_us = 8.0;      // per-transfer latency
 
+  // --- Out-of-core staging link (hetero out-of-core streaming). The two
+  //     directions are independent DMA engines: an H2D prefetch and a D2H
+  //     write-back overlap each other and the compute stream. Defaults
+  //     follow the symmetric pcie_* figures above; presets may skew them
+  //     (measured PCIe copies are slightly direction-asymmetric).
+  double h2d_bandwidth_gbps = 6.0;
+  double d2h_bandwidth_gbps = 6.0;
+  double h2d_latency_us = 8.0;
+  double d2h_latency_us = 8.0;
+
   /// Peak arithmetic throughput in Gflop/s for the given precision.
   [[nodiscard]] double peak_gflops(Precision p) const noexcept;
 
@@ -65,6 +75,17 @@ struct DeviceSpec {
 
   /// Seconds per core clock cycle.
   [[nodiscard]] double cycle_seconds() const noexcept { return 1e-9 / clock_ghz; }
+
+  /// Modelled host→device staging time for one chunk of `bytes`: the
+  /// per-transfer DMA setup latency plus the bandwidth term.
+  [[nodiscard]] double h2d_seconds(double bytes) const noexcept {
+    return h2d_latency_us * 1e-6 + bytes / (h2d_bandwidth_gbps * 1e9);
+  }
+
+  /// Modelled device→host write-back time for one chunk of `bytes`.
+  [[nodiscard]] double d2h_seconds(double bytes) const noexcept {
+    return d2h_latency_us * 1e-6 + bytes / (d2h_bandwidth_gbps * 1e9);
+  }
 
   /// Tesla K40c (Kepler GK110B), the paper's GPU (§IV-A).
   [[nodiscard]] static DeviceSpec k40c();

@@ -26,6 +26,18 @@ std::vector<KernelProfile> profile_timeline(const Timeline& timeline) {
     if (rec.stream >= 0) streams[rec.name].insert(rec.stream);
     if (rec.end > rec.start) intervals[rec.name].emplace_back(rec.start, rec.end);
   }
+  // The transfer lane (out-of-core staging copies) aggregates like kernels:
+  // the GB/s column then reads as the achieved link bandwidth, and the
+  // overlap column as the h2d/d2h pipelining the double-buffered schedule
+  // achieved. Zero flops keeps them out of every arithmetic ratio.
+  for (const auto& t : timeline.transfers()) {
+    KernelProfile& p = agg[t.name];
+    p.name = t.name;
+    ++p.launches;
+    p.seconds += t.end - t.start;
+    p.bytes += t.bytes;
+    if (t.end > t.start) intervals[t.name].emplace_back(t.start, t.end);
+  }
   for (auto& [name, used] : streams) agg[name].streams = static_cast<int>(used.size());
   for (auto& [name, iv] : intervals) {
     // Union of the kernel's intervals: records on concurrent streams overlap

@@ -1,8 +1,11 @@
 // Kernel-level profiling over a device timeline — the nvprof-style view of
 // a simulated run. Aggregates per kernel name: launch counts, time share,
 // achieved Gflop/s and bandwidth, average residency and the fraction of
-// blocks that exited through an ETM. Tests use it for scheduling
-// assertions; tools/vbatch_cli exposes it to users.
+// blocks that exited through an ETM. The timeline's transfer lane (the
+// out-of-core staging copies) aggregates into the same table under "h2d" /
+// "d2h", so transfer-bound vs compute-bound runs are visible at a glance.
+// Tests use it for scheduling assertions; tools/vbatch_cli exposes it to
+// users.
 #pragma once
 
 #include <iosfwd>

@@ -37,6 +37,20 @@ double Timeline::fault_seconds() const noexcept {
   return total;
 }
 
+double Timeline::transfer_bytes(TransferDir dir) const noexcept {
+  double total = 0.0;
+  for (const auto& t : transfers_)
+    if (t.dir == dir) total += t.bytes;
+  return total;
+}
+
+double Timeline::transfer_seconds(TransferDir dir) const noexcept {
+  double total = 0.0;
+  for (const auto& t : transfers_)
+    if (t.dir == dir) total += t.end - t.start;
+  return total;
+}
+
 int Timeline::streams_used() const noexcept {
   std::set<int> streams;
   for (const auto& r : records_)

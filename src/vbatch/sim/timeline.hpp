@@ -32,10 +32,35 @@ struct KernelRecord {
   bool fault = false;
 };
 
+/// Direction of a host↔device staging copy.
+enum class TransferDir : unsigned char { H2D, D2H };
+
+[[nodiscard]] constexpr const char* to_string(TransferDir d) noexcept {
+  return d == TransferDir::H2D ? "h2d" : "d2h";
+}
+
+/// One modelled host↔device chunk copy on the device's DMA lane — the
+/// out-of-core streaming pipeline's record (hetero/scheduler.hpp). Lives in
+/// a separate timeline lane: transfers overlap kernels by design, so they
+/// must not perturb the kernel-record invariants tests and the energy
+/// integration rely on.
+struct TransferRecord {
+  std::string name;  ///< e.g. "h2d.chunk" — profile aggregation key
+  TransferDir dir = TransferDir::H2D;
+  double bytes = 0.0;
+  double start = 0.0;  ///< device-clock seconds
+  double end = 0.0;
+  int chunk = -1;  ///< hetero chunk index (-1 when unknown)
+};
+
 class Timeline {
  public:
   void add(KernelRecord rec) { records_.push_back(std::move(rec)); }
-  void clear() { records_.clear(); }
+  void add_transfer(TransferRecord rec) { transfers_.push_back(std::move(rec)); }
+  void clear() {
+    records_.clear();
+    transfers_.clear();
+  }
 
   [[nodiscard]] const std::vector<KernelRecord>& records() const noexcept { return records_; }
   /// Mutable access for the device's retime pass (Device::retime_tail moves
@@ -63,8 +88,17 @@ class Timeline {
   [[nodiscard]] std::size_t fault_count() const noexcept;
   [[nodiscard]] double fault_seconds() const noexcept;
 
+  // --- Transfer lane (out-of-core staging copies) -------------------------
+  [[nodiscard]] const std::vector<TransferRecord>& transfers() const noexcept {
+    return transfers_;
+  }
+  /// Total bytes / busy seconds moved in the given direction.
+  [[nodiscard]] double transfer_bytes(TransferDir dir) const noexcept;
+  [[nodiscard]] double transfer_seconds(TransferDir dir) const noexcept;
+
  private:
   std::vector<KernelRecord> records_;
+  std::vector<TransferRecord> transfers_;
 };
 
 }  // namespace vbatch::sim

@@ -15,11 +15,18 @@
 //                      the matching power model for --energy)
 //     --hetero LIST    run on a heterogeneous pool instead of one device,
 //                      e.g. --hetero cpu,k40c,p100 (tokens: cpu, k40c, p100;
-//                      a token may carry a ':Nstreams' suffix, e.g. k40c:4streams)
+//                      a token may carry ':Nstreams' and/or ':Ngb' suffixes,
+//                      e.g. k40c:4streams:2gb)
 //     --streams N      concurrent stream slots per pool executor
 //                      (requires --hetero; overrides any ':Nstreams' suffix;
 //                      GPUs clamp to the device limit, the cpu executor to 1;
 //                      factors are bit-identical for every stream count)
+//     --arena-gb X     staging-arena budget (GiB) for every GPU executor
+//                      (requires --hetero; overrides any ':Ngb' suffix and the
+//                      VBATCH_ARENA_GB env var; batches whose footprint
+//                      exceeds the budget stream out-of-core through
+//                      double-buffered chunked transfers — factors stay
+//                      bit-identical to the in-core run)
 //     --inject-faults SPEC
 //                      deterministic fault injection into the hetero pool
 //                      (requires --hetero; docs/robustness.md), e.g.
@@ -75,6 +82,7 @@ struct CliOptions {
   std::string hetero;  ///< non-empty = heterogeneous pool description
   std::string inject_faults;  ///< non-empty = fault spec for the hetero pool
   int streams = 0;  ///< >0 = override stream slots on every pool executor
+  double arena_gb = 0.0;  ///< >0 = staging-arena budget for every pool GPU
   vbatch::PotrfOptions potrf;
   bool tune = false;
   bool profile = false;
@@ -86,8 +94,9 @@ struct CliOptions {
 
 [[noreturn]] void usage(const char* argv0, int exit_code) {
   std::printf("usage: %s [--batch N] [--nmax N] [--dist uniform|gaussian|skewed|cluster]\n"
-              "          [--precision s|d] [--device k40c|p100] [--hetero cpu,k40c:4streams,...]\n"
-              "          [--inject-faults SPEC] [--streams N] [--path auto|fused|separated]\n"
+              "          [--precision s|d] [--device k40c|p100] [--hetero cpu,k40c:4streams:2gb,...]\n"
+              "          [--inject-faults SPEC] [--streams N] [--arena-gb X]\n"
+              "          [--path auto|fused|separated]\n"
               "          [--etm classic|aggressive] [--no-sort] [--tune]\n"
               "          [--isa scalar|sse2|neon|avx2|avx512]\n"
               "          [--profile] [--energy] [--verify] [--threads N] [--seed N] [--help]\n",
@@ -143,6 +152,7 @@ CliOptions parse(int argc, char** argv) {
     } else if (arg == "--hetero") o.hetero = next();
     else if (arg == "--inject-faults") o.inject_faults = next();
     else if (arg == "--streams") o.streams = std::atoi(next());
+    else if (arg == "--arena-gb") o.arena_gb = std::atof(next());
     else if (arg == "--no-sort") o.potrf.implicit_sorting = false;
     else if (arg == "--tune") o.tune = true;
     else if (arg == "--profile") o.profile = true;
@@ -158,6 +168,14 @@ CliOptions parse(int argc, char** argv) {
   }
   if (o.streams > 0 && o.hetero.empty()) {
     std::fprintf(stderr, "--streams requires --hetero (streams belong to pool executors)\n");
+    std::exit(2);
+  }
+  if (o.arena_gb != 0.0 && o.hetero.empty()) {
+    std::fprintf(stderr, "--arena-gb requires --hetero (the arena belongs to pool GPUs)\n");
+    std::exit(2);
+  }
+  if (o.arena_gb < 0.0) {
+    std::fprintf(stderr, "--arena-gb must be positive (got %g)\n", o.arena_gb);
     std::exit(2);
   }
   return o;
@@ -219,6 +237,9 @@ int run(const CliOptions& o) {
     }
     if (o.streams > 0)
       for (int e = 0; e < pool.size(); ++e) pool.executor(e).set_streams(o.streams);
+    if (o.arena_gb > 0.0)
+      for (int e = 0; e < pool.size(); ++e)
+        if (pool.executor(e).is_gpu()) pool.executor(e).set_arena_gb(o.arena_gb);
     if (!o.inject_faults.empty()) {
       try {
         pool.set_faults(fault::parse_fault_spec(o.inject_faults));
@@ -245,8 +266,19 @@ int run(const CliOptions& o) {
                   ex.retries > 0 ? "  [retries]" : "", ex.lost ? "  [LOST]" : "");
       if (ex.streams > 1)
         std::printf("  [%d streams, %.2fx overlap]", ex.streams, ex.overlap);
+      if (ex.streamed) {
+        // Staging traffic and how much of it the double buffering hid: the
+        // pipeline ratio is (compute + copies) / wall span of the pipeline.
+        const double moved = ex.busy_seconds + ex.h2d_seconds + ex.d2h_seconds;
+        std::printf("  [h2d %.1f MB, d2h %.1f MB, pipeline %.2fx]", ex.h2d_bytes / 1e6,
+                    ex.d2h_bytes / 1e6,
+                    ex.pipeline_seconds > 0.0 ? moved / ex.pipeline_seconds : 1.0);
+      }
       std::printf("\n");
     }
+    if (hr.h2d_bytes > 0.0)
+      std::printf("staging:  %.1f MB h2d + %.1f MB d2h streamed out-of-core\n",
+                  hr.h2d_bytes / 1e6, hr.d2h_bytes / 1e6);
     if (hr.retries > 0 || hr.executors_lost > 0 || hr.chunks_poisoned > 0)
       std::printf("recovery: %d retries (%.3f ms backoff), %d hangs, %d executors lost, "
                   "%d chunks poisoned\n",
