@@ -1,0 +1,170 @@
+#include "vbatch/service/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "vbatch/util/table.hpp"
+
+namespace vbatch::service {
+
+namespace {
+
+double nearest_rank(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::min(std::max(p, 0.0), 100.0);
+  // Nearest-rank: ceil(p/100 * N), 1-based; p=0 maps to the minimum.
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace
+
+double TenantStats::mean_latency() const noexcept {
+  if (latencies.empty()) return 0.0;
+  double sum = 0.0;
+  for (double l : latencies) sum += l;
+  return sum / static_cast<double>(latencies.size());
+}
+
+double TenantStats::max_latency() const noexcept {
+  double m = 0.0;
+  for (double l : latencies) m = std::max(m, l);
+  return m;
+}
+
+double TenantStats::percentile(double p) const { return nearest_rank(latencies, p); }
+
+void ServiceReport::finalize(const std::map<std::string, double>& tenant_weights) {
+  requests = static_cast<int>(outcomes.size());
+  batches = static_cast<int>(batch_log.size());
+  matrices = 0;
+  failed = 0;
+  poisoned = 0;
+  flops = 0.0;
+  joules = 0.0;
+  makespan = 0.0;
+  tenants.clear();
+
+  for (const BatchRecord& b : batch_log) {
+    matrices += b.matrices;
+    flops += b.flops;
+    joules += b.joules;
+  }
+
+  auto tenant_stats = [&](const std::string& name) -> TenantStats& {
+    for (TenantStats& t : tenants)
+      if (t.tenant == name) return t;
+    TenantStats t;
+    t.tenant = name;
+    if (const auto it = tenant_weights.find(name); it != tenant_weights.end())
+      t.weight = it->second;
+    tenants.push_back(std::move(t));
+    return tenants.back();
+  };
+  // Register declared tenants first so the table order matches the trace.
+  for (const auto& [name, weight] : tenant_weights) (void)tenant_stats(name);
+
+  std::vector<double> all_latencies;
+  all_latencies.reserve(outcomes.size());
+  for (const RequestOutcome& o : outcomes) {
+    TenantStats& t = tenant_stats(o.tenant);
+    ++t.requests;
+    t.flops += o.flops;
+    t.joules += o.joules;
+    t.latencies.push_back(o.latency());
+    all_latencies.push_back(o.latency());
+    makespan = std::max(makespan, o.complete_time);
+    if (o.status == RequestStatus::Failed) {
+      ++failed;
+      ++t.failed;
+    } else if (o.status == RequestStatus::Poisoned) {
+      ++poisoned;
+      ++t.poisoned;
+    }
+  }
+  coalescing_ratio = batches > 0 ? static_cast<double>(requests) / batches : 0.0;
+  p50_latency = nearest_rank(all_latencies, 50.0);
+  p99_latency = nearest_rank(all_latencies, 99.0);
+}
+
+std::string ServiceReport::describe() const {
+  std::ostringstream os;
+  os << requests << " reqs (" << matrices << " matrices) in " << batches
+     << " launches, coalescing " << std::fixed;
+  os.precision(2);
+  os << coalescing_ratio << "x, makespan " << std::scientific;
+  os.precision(3);
+  os << makespan << " s, " << std::fixed;
+  os.precision(1);
+  os << gflops() << " Gflop/s";
+  if (failed > 0) os << ", " << failed << " failed";
+  if (poisoned > 0) os << ", " << poisoned << " poisoned";
+  return os.str();
+}
+
+void ServiceReport::print(std::ostream& os) const {
+  os << "service: " << describe() << "\n";
+  os << "queue depth: mean ";
+  std::ostringstream depth;
+  depth.precision(2);
+  depth << std::fixed << mean_queue_depth;
+  os << depth.str() << ", peak " << peak_queue_depth << "; latency p50 "
+     << p50_latency << " s, p99 " << p99_latency << " s\n\n";
+
+  util::Table tenants_table({"tenant", "weight", "reqs", "failed", "poisoned",
+                             "mean lat (ms)", "p50 (ms)", "p99 (ms)", "max (ms)",
+                             "gflop", "joules"});
+  for (const TenantStats& t : tenants) {
+    tenants_table.new_row()
+        .add(t.tenant)
+        .add(t.weight, 2)
+        .add(t.requests)
+        .add(t.failed)
+        .add(t.poisoned)
+        .add(t.mean_latency() * 1e3, 3)
+        .add(t.percentile(50.0) * 1e3, 3)
+        .add(t.percentile(99.0) * 1e3, 3)
+        .add(t.max_latency() * 1e3, 3)
+        .add(t.flops * 1e-9, 2)
+        .add(t.joules, 2);
+  }
+  tenants_table.print(os);
+  os << "\n";
+
+  util::Table batches_table({"batch", "op", "prec", "flush", "reqs", "matrices",
+                             "t_dispatch (ms)", "seconds", "gflop/s"});
+  for (const BatchRecord& b : batch_log) {
+    batches_table.new_row()
+        .add(b.id)
+        .add(to_string(b.key.op))
+        .add(b.key.prec == Precision::Double ? "d" : "s")
+        .add(to_string(b.reason))
+        .add(b.requests)
+        .add(b.matrices)
+        .add(b.dispatch_time * 1e3, 3)
+        .add(b.seconds, 6)
+        .add(b.seconds > 0.0 ? b.flops / b.seconds * 1e-9 : 0.0, 1);
+  }
+  batches_table.print(os);
+
+  // Latency histogram in microseconds (bucketed for readability).
+  std::vector<int> micros;
+  micros.reserve(outcomes.size());
+  int max_us = 0;
+  for (const RequestOutcome& o : outcomes) {
+    const int us = static_cast<int>(o.latency() * 1e6);
+    micros.push_back(us);
+    max_us = std::max(max_us, us);
+  }
+  if (!micros.empty() && max_us > 0) {
+    os << "\nrequest latency (us):\n";
+    const int bucket = std::max(1, max_us / 16);
+    util::print_histogram(os, micros, bucket, max_us);
+  }
+}
+
+}  // namespace vbatch::service

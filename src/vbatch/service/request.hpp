@@ -1,0 +1,126 @@
+// Request-shaped front-end API of the vbatch service (docs/service.md).
+//
+// The library's entry points take one pre-built Batch per call; a serving
+// system sees the opposite shape — many small concurrent jobs, each a
+// handful of matrices, arriving over time from independent tenants. A
+// Request is that unit of admission: tenant, operation, precision, the
+// matrix orders, and a payload seed that makes the job's numerics a pure
+// function of the request itself (so a request factors to the same bits no
+// matter which merged launch the coalescer lands it in, which pool runs it,
+// or how many stream slots the executors carry).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vbatch/util/flops.hpp"
+#include "vbatch/util/types.hpp"
+
+namespace vbatch::service {
+
+/// Operation a request asks for. Posv = factor + triangular solve (the
+/// paper's "solve routines" served end to end).
+enum class Op : std::uint8_t { Potrf, Posv };
+
+[[nodiscard]] constexpr const char* to_string(Op op) noexcept {
+  switch (op) {
+    case Op::Potrf: return "potrf";
+    case Op::Posv: return "posv";
+  }
+  return "?";
+}
+
+/// One job submitted to the service: a small variable-size SPD batch owned
+/// by a tenant. The payload is generated from `seed` (deterministic SPD
+/// fill), so results are reproducible and independent of coalescing.
+struct Request {
+  std::uint64_t id = 0;          ///< unique per trace / service lifetime
+  std::string tenant;            ///< fairness accounting key
+  Op op = Op::Potrf;
+  Precision prec = Precision::Double;
+  std::vector<int> sizes;        ///< per-matrix orders (>= 1 each)
+  int nrhs = 1;                  ///< right-hand-side columns (Posv only)
+  std::uint64_t seed = 0;        ///< payload seed; 0 = derived from id
+  double submit_time = 0.0;      ///< virtual arrival instant (trace mode)
+
+  [[nodiscard]] int matrices() const noexcept { return static_cast<int>(sizes.size()); }
+
+  /// Useful flops of the job — the DRR fairness quantum currency and the
+  /// denominator of the per-request energy slice.
+  [[nodiscard]] double flops() const noexcept {
+    double f = flops::potrf_batch(sizes);
+    if (op == Op::Posv)
+      for (int n : sizes) f += flops::potrs(n, nrhs);
+    return f;
+  }
+
+  /// Payload footprint in the merged batch (lda = n, no pad), the currency
+  /// of the coalescer's arena-footprint cap.
+  [[nodiscard]] double bytes() const noexcept {
+    const double elem = prec == Precision::Double ? 8.0 : 4.0;
+    double b = 0.0;
+    for (int n : sizes) {
+      b += static_cast<double>(n) * static_cast<double>(n) * elem;
+      if (op == Op::Posv) b += static_cast<double>(n) * static_cast<double>(nrhs) * elem;
+    }
+    return b;
+  }
+
+  /// The payload RNG seed actually used (0 falls back to a mix of the id so
+  /// distinct requests never share a stream by accident).
+  [[nodiscard]] std::uint64_t payload_seed() const noexcept {
+    return seed != 0 ? seed : (id + 1) * 0x9E3779B97F4A7C15ull;
+  }
+};
+
+/// Terminal state of a served request.
+enum class RequestStatus : std::uint8_t {
+  Pending,   ///< not yet completed (only visible through a live JobTicket)
+  Ok,        ///< every matrix factored (and solved) cleanly
+  Failed,    ///< some matrix reported a numerical failure (info > 0)
+  Poisoned,  ///< some matrix was lost to an unrecoverable system fault
+};
+
+[[nodiscard]] constexpr const char* to_string(RequestStatus s) noexcept {
+  switch (s) {
+    case RequestStatus::Pending: return "pending";
+    case RequestStatus::Ok: return "ok";
+    case RequestStatus::Failed: return "failed";
+    case RequestStatus::Poisoned: return "poisoned";
+  }
+  return "?";
+}
+
+/// What the service hands back per request, demultiplexed from the merged
+/// launch that served it: per-matrix statuses, the timing slice on the
+/// service clock, the energy slice (proportional to the request's flops
+/// share of its launch), and — in Full mode with keep_payloads — the raw
+/// factor/solution bytes for bit-exact replay comparison.
+struct RequestOutcome {
+  std::uint64_t id = 0;
+  std::string tenant;
+  RequestStatus status = RequestStatus::Pending;
+  std::vector<int> info;          ///< per-matrix LAPACK-style statuses
+
+  // --- Timing slice (virtual seconds in trace mode, wall in Service mode)
+  double submit_time = 0.0;       ///< when the request entered the queue
+  double dispatch_time = 0.0;     ///< when its merged launch started
+  double complete_time = 0.0;     ///< when its merged launch finished
+  [[nodiscard]] double latency() const noexcept { return complete_time - submit_time; }
+  [[nodiscard]] double queue_delay() const noexcept { return dispatch_time - submit_time; }
+
+  // --- Accounting slice
+  double flops = 0.0;             ///< useful flops of this request
+  double joules = 0.0;            ///< launch energy × (request / launch flops)
+  int batch_id = -1;              ///< merged launch that served it
+  int merged_with = 0;            ///< matrices sharing that launch
+
+  // --- Payload (Full mode + keep_payloads only): column-major factor bytes
+  // per matrix, and for Posv the n×nrhs solution bytes. Stored as raw bytes
+  // so determinism sweeps can memcmp across precisions uniformly.
+  std::vector<std::vector<unsigned char>> factors;
+  std::vector<std::vector<unsigned char>> solutions;
+};
+
+}  // namespace vbatch::service

@@ -1,0 +1,56 @@
+#include "vbatch/service/request_queue.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "vbatch/util/error.hpp"
+
+namespace vbatch::service {
+
+void RequestQueue::push(Request r) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    require(!closed_, "RequestQueue: push after close");
+    items_.push_back(std::move(r));
+  }
+  cv_.notify_one();
+}
+
+std::vector<Request> RequestQueue::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Request> out(std::make_move_iterator(items_.begin()),
+                           std::make_move_iterator(items_.end()));
+  items_.clear();
+  return out;
+}
+
+std::vector<Request> RequestQueue::wait_drain(double seconds) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (seconds > 0.0 && items_.empty() && !closed_)
+    cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+                 [this] { return !items_.empty() || closed_; });
+  std::vector<Request> out(std::make_move_iterator(items_.begin()),
+                           std::make_move_iterator(items_.end()));
+  items_.clear();
+  return out;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+int RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(items_.size());
+}
+
+}  // namespace vbatch::service

@@ -1,0 +1,42 @@
+// Thread-safe ingress queue of the wall-clock Service: client threads push
+// requests, the dispatcher thread drains them in submission order. A small
+// mutex+condvar MPSC queue — the service layer's only cross-thread handoff
+// besides the per-ticket completion signal.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "vbatch/service/request.hpp"
+
+namespace vbatch::service {
+
+class RequestQueue {
+ public:
+  /// Enqueues a request; Status::InvalidArgument after close().
+  void push(Request r);
+
+  /// Moves out every queued request (possibly none) without blocking.
+  [[nodiscard]] std::vector<Request> drain();
+
+  /// Blocks up to `seconds` for the queue to become non-empty or closed,
+  /// then drains. A non-positive wait just drains.
+  [[nodiscard]] std::vector<Request> wait_drain(double seconds);
+
+  /// Marks the queue closed: pushes start throwing, waiters wake. Queued
+  /// requests stay drainable.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] int depth() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Request> items_;
+  bool closed_ = false;
+};
+
+}  // namespace vbatch::service

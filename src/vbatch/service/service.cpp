@@ -1,0 +1,381 @@
+#include "vbatch/service/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "vbatch/core/batch.hpp"
+#include "vbatch/core/potrs_vbatched.hpp"
+#include "vbatch/hetero/executor.hpp"
+#include "vbatch/service/request_queue.hpp"
+#include "vbatch/util/error.hpp"
+#include "vbatch/util/rng.hpp"
+
+namespace vbatch::service {
+
+namespace {
+
+/// Result of one merged launch, before the caller stamps the service-clock
+/// times and batch id onto the outcomes.
+struct LaunchResult {
+  double seconds = 0.0;  ///< modelled seconds (factor + solve)
+  double flops = 0.0;
+  double joules = 0.0;
+  std::vector<RequestOutcome> outcomes;  ///< admission order
+};
+
+/// The host queue a merged batch lives on mirrors the pool's first GPU (or
+/// the K40c default for CPU-only pools) so arena accounting and the potrs
+/// solve stage are charged against a consistent device model.
+sim::DeviceSpec host_spec(const hetero::DevicePool& pool) {
+  for (int i = 0; i < pool.size(); ++i)
+    if (pool.executor(i).is_gpu())
+      return static_cast<const hetero::GpuExecutor&>(pool.executor(i)).spec();
+  return sim::DeviceSpec::k40c();
+}
+
+template <typename T>
+std::vector<unsigned char> to_bytes(const std::vector<T>& v) {
+  std::vector<unsigned char> bytes(v.size() * sizeof(T));
+  if (!bytes.empty()) std::memcpy(bytes.data(), v.data(), bytes.size());
+  return bytes;
+}
+
+/// Executes one coalesced flush as a single variable-size launch and
+/// demultiplexes the per-request slices. Payload rule: every request is
+/// filled from its own payload_seed, sequentially over its own matrices —
+/// so its numerics are a pure function of the request, not of whatever the
+/// coalescer merged it with.
+template <typename T>
+LaunchResult run_merged(hetero::DevicePool& pool, const Coalescer::Flush& flush,
+                        const ServiceConfig& cfg) {
+  std::vector<int> sizes;
+  for (const Request& r : flush.admitted)
+    sizes.insert(sizes.end(), r.sizes.begin(), r.sizes.end());
+  const int total = static_cast<int>(sizes.size());
+
+  Queue q(host_spec(pool), cfg.mode);
+  Batch<T> batch(q, sizes);
+  if (q.full()) {
+    int k = 0;
+    for (const Request& r : flush.admitted) {
+      Rng rng(r.payload_seed());
+      for (std::size_t j = 0; j < r.sizes.size(); ++j, ++k) {
+        MatrixView<T> v = batch.matrix(k);
+        fill_spd(rng, v.data(), v.rows(), v.ld());
+      }
+    }
+  }
+
+  const auto hr = hetero::potrf_vbatched_hetero<T>(pool, cfg.uplo, batch, cfg.hetero);
+
+  LaunchResult out;
+  out.seconds = hr.seconds;
+  out.flops = hr.flops;
+  out.joules = hr.energy.joules;
+
+  // Posv requests continue into the vbatched triangular solve on the host
+  // queue (matrices whose factorization failed or was poisoned are skipped
+  // by potrs itself). The solve's modelled seconds extend the launch.
+  std::unique_ptr<RectBatch<T>> rhs;
+  if (flush.key.op == Op::Posv) {
+    std::vector<int> cols;
+    cols.reserve(sizes.size());
+    for (const Request& r : flush.admitted)
+      cols.insert(cols.end(), r.sizes.size(), r.nrhs);
+    rhs = std::make_unique<RectBatch<T>>(q, sizes, cols);
+    if (q.full()) {
+      int k = 0;
+      for (const Request& r : flush.admitted) {
+        // A different stream than the SPD fill so A and B are independent.
+        Rng rng(r.payload_seed() ^ 0xD1B54A32D192ED03ull);
+        for (std::size_t j = 0; j < r.sizes.size(); ++j, ++k) {
+          MatrixView<T> v = rhs->matrix(k);
+          fill_general(rng, v.data(), v.rows(), v.cols(), v.ld());
+        }
+      }
+    }
+    const auto sr = potrs_vbatched<T>(q, cfg.uplo, batch, *rhs);
+    out.seconds += sr.seconds;
+    out.flops += sr.flops;
+  }
+
+  const std::span<const int> info = batch.info();
+  int k = 0;
+  for (const Request& r : flush.admitted) {
+    RequestOutcome o;
+    o.id = r.id;
+    o.tenant = r.tenant;
+    o.submit_time = r.submit_time;
+    o.flops = r.flops();
+    o.merged_with = total;
+    o.info.assign(info.begin() + k, info.begin() + k + r.matrices());
+    o.status = RequestStatus::Ok;
+    for (int s : o.info) {
+      if (s == kInfoChunkLost) {
+        o.status = RequestStatus::Poisoned;
+        break;
+      }
+      if (s != 0) o.status = RequestStatus::Failed;
+    }
+    // Energy slice: the launch's ∫P dt split by useful-flops share — the
+    // same currency the fairness scheduler budgets with.
+    o.joules = out.flops > 0.0 ? out.joules * (o.flops / out.flops) : 0.0;
+    if (cfg.keep_payloads && q.full()) {
+      for (int j = 0; j < r.matrices(); ++j) {
+        // Payload bytes only for cleanly completed matrices: a poisoned
+        // matrix's buffer holds whatever the aborted schedule left behind.
+        o.factors.push_back(info[k + j] == 0 ? to_bytes(batch.copy_matrix(k + j))
+                                             : std::vector<unsigned char>{});
+        if (rhs)
+          o.solutions.push_back(info[k + j] == 0 ? to_bytes(rhs->copy_matrix(k + j))
+                                                 : std::vector<unsigned char>{});
+      }
+    }
+    k += r.matrices();
+    out.outcomes.push_back(std::move(o));
+  }
+  return out;
+}
+
+LaunchResult run_flush(hetero::DevicePool& pool, const Coalescer::Flush& flush,
+                       const ServiceConfig& cfg) {
+  return flush.key.prec == Precision::Single ? run_merged<float>(pool, flush, cfg)
+                                             : run_merged<double>(pool, flush, cfg);
+}
+
+BatchRecord record_of(int id, const Coalescer::Flush& flush, const LaunchResult& lr,
+                      double dispatch_time) {
+  BatchRecord b;
+  b.id = id;
+  b.key = flush.key;
+  b.reason = flush.reason;
+  b.requests = static_cast<int>(flush.admitted.size());
+  for (const Request& r : flush.admitted) b.matrices += r.matrices();
+  b.dispatch_time = dispatch_time;
+  b.seconds = lr.seconds;
+  b.flops = lr.flops;
+  b.joules = lr.joules;
+  return b;
+}
+
+}  // namespace
+
+ServiceReport replay_trace(hetero::DevicePool& pool, const Trace& trace,
+                           const ServiceConfig& cfg) {
+  Coalescer coalescer(cfg.coalesce);
+  std::map<std::string, double> weights;
+  for (const auto& [tenant, weight] : trace.tenants) {
+    coalescer.set_weight(tenant, weight);
+    weights[tenant] = weight;
+  }
+  for (const auto& [tenant, weight] : cfg.tenant_weights) {
+    coalescer.set_weight(tenant, weight);
+    weights[tenant] = weight;
+  }
+
+  ServiceReport report;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double pool_free = 0.0;    // single-server model: one merged launch at a time
+  double last_event = 0.0;   // queue-depth integration point
+  double depth_integral = 0.0;
+  std::size_t next = 0;
+  int batch_seq = 0;
+  const auto advance = [&](double t) {
+    depth_integral += coalescer.depth() * (t - last_event);
+    last_event = t;
+  };
+
+  while (next < trace.requests.size() || !coalescer.empty()) {
+    const double t_arrival =
+        next < trace.requests.size() ? trace.requests[next].submit_time : kInf;
+    // Earliest instant the pool could start the next merged launch: it must
+    // be free AND some group must be flushable.
+    const double t_dispatch = std::max(pool_free, coalescer.next_ready());
+    if (t_arrival <= t_dispatch) {
+      // Arrivals up to the dispatch instant join the queue first — a busy
+      // pool is exactly what deepens batches under load.
+      advance(t_arrival);
+      coalescer.add(trace.requests[next], t_arrival);
+      report.peak_queue_depth = std::max(report.peak_queue_depth, coalescer.depth());
+      ++next;
+      continue;
+    }
+    advance(t_dispatch);
+    auto flush = coalescer.pop_ready(t_dispatch);
+    require(flush.has_value(), "replay_trace: internal scheduling error (no ready group)");
+    const LaunchResult lr = run_flush(pool, *flush, cfg);
+    const double t_done = t_dispatch + lr.seconds;
+    pool_free = t_done;
+    const BatchRecord b = record_of(batch_seq++, *flush, lr, t_dispatch);
+    for (RequestOutcome o : lr.outcomes) {
+      o.dispatch_time = t_dispatch;
+      o.complete_time = t_done;
+      o.batch_id = b.id;
+      report.outcomes.push_back(std::move(o));
+    }
+    report.batch_log.push_back(b);
+  }
+
+  report.finalize(weights);
+  report.mean_queue_depth = report.makespan > 0.0 ? depth_integral / report.makespan : 0.0;
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock Service
+// ---------------------------------------------------------------------------
+
+namespace detail {
+struct TicketState {
+  std::uint64_t id = 0;
+  mutable std::mutex mutex;
+  mutable std::condition_variable cv;
+  bool done = false;
+  RequestOutcome outcome;
+};
+}  // namespace detail
+
+std::uint64_t JobTicket::id() const noexcept { return state_ ? state_->id : 0; }
+
+bool JobTicket::done() const {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+struct Service::Impl {
+  hetero::DevicePool* pool = nullptr;
+  ServiceConfig cfg;
+  RequestQueue queue;
+  Coalescer coalescer;
+  std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  std::thread worker;
+
+  std::mutex mutex;  // guards tickets / results / next_id across threads
+  std::map<std::uint64_t, std::shared_ptr<detail::TicketState>> tickets;
+  std::vector<BatchRecord> batch_log;
+  std::vector<RequestOutcome> outcomes;
+  std::uint64_t next_id = 0;
+  int batch_seq = 0;
+  int peak_depth = 0;  // dispatcher-only
+  bool drained = false;
+  ServiceReport report;
+
+  explicit Impl(hetero::DevicePool& p, ServiceConfig c)
+      : pool(&p), cfg(std::move(c)), coalescer(cfg.coalesce) {
+    for (const auto& [tenant, weight] : cfg.tenant_weights)
+      coalescer.set_weight(tenant, weight);
+  }
+
+  [[nodiscard]] double now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  }
+
+  void dispatch(const Coalescer::Flush& flush) {
+    const double t_dispatch = now();
+    const LaunchResult lr = run_flush(*pool, flush, cfg);
+    const double t_done = now();
+    const BatchRecord b = [&] {
+      std::lock_guard<std::mutex> lock(mutex);
+      return record_of(batch_seq++, flush, lr, t_dispatch);
+    }();
+    std::vector<std::shared_ptr<detail::TicketState>> to_signal;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      batch_log.push_back(b);
+      for (RequestOutcome o : lr.outcomes) {
+        o.dispatch_time = t_dispatch;
+        o.complete_time = t_done;
+        o.batch_id = b.id;
+        if (const auto it = tickets.find(o.id); it != tickets.end()) {
+          {
+            std::lock_guard<std::mutex> tl(it->second->mutex);
+            it->second->outcome = o;
+            it->second->done = true;
+          }
+          to_signal.push_back(it->second);
+        }
+        outcomes.push_back(std::move(o));
+      }
+    }
+    for (const auto& st : to_signal) st->cv.notify_all();
+  }
+
+  void loop() {
+    for (;;) {
+      // Sleep until the next flush is due (bounded so close() is noticed).
+      double timeout = 0.05;
+      const double ready = coalescer.next_ready();
+      if (std::isfinite(ready)) timeout = std::min(timeout, std::max(0.0, ready - now()));
+      std::vector<Request> incoming = queue.wait_drain(timeout);
+      const bool closing = queue.closed();
+      const double t = now();
+      for (Request& r : incoming) coalescer.add(std::move(r), t);
+      peak_depth = std::max(peak_depth, coalescer.depth());
+      const bool force = closing && queue.depth() == 0;
+      while (auto flush = coalescer.pop_ready(now(), force)) dispatch(*flush);
+      if (closing && queue.depth() == 0 && coalescer.empty()) return;
+    }
+  }
+};
+
+Service::Service(hetero::DevicePool& pool, ServiceConfig cfg)
+    : impl_(std::make_unique<Impl>(pool, std::move(cfg))) {
+  impl_->worker = std::thread([impl = impl_.get()] { impl->loop(); });
+}
+
+Service::~Service() {
+  impl_->queue.close();
+  if (impl_->worker.joinable()) impl_->worker.join();
+}
+
+JobTicket Service::submit(Request r) {
+  auto state = std::make_shared<detail::TicketState>();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    require(!impl_->drained, "Service: submit after drain");
+    if (r.id == 0) r.id = ++impl_->next_id;
+    else impl_->next_id = std::max(impl_->next_id, r.id);
+    if (!impl_->tickets.emplace(r.id, state).second)
+      throw_error(Status::InvalidArgument,
+                  "Service: duplicate request id " + std::to_string(r.id));
+  }
+  state->id = r.id;
+  r.submit_time = impl_->now();
+  impl_->queue.push(std::move(r));
+  return JobTicket(state);
+}
+
+RequestOutcome Service::wait(const JobTicket& ticket) const {
+  require(ticket.valid(), "Service: wait on an empty JobTicket");
+  detail::TicketState& st = *ticket.state_;
+  std::unique_lock<std::mutex> lock(st.mutex);
+  st.cv.wait(lock, [&st] { return st.done; });
+  return st.outcome;
+}
+
+ServiceReport Service::drain() {
+  impl_->queue.close();
+  if (impl_->worker.joinable()) impl_->worker.join();
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (!impl_->drained) {
+    ServiceReport report;
+    report.batch_log = impl_->batch_log;
+    report.outcomes = impl_->outcomes;
+    std::map<std::string, double> weights(impl_->cfg.tenant_weights.begin(),
+                                          impl_->cfg.tenant_weights.end());
+    report.finalize(weights);
+    report.peak_queue_depth = impl_->peak_depth;
+    impl_->report = std::move(report);
+    impl_->drained = true;
+  }
+  return impl_->report;
+}
+
+}  // namespace vbatch::service

@@ -1,0 +1,230 @@
+#include "vbatch/service/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "vbatch/util/error.hpp"
+#include "vbatch/util/rng.hpp"
+
+namespace vbatch::service {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw_error(Status::InvalidArgument, "trace:" + std::to_string(line) + ": " + what);
+}
+
+bool valid_tenant_id(const std::string& id) {
+  if (id.empty()) return false;
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::uint64_t parse_u64(int line, const std::string& field, const std::string& v) {
+  if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos)
+    fail(line, field + " must be a non-negative integer (got '" + v + "')");
+  try {
+    return std::stoull(v);
+  } catch (const std::exception&) {
+    fail(line, field + " is out of range (got '" + v + "')");
+  }
+}
+
+double parse_double(int line, const std::string& field, const std::string& v) {
+  std::size_t pos = 0;
+  double d = 0.0;
+  try {
+    d = std::stod(v, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (v.empty() || pos != v.size() || !std::isfinite(d))
+    fail(line, field + " must be a finite number (got '" + v + "')");
+  return d;
+}
+
+/// Splits "key=value" tokens of one line; duplicate keys are an error.
+std::map<std::string, std::string> parse_fields(int line, std::istringstream& tokens,
+                                                const std::set<std::string>& known) {
+  std::map<std::string, std::string> fields;
+  std::string tok;
+  while (tokens >> tok) {
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0)
+      fail(line, "expected key=value, got '" + tok + "'");
+    const std::string key = tok.substr(0, eq);
+    if (known.find(key) == known.end()) fail(line, "unknown field '" + key + "'");
+    if (!fields.emplace(key, tok.substr(eq + 1)).second)
+      fail(line, "duplicate field '" + key + "'");
+  }
+  return fields;
+}
+
+const std::string& required(int line, const std::map<std::string, std::string>& fields,
+                            const char* key) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) fail(line, std::string("missing required field '") + key + "'");
+  return it->second;
+}
+
+}  // namespace
+
+Trace parse_trace(std::istream& in) {
+  Trace trace;
+  std::set<std::uint64_t> seen_ids;
+  std::set<std::string> declared;
+  std::set<std::string> referenced;  // request tenants, declaration-ordered via trace.tenants
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    std::istringstream tokens(raw);
+    std::string directive;
+    if (!(tokens >> directive) || directive[0] == '#') continue;  // blank / comment
+
+    if (directive == "tenant") {
+      std::string name;
+      if (!(tokens >> name)) fail(line, "tenant declaration needs a name");
+      if (!valid_tenant_id(name))
+        fail(line, "bad tenant id '" + name + "' (allowed: [A-Za-z0-9_.-]+)");
+      if (declared.count(name) != 0) fail(line, "duplicate tenant '" + name + "'");
+      const auto fields = parse_fields(line, tokens, {"weight"});
+      double weight = 1.0;
+      if (const auto it = fields.find("weight"); it != fields.end()) {
+        weight = parse_double(line, "weight", it->second);
+        if (weight <= 0.0)
+          fail(line, "tenant weight must be positive (got " + it->second + ")");
+      }
+      declared.insert(name);
+      if (referenced.count(name) == 0)
+        trace.tenants.emplace_back(name, weight);
+      else  // declared after first use: update the default-weight entry
+        for (auto& [t, w] : trace.tenants)
+          if (t == name) w = weight;
+    } else if (directive == "req") {
+      const auto fields = parse_fields(
+          line, tokens, {"id", "t", "tenant", "op", "prec", "n", "nrhs", "seed"});
+      Request r;
+      r.id = parse_u64(line, "id", required(line, fields, "id"));
+      if (!seen_ids.insert(r.id).second)
+        fail(line, "duplicate request id " + std::to_string(r.id));
+      r.submit_time = parse_double(line, "t", required(line, fields, "t"));
+      if (r.submit_time < 0.0) fail(line, "t must be non-negative");
+      r.tenant = required(line, fields, "tenant");
+      if (!valid_tenant_id(r.tenant))
+        fail(line, "bad tenant id '" + r.tenant + "' (allowed: [A-Za-z0-9_.-]+)");
+      const std::string& op = required(line, fields, "op");
+      if (op == "potrf") r.op = Op::Potrf;
+      else if (op == "posv") r.op = Op::Posv;
+      else fail(line, "unknown op '" + op + "' (potrf|posv)");
+      const std::string& prec = required(line, fields, "prec");
+      if (prec == "s") r.prec = Precision::Single;
+      else if (prec == "d") r.prec = Precision::Double;
+      else fail(line, "unknown precision '" + prec + "' (s|d)");
+      const std::string& sizes = required(line, fields, "n");
+      std::istringstream slist(sizes);
+      std::string item;
+      while (std::getline(slist, item, ',')) {
+        const std::size_t digits = item.size() > 1 && item[0] == '-' ? 1 : 0;
+        if (item.empty() || item.size() == digits ||
+            item.find_first_not_of("0123456789", digits) != std::string::npos)
+          fail(line, "bad matrix size '" + item + "' in n=" + sizes);
+        const long long n = std::stoll(item);
+        if (n <= 0)
+          fail(line, "matrix sizes must be positive (got " + item + ")");
+        if (n > 100000) fail(line, "matrix size " + item + " is implausibly large");
+        r.sizes.push_back(static_cast<int>(n));
+      }
+      if (r.sizes.empty()) fail(line, "n= needs at least one matrix size");
+      if (const auto it = fields.find("nrhs"); it != fields.end()) {
+        const double v = parse_double(line, "nrhs", it->second);
+        if (v < 1.0 || v != std::floor(v)) fail(line, "nrhs must be a positive integer");
+        r.nrhs = static_cast<int>(v);
+      }
+      if (const auto it = fields.find("seed"); it != fields.end())
+        r.seed = parse_u64(line, "seed", it->second);
+      if (declared.count(r.tenant) == 0 && referenced.count(r.tenant) == 0)
+        trace.tenants.emplace_back(r.tenant, 1.0);
+      referenced.insert(r.tenant);
+      trace.requests.push_back(std::move(r));
+    } else {
+      fail(line, "unknown directive '" + directive + "' (tenant|req|#)");
+    }
+  }
+  std::stable_sort(trace.requests.begin(), trace.requests.end(),
+                   [](const Request& a, const Request& b) {
+                     if (a.submit_time != b.submit_time) return a.submit_time < b.submit_time;
+                     return a.id < b.id;
+                   });
+  return trace;
+}
+
+Trace parse_trace(const std::string& text) {
+  std::istringstream in(text);
+  return parse_trace(in);
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw_error(Status::InvalidArgument, "trace: cannot open '" + path + "'");
+  return parse_trace(in);
+}
+
+std::string format_trace(const Trace& trace) {
+  std::ostringstream out;
+  out << "# vbatch service trace: " << trace.requests.size() << " requests, "
+      << trace.tenants.size() << " tenants\n";
+  for (const auto& [tenant, weight] : trace.tenants)
+    out << "tenant " << tenant << " weight=" << weight << "\n";
+  for (const Request& r : trace.requests) {
+    out << "req id=" << r.id << " t=" << r.submit_time << " tenant=" << r.tenant
+        << " op=" << to_string(r.op) << " prec=" << (r.prec == Precision::Double ? 'd' : 's')
+        << " n=";
+    for (std::size_t i = 0; i < r.sizes.size(); ++i)
+      out << (i > 0 ? "," : "") << r.sizes[i];
+    if (r.op == Op::Posv) out << " nrhs=" << r.nrhs;
+    if (r.seed != 0) out << " seed=" << r.seed;
+    out << "\n";
+  }
+  return out.str();
+}
+
+Trace make_trace(const TraceGenConfig& cfg) {
+  require(cfg.count >= 1 && cfg.tenants >= 1 && cfg.nmax >= 1 && cfg.max_matrices >= 1 &&
+              cfg.rate > 0.0,
+          "make_trace: count/tenants/nmax/max_matrices/rate must be positive");
+  Trace trace;
+  for (int t = 0; t < cfg.tenants; ++t)
+    trace.tenants.emplace_back("tenant" + std::to_string(t), 1.0);
+  Rng rng(cfg.seed);
+  double t = 0.0;
+  for (int i = 0; i < cfg.count; ++i) {
+    Request r;
+    r.id = static_cast<std::uint64_t>(i + 1);
+    r.tenant = trace.tenants[static_cast<std::size_t>(
+                                 rng.uniform_int(0, cfg.tenants - 1))]
+                   .first;
+    r.op = cfg.mix_ops && rng.uniform() < 0.25 ? Op::Posv : Op::Potrf;
+    r.prec = cfg.mix_precisions && rng.uniform() < 0.5 ? Precision::Single : Precision::Double;
+    const int matrices = static_cast<int>(rng.uniform_int(1, cfg.max_matrices));
+    Rng sz(cfg.seed ^ (r.id * 0x9E3779B97F4A7C15ull));
+    r.sizes = make_sizes(cfg.dist, sz, matrices, cfg.nmax);
+    if (r.op == Op::Posv) r.nrhs = static_cast<int>(rng.uniform_int(1, 4));
+    r.submit_time = t;
+    // Deterministic exponential inter-arrival gap of mean 1/rate.
+    t += -std::log(1.0 - rng.uniform()) / cfg.rate;
+    trace.requests.push_back(std::move(r));
+  }
+  return trace;
+}
+
+}  // namespace vbatch::service

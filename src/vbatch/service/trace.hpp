@@ -1,0 +1,71 @@
+// Scripted request traces — the deterministic input of the service's
+// virtual-time replay mode (docs/service.md, "Trace grammar").
+//
+// A trace is a plain-text script of tenant declarations and timed requests:
+//
+//   # comment
+//   tenant bursty weight=2
+//   req id=1 t=0.0    tenant=bursty op=potrf prec=d n=32,48,64
+//   req id=2 t=0.0005 tenant=quiet  op=posv  prec=s n=24 nrhs=4 seed=7
+//
+// Parsing is hardened in the DevicePool::parse style: every malformed line
+// raises Status::InvalidArgument naming the line number and the problem —
+// unknown directives, missing/duplicated fields, bad tenant ids, zero or
+// negative sizes, unknown ops/precisions, duplicate request ids, negative
+// times, non-positive weights — never a silently degenerate trace.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "vbatch/core/size_dist.hpp"
+#include "vbatch/service/request.hpp"
+
+namespace vbatch::service {
+
+/// Parsed trace: requests in replay order (stably sorted by (t, id)) plus
+/// the declared tenant weights. Tenants referenced by requests without a
+/// declaration default to weight 1.
+struct Trace {
+  std::vector<Request> requests;
+  /// Declaration-ordered (tenant, weight) pairs — the deterministic tenant
+  /// registration order the fairness scheduler uses.
+  std::vector<std::pair<std::string, double>> tenants;
+
+  [[nodiscard]] int count() const noexcept { return static_cast<int>(requests.size()); }
+};
+
+/// Parses the trace grammar from a stream / string. Throws
+/// Status::InvalidArgument with "trace:<line>: ..." messages on malformed
+/// input (see the header comment for the error classes).
+[[nodiscard]] Trace parse_trace(std::istream& in);
+[[nodiscard]] Trace parse_trace(const std::string& text);
+
+/// Loads and parses a trace file; file-open failures also raise
+/// Status::InvalidArgument (naming the path).
+[[nodiscard]] Trace load_trace(const std::string& path);
+
+/// Renders a trace back into the grammar (round-trips through parse_trace).
+[[nodiscard]] std::string format_trace(const Trace& trace);
+
+/// Synthetic trace generator for benches and the trace_replay tool: `count`
+/// requests spread over `tenants` tenants, arrivals spaced by deterministic
+/// exponential gaps of mean 1/rate seconds, each request carrying
+/// [1, max_matrices] matrices drawn from `dist` capped at nmax.
+struct TraceGenConfig {
+  int count = 100;
+  int tenants = 2;
+  double rate = 50000.0;     ///< mean arrivals per virtual second
+  SizeDist dist = SizeDist::Uniform;
+  int nmax = 64;
+  int max_matrices = 4;
+  bool mix_ops = false;      ///< sprinkle posv requests among the potrfs
+  bool mix_precisions = false;
+  std::uint64_t seed = 2016;
+};
+[[nodiscard]] Trace make_trace(const TraceGenConfig& cfg);
+
+}  // namespace vbatch::service

@@ -1,7 +1,14 @@
 #!/bin/sh
-# CLI-flag drift check: every --flag named in docs/api.md must appear in
-# `vbatch_cli --help`, so the knob table cannot silently document flags the
-# driver no longer (or does not yet) accept.
+# CLI-flag drift check between the driver, its --help text, and docs/api.md.
+# Four gap classes, each of which has silently bitten a docs pass before:
+#   1. docs/api.md names a --flag the driver's --help does not list
+#      (documented but dropped, or documented before it exists);
+#   2. --help lists a --flag docs/api.md never mentions (shipped but
+#      undocumented — the knob table must cover the full surface);
+#   3. vbatch_cli.cpp parses a "--flag" literal missing from --help or
+#      docs/api.md (accepted but invisible in both places);
+#   4. a VBATCH_* environment variable is read via getenv() somewhere in
+#      src/ or tools/ but docs/api.md never names it.
 #
 # Usage: check_cli_docs.sh <path-to-vbatch_cli> [repo_root]
 set -eu
@@ -12,6 +19,8 @@ api="$root/docs/api.md"
 
 help_out=$("$cli" --help)
 status=0
+
+# 1. api.md -> --help
 for flag in $(grep -o -- '--[a-z][a-z-]*' "$api" | sort -u); do
   case "$help_out" in
     *"$flag"*) ;;
@@ -21,5 +30,54 @@ for flag in $(grep -o -- '--[a-z][a-z-]*' "$api" | sort -u); do
       ;;
   esac
 done
-[ "$status" -eq 0 ] && echo "check_cli_docs: every docs/api.md flag is in --help"
+
+# 2. --help -> api.md
+api_flags=$(grep -o -- '--[a-z][a-z-]*' "$api" | sort -u)
+for flag in $(printf '%s\n' "$help_out" | grep -o -- '--[a-z][a-z-]*' | sort -u); do
+  case "
+$api_flags
+" in
+    *"
+$flag
+"*) ;;
+    *)
+      echo "FAILED: '$cli --help' lists '$flag' but docs/api.md never mentions it" >&2
+      status=1
+      ;;
+  esac
+done
+
+# 3. parsed literals -> --help and api.md
+cli_src="$root/tools/vbatch_cli.cpp"
+for flag in $(grep -o -- '"--[a-z][a-z-]*"' "$cli_src" | tr -d '"' | sort -u); do
+  case "$help_out" in
+    *"$flag"*) ;;
+    *)
+      echo "FAILED: vbatch_cli.cpp parses '$flag' but --help does not list it" >&2
+      status=1
+      ;;
+  esac
+  case "
+$api_flags
+" in
+    *"
+$flag
+"*) ;;
+    *)
+      echo "FAILED: vbatch_cli.cpp parses '$flag' but docs/api.md never mentions it" >&2
+      status=1
+      ;;
+  esac
+done
+
+# 4. getenv'd VBATCH_* vars -> api.md
+for var in $(grep -rho 'getenv("VBATCH_[A-Z_]*")' "$root/src" "$root/tools" \
+             | sed 's/getenv("\(.*\)")/\1/' | sort -u); do
+  if ! grep -q "$var" "$api"; then
+    echo "FAILED: \$$var is read via getenv() but docs/api.md never documents it" >&2
+    status=1
+  fi
+done
+
+[ "$status" -eq 0 ] && echo "check_cli_docs: driver, --help and docs/api.md agree on flags and env vars"
 exit $status

@@ -53,6 +53,27 @@
 //                      (default: VBATCH_NUM_THREADS or hardware concurrency;
 //                      results are identical for any thread count)
 //     --seed N         RNG seed                 (default 2016)
+//     --serve          run the batch service front-end instead of a single
+//                      call: replay the scripted request trace of --trace on
+//                      the deterministic virtual-time clock (docs/service.md);
+//                      with --verify the numerics run in Full mode
+//     --trace FILE     request trace to replay (requires --serve; grammar in
+//                      docs/service.md)
+//     --latency-budget S
+//                      coalescing latency budget in seconds (requires
+//                      --serve; default 0.001): how long a request may wait
+//                      for merge partners before its group must flush
+//     --max-batch N    matrices per merged launch (requires --serve;
+//                      default unbounded): reaching the cap flushes
+//                      immediately, before any budget expiry
+//     --max-footprint-gb X
+//                      payload bytes per merged launch, in GiB (requires
+//                      --serve; default unbounded); composes with the
+//                      out-of-core staging budget downstream
+//     --tenants LIST   per-tenant fairness weights as name=weight pairs,
+//                      e.g. --tenants bursty=2,quiet=1 (requires --serve;
+//                      overrides the trace's tenant declarations; weights
+//                      must be positive — zero would starve the tenant)
 //     --help           print usage and exit
 #include <cstdio>
 #include <cstring>
@@ -67,6 +88,7 @@
 #include "vbatch/cpu/cpu_batched.hpp"
 #include "vbatch/energy/energy_meter.hpp"
 #include "vbatch/hetero/potrf_hetero.hpp"
+#include "vbatch/service/service.hpp"
 #include "vbatch/sim/profile.hpp"
 #include "vbatch/util/error.hpp"
 #include "vbatch/util/thread_pool.hpp"
@@ -90,6 +112,13 @@ struct CliOptions {
   bool verify = false;
   int threads = 0;  // 0 = default (VBATCH_NUM_THREADS or hardware)
   std::uint64_t seed = 2016;
+  // --- service mode (--serve) ---
+  bool serve = false;
+  std::string trace_file;       ///< request trace to replay (required by --serve)
+  double latency_budget = 1e-3; ///< coalescing budget, seconds
+  int max_batch = 0;            ///< matrices per merged launch (0 = unbounded)
+  double max_footprint_gb = 0.0;  ///< payload cap per launch, GiB (0 = unbounded)
+  std::string tenants;          ///< "name=weight,..." fairness overrides
 };
 
 [[noreturn]] void usage(const char* argv0, int exit_code) {
@@ -99,7 +128,9 @@ struct CliOptions {
               "          [--path auto|fused|separated]\n"
               "          [--etm classic|aggressive] [--no-sort] [--tune]\n"
               "          [--isa scalar|sse2|neon|avx2|avx512]\n"
-              "          [--profile] [--energy] [--verify] [--threads N] [--seed N] [--help]\n",
+              "          [--profile] [--energy] [--verify] [--threads N] [--seed N]\n"
+              "          [--serve --trace FILE [--latency-budget S] [--max-batch N]\n"
+              "           [--max-footprint-gb X] [--tenants name=w,...]] [--help]\n",
               argv0);
   std::exit(exit_code);
 }
@@ -159,6 +190,12 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--energy") o.energy = true;
     else if (arg == "--verify") o.verify = true;
     else if (arg == "--threads") o.threads = std::atoi(next());
+    else if (arg == "--serve") o.serve = true;
+    else if (arg == "--trace") o.trace_file = next();
+    else if (arg == "--latency-budget") o.latency_budget = std::atof(next());
+    else if (arg == "--max-batch") o.max_batch = std::atoi(next());
+    else if (arg == "--max-footprint-gb") o.max_footprint_gb = std::atof(next());
+    else if (arg == "--tenants") o.tenants = next();
     else usage(argv[0], 2);
   }
   if (o.batch < 1 || o.nmax < 1 || o.threads < 0 || o.streams < 0) usage(argv[0], 2);
@@ -178,7 +215,124 @@ CliOptions parse(int argc, char** argv) {
     std::fprintf(stderr, "--arena-gb must be positive (got %g)\n", o.arena_gb);
     std::exit(2);
   }
+  if (o.serve && o.trace_file.empty()) {
+    std::fprintf(stderr, "--serve requires --trace FILE (the request script to replay)\n");
+    std::exit(2);
+  }
+  if (!o.serve && (!o.trace_file.empty() || !o.tenants.empty() || o.max_batch != 0 ||
+                   o.max_footprint_gb != 0.0 || o.latency_budget != 1e-3)) {
+    std::fprintf(stderr,
+                 "--trace/--latency-budget/--max-batch/--max-footprint-gb/--tenants "
+                 "require --serve\n");
+    std::exit(2);
+  }
+  if (o.latency_budget < 0.0 || o.max_batch < 0 || o.max_footprint_gb < 0.0) {
+    std::fprintf(stderr, "--latency-budget/--max-batch/--max-footprint-gb must be >= 0\n");
+    std::exit(2);
+  }
   return o;
+}
+
+/// Parses the --tenants "name=weight,..." list (weights must parse and be
+/// positive; duplicates rejected).
+std::vector<std::pair<std::string, double>> parse_tenants(const std::string& list) {
+  std::vector<std::pair<std::string, double>> weights;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string item =
+        list.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? list.size() + 1 : comma + 1;
+    const std::size_t eq = item.find('=');
+    if (item.empty() || eq == 0 || eq == std::string::npos || eq + 1 >= item.size())
+      vbatch::throw_error(vbatch::Status::InvalidArgument,
+                          "--tenants expects name=weight pairs, got '" + item + "'");
+    const std::string name = item.substr(0, eq);
+    char* end = nullptr;
+    const double w = std::strtod(item.c_str() + eq + 1, &end);
+    if (end != item.c_str() + item.size() || !(w > 0.0))
+      vbatch::throw_error(vbatch::Status::InvalidArgument,
+                          "--tenants weight for '" + name + "' must be a positive number");
+    for (const auto& [t, existing] : weights)
+      if (t == name)
+        vbatch::throw_error(vbatch::Status::InvalidArgument,
+                            "--tenants lists '" + name + "' twice");
+    weights.emplace_back(name, w);
+  }
+  return weights;
+}
+
+/// --serve: replay the scripted trace through the service front-end on the
+/// virtual-time clock and print the ServiceReport.
+int run_serve(const CliOptions& o) {
+  using namespace vbatch;
+  namespace svc = vbatch::service;
+
+  svc::Trace trace;
+  try {
+    trace = svc::load_trace(o.trace_file);
+  } catch (const Error& err) {
+    std::fprintf(stderr, "--trace %s: %s\n", o.trace_file.c_str(), err.what());
+    return 2;
+  }
+
+  const std::string pool_desc = o.hetero.empty() ? o.device : o.hetero;
+  hetero::DevicePool pool;
+  try {
+    pool = hetero::DevicePool::parse(pool_desc);
+  } catch (const Error& err) {
+    std::fprintf(stderr, "pool %s: %s\n", pool_desc.c_str(), err.what());
+    return 2;
+  }
+  if (o.streams > 0)
+    for (int e = 0; e < pool.size(); ++e) pool.executor(e).set_streams(o.streams);
+  if (o.arena_gb > 0.0)
+    for (int e = 0; e < pool.size(); ++e)
+      if (pool.executor(e).is_gpu()) pool.executor(e).set_arena_gb(o.arena_gb);
+  if (!o.inject_faults.empty()) {
+    try {
+      pool.set_faults(fault::parse_fault_spec(o.inject_faults));
+    } catch (const Error& err) {
+      std::fprintf(stderr, "--inject-faults %s: %s\n", o.inject_faults.c_str(), err.what());
+      return 2;
+    }
+    std::printf("faults:   %s\n", pool.faults().describe().c_str());
+  }
+
+  svc::ServiceConfig cfg;
+  cfg.coalesce.latency_budget = o.latency_budget;
+  cfg.coalesce.max_batch = o.max_batch;
+  cfg.coalesce.max_bytes = o.max_footprint_gb * 1024.0 * 1024.0 * 1024.0;
+  cfg.hetero.potrf = o.potrf;
+  cfg.mode = o.verify ? sim::ExecMode::Full : sim::ExecMode::TimingOnly;
+  if (!o.tenants.empty()) {
+    try {
+      cfg.tenant_weights = parse_tenants(o.tenants);
+    } catch (const Error& err) {
+      std::fprintf(stderr, "%s\n", err.what());
+      return 2;
+    }
+  }
+
+  std::printf("serve:    %d requests from %s on pool %s (%s mode)\n", trace.count(),
+              o.trace_file.c_str(), pool.describe().c_str(),
+              o.verify ? "Full numerics" : "TimingOnly");
+  std::printf("coalesce: budget %g s, max-batch %s, max-footprint %s\n", o.latency_budget,
+              o.max_batch > 0 ? std::to_string(o.max_batch).c_str() : "unbounded",
+              o.max_footprint_gb > 0.0 ? (std::to_string(o.max_footprint_gb) + " GiB").c_str()
+                                       : "unbounded");
+  svc::ServiceReport report;
+  try {
+    report = svc::replay_trace(pool, trace, cfg);
+  } catch (const Error& err) {
+    std::fprintf(stderr, "serve: %s\n", err.what());
+    return 2;
+  }
+  report.print(std::cout);
+  if (report.failed > 0 || report.poisoned > 0)
+    std::printf("note: %d failed, %d poisoned request(s) — see the info arrays\n",
+                report.failed, report.poisoned);
+  return 0;
 }
 
 template <typename T>
@@ -348,5 +502,6 @@ int run(const CliOptions& o) {
 int main(int argc, char** argv) {
   const CliOptions o = parse(argc, argv);
   if (o.threads > 0) vbatch::util::set_host_threads(static_cast<unsigned>(o.threads));
+  if (o.serve) return run_serve(o);
   return o.double_precision ? run<double>(o) : run<float>(o);
 }
