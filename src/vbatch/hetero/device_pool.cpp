@@ -174,6 +174,12 @@ int DevicePool::gpu_count() const noexcept {
 
 bool DevicePool::has_cpu() const noexcept { return gpu_count() != size(); }
 
+double DevicePool::peak_gflops(Precision prec) const noexcept {
+  double total = 0.0;
+  for (const auto& e : executors_) total += e->peak_gflops(prec);
+  return total;
+}
+
 std::string DevicePool::describe() const {
   std::string out;
   for (const auto& e : executors_) {

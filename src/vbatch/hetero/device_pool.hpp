@@ -62,6 +62,10 @@ class DevicePool {
   [[nodiscard]] int gpu_count() const noexcept;
   [[nodiscard]] bool has_cpu() const noexcept;
 
+  /// Sum of the executors' nominal peaks in Gflop/s — the capacity seed of
+  /// the service admission layer (docs/service.md, "Overload & admission").
+  [[nodiscard]] double peak_gflops(Precision prec) const noexcept;
+
   /// "k40c#0:4streams:2gb + k40c#1 + cpu" — for logs and JSON labels (the
   /// stream suffix appears only for multi-stream executors, the arena
   /// suffix only for explicitly capped ones).

@@ -70,6 +70,12 @@ class Executor {
   [[nodiscard]] const energy::PowerModel& power() const noexcept { return power_; }
   [[nodiscard]] virtual bool is_gpu() const noexcept = 0;
 
+  /// Nominal peak throughput of this executor in Gflop/s — the capacity
+  /// currency of the service admission layer (a GPU reports its spec
+  /// roofline, the CPU its all-core peak). Nominal, not achieved: callers
+  /// calibrate against observed launches.
+  [[nodiscard]] virtual double peak_gflops(Precision prec) const noexcept = 0;
+
   /// The queue numerics run through. For a GPU executor this is also the
   /// timing authority; the CPU executor uses it only to host the shared
   /// kernel math (its clock is ignored in favour of the CPU model).
@@ -149,6 +155,9 @@ class GpuExecutor final : public Executor {
   [[nodiscard]] bool is_gpu() const noexcept override { return true; }
   [[nodiscard]] Queue& queue() noexcept override { return queue_; }
   [[nodiscard]] const sim::DeviceSpec& spec() const noexcept { return queue_.spec(); }
+  [[nodiscard]] double peak_gflops(Precision prec) const noexcept override {
+    return spec().peak_gflops(prec);
+  }
 
   void begin_call(sim::ExecMode mode) override;
   [[nodiscard]] int max_streams() const noexcept override;
@@ -176,6 +185,9 @@ class CpuExecutor final : public Executor {
   [[nodiscard]] bool is_gpu() const noexcept override { return false; }
   [[nodiscard]] Queue& queue() noexcept override { return numerics_; }
   [[nodiscard]] const cpu::CpuSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] double peak_gflops(Precision prec) const noexcept override {
+    return spec_.total_peak_gflops(prec);
+  }
 
   [[nodiscard]] int max_streams() const noexcept override { return 1; }
   [[nodiscard]] ChunkEstimate estimate(const ChunkWork& work) override;

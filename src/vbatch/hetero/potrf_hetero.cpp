@@ -340,6 +340,7 @@ HeteroResult hetero_impl(DevicePool& pool, Uplo uplo, Batch<T>& batch, int calle
                       : 1.0;
     rep.retries = sched.retries[static_cast<std::size_t>(e)];
     rep.lost = sched.lost[static_cast<std::size_t>(e)] != 0;
+    if (!rep.lost) result.surviving_peak_gflops += ex.peak_gflops(prec);
     rep.streamed = streamed[static_cast<std::size_t>(e)] != 0;
     rep.h2d_seconds = sched.h2d_seconds[static_cast<std::size_t>(e)];
     rep.d2h_seconds = sched.d2h_seconds[static_cast<std::size_t>(e)];

@@ -114,6 +114,10 @@ struct HeteroResult {
   int hangs = 0;                ///< hung attempts the watchdog converted
   int executors_lost = 0;       ///< executors permanently lost mid-batch
   int chunks_poisoned = 0;      ///< chunks no survivor could complete
+  /// Summed nominal peak of the executors that survived the call, in
+  /// Gflop/s — the fault layer's capacity signal to the service admission
+  /// controller (equals the pool peak on a fault-free run).
+  double surviving_peak_gflops = 0.0;
   double backoff_seconds = 0.0; ///< total virtual retry backoff
   std::vector<fault::FaultEvent> fault_events;  ///< ordered recovery log
 

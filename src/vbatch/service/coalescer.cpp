@@ -35,7 +35,43 @@ void Coalescer::add(const Request& r, double now) {
   g.drr.push(r.tenant, DrrItem{r.id, r.flops(), static_cast<double>(r.bytes()),
                                r.matrices()});
   ++depth_;
+  pending_flops_ += r.flops();
+  pending_bytes_ += r.bytes();
   refresh_cap(g, now);
+}
+
+std::vector<Coalescer::PendingView> Coalescer::pending() const {
+  std::vector<PendingView> out;
+  out.reserve(static_cast<std::size_t>(depth_));
+  for (const auto& [key, group] : groups_)
+    for (const Pending& p : group.fifo)
+      out.push_back(PendingView{p.req.id, p.req.tenant, p.req.flops(), p.req.submit_time});
+  return out;
+}
+
+Request Coalescer::remove(std::uint64_t id) {
+  for (auto& [key, g] : groups_) {
+    const auto it = std::find_if(g.fifo.begin(), g.fifo.end(),
+                                 [id](const Pending& p) { return p.req.id == id; });
+    if (it == g.fifo.end()) continue;
+    Request r = std::move(it->req);
+    g.drr.remove(r.tenant, id);
+    g.fifo.erase(it);
+    --depth_;
+    pending_flops_ -= r.flops();
+    pending_bytes_ -= r.bytes();
+    // Shedding may bring the group back under its caps; re-derive the cap
+    // state so a stale crossing instant cannot force a premature flush.
+    if (g.cap_hit >= 0.0) {
+      const bool still_capped =
+          (cfg_.max_batch > 0 && g.drr.pending_matrices() >= cfg_.max_batch) ||
+          (cfg_.max_bytes > 0.0 && g.drr.pending_bytes() >= cfg_.max_bytes);
+      if (!still_capped) g.cap_hit = -1.0;
+    }
+    return r;
+  }
+  throw_error(Status::InvalidArgument,
+              "Coalescer: cannot remove id " + std::to_string(id) + " (not queued)");
 }
 
 double Coalescer::next_ready() const noexcept {
@@ -77,6 +113,8 @@ std::optional<Coalescer::Flush> Coalescer::pop_ready(double now, bool force) {
     const auto it = std::find_if(g.fifo.begin(), g.fifo.end(),
                                  [id](const Pending& p) { return p.req.id == id; });
     flush.admitted.push_back(it->req);
+    pending_flops_ -= it->req.flops();
+    pending_bytes_ -= it->req.bytes();
     g.fifo.erase(it);
     --depth_;
   }

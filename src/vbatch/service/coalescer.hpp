@@ -85,6 +85,26 @@ class Coalescer {
   [[nodiscard]] bool empty() const noexcept { return depth_ == 0; }
   /// Pending requests across all groups — the queue-depth metric.
   [[nodiscard]] int depth() const noexcept { return depth_; }
+  /// Pending useful flops / payload bytes across all groups — the backlog
+  /// currencies of admission watermarks and deadline feasibility.
+  [[nodiscard]] double pending_flops() const noexcept { return pending_flops_; }
+  [[nodiscard]] double pending_bytes() const noexcept { return pending_bytes_; }
+
+  /// One queued request as seen by the shed planner.
+  struct PendingView {
+    std::uint64_t id = 0;
+    std::string tenant;
+    double flops = 0.0;
+    double submit_time = 0.0;
+  };
+  /// Every queued request in deterministic order (group key, then arrival
+  /// order within the group).
+  [[nodiscard]] std::vector<PendingView> pending() const;
+
+  /// Removes a queued request by id (the capacity-drop shed path) and
+  /// returns it. Status::InvalidArgument when the id is not queued. The
+  /// group's cap state is re-derived from what remains.
+  Request remove(std::uint64_t id);
 
   /// Earliest instant any group becomes flushable (budget deadline, or the
   /// past instant a cap was crossed). +infinity when nothing is pending.
@@ -127,6 +147,8 @@ class Coalescer {
   std::map<GroupKey, Group> groups_;
   std::map<std::string, double> weights_;  ///< applied to every group's DRR
   int depth_ = 0;
+  double pending_flops_ = 0.0;
+  double pending_bytes_ = 0.0;
 };
 
 }  // namespace vbatch::service

@@ -32,6 +32,21 @@ void DrrScheduler::push(const std::string& tenant, const DrrItem& item) {
   pending_bytes_ += item.bytes;
 }
 
+bool DrrScheduler::remove(const std::string& tenant, std::uint64_t id) {
+  for (TenantQueue& q : queues_) {
+    if (q.tenant != tenant) continue;
+    const auto it = std::find_if(q.items.begin(), q.items.end(),
+                                 [id](const DrrItem& item) { return item.id == id; });
+    if (it == q.items.end()) return false;
+    --pending_;
+    pending_matrices_ -= it->matrices;
+    pending_bytes_ -= it->bytes;
+    q.items.erase(it);
+    return true;
+  }
+  return false;
+}
+
 std::vector<std::string> DrrScheduler::tenants() const {
   std::vector<std::string> names;
   names.reserve(queues_.size());

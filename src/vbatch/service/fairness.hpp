@@ -52,6 +52,12 @@ class DrrScheduler {
   /// weight 1 if unknown). FIFO per tenant.
   void push(const std::string& tenant, const DrrItem& item);
 
+  /// Removes a queued candidate by id (the overload shed path). Returns
+  /// false when no tenant queue holds the id. Deficit counters and the
+  /// round-robin cursor are untouched — shedding must not change what the
+  /// surviving requests are owed.
+  bool remove(const std::string& tenant, std::uint64_t id);
+
   [[nodiscard]] bool empty() const noexcept { return pending_ == 0; }
   [[nodiscard]] int pending() const noexcept { return pending_; }
   [[nodiscard]] int pending_matrices() const noexcept { return pending_matrices_; }

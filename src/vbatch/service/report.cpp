@@ -47,6 +47,12 @@ void ServiceReport::finalize(const std::map<std::string, double>& tenant_weights
   flops = 0.0;
   joules = 0.0;
   makespan = 0.0;
+  accepted = 0;
+  shed = 0;
+  expired = 0;
+  slo_total = 0;
+  slo_met = 0;
+  goodput_flops = 0.0;
   tenants.clear();
 
   for (const BatchRecord& b : batch_log) {
@@ -73,11 +79,33 @@ void ServiceReport::finalize(const std::map<std::string, double>& tenant_weights
   for (const RequestOutcome& o : outcomes) {
     TenantStats& t = tenant_stats(o.tenant);
     ++t.requests;
+    makespan = std::max(makespan, o.complete_time);
+    if (is_rejected(o.status)) {
+      // Shed requests never reached a launch: no latency sample, no
+      // flops/energy accounting — only the overload counters.
+      if (o.status == RequestStatus::RejectedDeadline) {
+        ++expired;
+        ++t.expired;
+      } else {
+        ++shed;
+        ++t.shed;
+      }
+      continue;
+    }
+    ++accepted;
+    ++t.accepted;
     t.flops += o.flops;
     t.joules += o.joules;
     t.latencies.push_back(o.latency());
     all_latencies.push_back(o.latency());
-    makespan = std::max(makespan, o.complete_time);
+    if (o.deadline > 0.0) {
+      ++slo_total;
+      ++t.slo_total;
+      if (o.met_deadline()) {
+        ++slo_met;
+        ++t.slo_met;
+      }
+    }
     if (o.status == RequestStatus::Failed) {
       ++failed;
       ++t.failed;
@@ -85,8 +113,12 @@ void ServiceReport::finalize(const std::map<std::string, double>& tenant_weights
       ++poisoned;
       ++t.poisoned;
     }
+    // Goodput: clean completions someone still wants (deadline met or no
+    // deadline at all).
+    if (o.status == RequestStatus::Ok && (o.deadline <= 0.0 || o.met_deadline()))
+      goodput_flops += o.flops;
   }
-  coalescing_ratio = batches > 0 ? static_cast<double>(requests) / batches : 0.0;
+  coalescing_ratio = batches > 0 ? static_cast<double>(accepted) / batches : 0.0;
   p50_latency = nearest_rank(all_latencies, 50.0);
   p99_latency = nearest_rank(all_latencies, 99.0);
 }
@@ -103,6 +135,8 @@ std::string ServiceReport::describe() const {
   os << gflops() << " Gflop/s";
   if (failed > 0) os << ", " << failed << " failed";
   if (poisoned > 0) os << ", " << poisoned << " poisoned";
+  if (shed > 0) os << ", " << shed << " shed";
+  if (expired > 0) os << ", " << expired << " expired";
   return os.str();
 }
 
@@ -113,18 +147,32 @@ void ServiceReport::print(std::ostream& os) const {
   depth.precision(2);
   depth << std::fixed << mean_queue_depth;
   os << depth.str() << ", peak " << peak_queue_depth << "; latency p50 "
-     << p50_latency << " s, p99 " << p99_latency << " s\n\n";
+     << p50_latency << " s, p99 " << p99_latency << " s\n";
+  if (admission_enabled) {
+    std::ostringstream adm;
+    adm.precision(1);
+    adm << std::fixed << "admission: " << accepted << " accepted, " << shed << " shed, "
+        << expired << " expired; SLO " << slo_attainment() * 100.0 << "% (" << slo_met
+        << "/" << slo_total << "); goodput " << goodput_gflops()
+        << " Gflop/s; capacity est " << capacity_gflops << " Gflop/s";
+    os << adm.str() << "\n";
+  }
+  os << "\n";
 
-  util::Table tenants_table({"tenant", "weight", "reqs", "failed", "poisoned",
-                             "mean lat (ms)", "p50 (ms)", "p99 (ms)", "max (ms)",
-                             "gflop", "joules"});
+  util::Table tenants_table({"tenant", "weight", "reqs", "accepted", "shed", "expired",
+                             "failed", "poisoned", "slo%", "mean lat (ms)", "p50 (ms)",
+                             "p99 (ms)", "max (ms)", "gflop", "joules"});
   for (const TenantStats& t : tenants) {
     tenants_table.new_row()
         .add(t.tenant)
         .add(t.weight, 2)
         .add(t.requests)
+        .add(t.accepted)
+        .add(t.shed)
+        .add(t.expired)
         .add(t.failed)
         .add(t.poisoned)
+        .add(t.slo_attainment() * 100.0, 1)
         .add(t.mean_latency() * 1e3, 3)
         .add(t.percentile(50.0) * 1e3, 3)
         .add(t.percentile(99.0) * 1e3, 3)
@@ -156,6 +204,7 @@ void ServiceReport::print(std::ostream& os) const {
   micros.reserve(outcomes.size());
   int max_us = 0;
   for (const RequestOutcome& o : outcomes) {
+    if (is_rejected(o.status)) continue;  // shed requests have no service latency
     const int us = static_cast<int>(o.latency() * 1e6);
     micros.push_back(us);
     max_us = std::max(max_us, us);

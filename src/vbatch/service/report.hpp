@@ -32,25 +32,39 @@ struct BatchRecord {
 };
 
 /// Latency statistics of one tenant (seconds, submission → completion).
+/// Latencies and flops/joules cover accepted (served) requests only; the
+/// overload slice counts what admission shed.
 struct TenantStats {
   std::string tenant;
   double weight = 1.0;
-  int requests = 0;
+  int requests = 0;  ///< everything submitted (accepted + shed + expired)
   int failed = 0;    ///< numerical failures (info > 0)
   int poisoned = 0;  ///< fault-injection losses (kInfoChunkLost)
   double flops = 0.0;
   double joules = 0.0;
-  std::vector<double> latencies;  ///< per request, completion order
+  std::vector<double> latencies;  ///< per served request, completion order
+
+  // --- Overload slice (docs/service.md, "Overload & admission") ----------
+  int accepted = 0;   ///< reached a launch (Ok / Failed / Poisoned)
+  int shed = 0;       ///< RejectedTenantRate + RejectedQueueFull
+  int expired = 0;    ///< RejectedDeadline (arrival or dispatch)
+  int slo_total = 0;  ///< accepted requests that carried a deadline
+  int slo_met = 0;    ///< ... and completed within it
 
   [[nodiscard]] double mean_latency() const noexcept;
   [[nodiscard]] double max_latency() const noexcept;
   /// Nearest-rank percentile (p in [0, 100]); 0 when no samples.
   [[nodiscard]] double percentile(double p) const;
+  /// Fraction of deadline-carrying accepted requests served in time
+  /// (1.0 when none carried a deadline).
+  [[nodiscard]] double slo_attainment() const noexcept {
+    return slo_total > 0 ? static_cast<double>(slo_met) / slo_total : 1.0;
+  }
 };
 
 /// Aggregate result of a replay / service run.
 struct ServiceReport {
-  int requests = 0;
+  int requests = 0;  ///< everything submitted (accepted + shed + expired)
   int matrices = 0;
   int batches = 0;   ///< merged launches actually dispatched
   int failed = 0;    ///< requests with any info > 0
@@ -58,12 +72,26 @@ struct ServiceReport {
   double makespan = 0.0;  ///< last completion instant on the service clock
   double flops = 0.0;
   double joules = 0.0;
-  /// requests / batches — the headline coalescing win (1.0 = no merging).
+  /// accepted / batches — the headline coalescing win (1.0 = no merging).
   double coalescing_ratio = 0.0;
   double mean_queue_depth = 0.0;  ///< time-averaged pending requests
   int peak_queue_depth = 0;
-  double p50_latency = 0.0;  ///< across all requests, seconds
+  double p50_latency = 0.0;  ///< across accepted (served) requests, seconds
   double p99_latency = 0.0;
+
+  // --- Overload slice (docs/service.md, "Overload & admission") ----------
+  bool admission_enabled = false;
+  int accepted = 0;   ///< requests that reached a launch
+  int shed = 0;       ///< RejectedTenantRate + RejectedQueueFull
+  int expired = 0;    ///< RejectedDeadline
+  int slo_total = 0;  ///< accepted requests carrying a deadline
+  int slo_met = 0;
+  /// Flops of on-time useful completions (status Ok, deadline met or
+  /// absent) — the goodput numerator; under overload this is what
+  /// separates admission control from queue-everything collapse.
+  double goodput_flops = 0.0;
+  /// The admission controller's final pool-throughput estimate (Gflop/s).
+  double capacity_gflops = 0.0;
 
   std::vector<BatchRecord> batch_log;        ///< dispatch order
   std::vector<TenantStats> tenants;          ///< registration order
@@ -74,6 +102,16 @@ struct ServiceReport {
   }
   [[nodiscard]] double throughput_rps() const noexcept {
     return makespan > 0.0 ? requests / makespan : 0.0;
+  }
+  /// On-time useful throughput in Gflop/s — the overload bench's gate
+  /// currency (raw gflops() cannot distinguish admission from collapse:
+  /// both eventually serve at capacity, but only admission serves work
+  /// anyone still wants).
+  [[nodiscard]] double goodput_gflops() const noexcept {
+    return makespan > 0.0 ? goodput_flops / makespan * 1e-9 : 0.0;
+  }
+  [[nodiscard]] double slo_attainment() const noexcept {
+    return slo_total > 0 ? static_cast<double>(slo_met) / slo_total : 1.0;
   }
 
   /// Fills the derived aggregates (counts, percentiles, coalescing ratio)

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,11 @@ struct Request {
   int nrhs = 1;                  ///< right-hand-side columns (Posv only)
   std::uint64_t seed = 0;        ///< payload seed; 0 = derived from id
   double submit_time = 0.0;      ///< virtual arrival instant (trace mode)
+  /// Completion SLO relative to submit_time, in seconds (0 = none). The
+  /// admission layer refuses requests whose deadline cannot be met by the
+  /// current capacity estimate, and the dispatcher sheds admitted requests
+  /// whose deadline expired while they queued — before wasting launch time.
+  double deadline = 0.0;
 
   [[nodiscard]] int matrices() const noexcept { return static_cast<int>(sizes.size()); }
 
@@ -72,14 +78,26 @@ struct Request {
   [[nodiscard]] std::uint64_t payload_seed() const noexcept {
     return seed != 0 ? seed : (id + 1) * 0x9E3779B97F4A7C15ull;
   }
+
+  /// Absolute completion deadline on the service clock; +infinity when the
+  /// request carries no SLO.
+  [[nodiscard]] double absolute_deadline() const noexcept {
+    return deadline > 0.0 ? submit_time + deadline
+                          : std::numeric_limits<double>::infinity();
+  }
 };
 
-/// Terminal state of a served request.
+/// Terminal state of a served request. The Rejected* states are the named
+/// overload-shedding statuses: the request never reached a launch, and its
+/// outcome says exactly why (docs/service.md, "Overload & admission").
 enum class RequestStatus : std::uint8_t {
   Pending,   ///< not yet completed (only visible through a live JobTicket)
   Ok,        ///< every matrix factored (and solved) cleanly
   Failed,    ///< some matrix reported a numerical failure (info > 0)
   Poisoned,  ///< some matrix was lost to an unrecoverable system fault
+  RejectedTenantRate,  ///< shed at admission: tenant token bucket exhausted
+  RejectedQueueFull,   ///< shed: queue watermarks, or capacity-drop shedding
+  RejectedDeadline,    ///< shed: deadline unmeetable at the capacity estimate
 };
 
 [[nodiscard]] constexpr const char* to_string(RequestStatus s) noexcept {
@@ -88,8 +106,18 @@ enum class RequestStatus : std::uint8_t {
     case RequestStatus::Ok: return "ok";
     case RequestStatus::Failed: return "failed";
     case RequestStatus::Poisoned: return "poisoned";
+    case RequestStatus::RejectedTenantRate: return "rejected-tenant-rate";
+    case RequestStatus::RejectedQueueFull: return "rejected-queue-full";
+    case RequestStatus::RejectedDeadline: return "rejected-deadline";
   }
   return "?";
+}
+
+/// True for the overload-shedding terminal states (the request was never
+/// dispatched; its outcome carries no launch slice).
+[[nodiscard]] constexpr bool is_rejected(RequestStatus s) noexcept {
+  return s == RequestStatus::RejectedTenantRate || s == RequestStatus::RejectedQueueFull ||
+         s == RequestStatus::RejectedDeadline;
 }
 
 /// What the service hands back per request, demultiplexed from the merged
@@ -107,8 +135,15 @@ struct RequestOutcome {
   double submit_time = 0.0;       ///< when the request entered the queue
   double dispatch_time = 0.0;     ///< when its merged launch started
   double complete_time = 0.0;     ///< when its merged launch finished
+  double deadline = 0.0;          ///< the request's relative SLO (0 = none)
   [[nodiscard]] double latency() const noexcept { return complete_time - submit_time; }
   [[nodiscard]] double queue_delay() const noexcept { return dispatch_time - submit_time; }
+  /// Served within its SLO (vacuously false for rejected / deadline-free
+  /// requests — SLO attainment counts only deadline-carrying completions).
+  [[nodiscard]] bool met_deadline() const noexcept {
+    return deadline > 0.0 && !is_rejected(status) && status != RequestStatus::Pending &&
+           complete_time <= submit_time + deadline;
+  }
 
   // --- Accounting slice
   double flops = 0.0;             ///< useful flops of this request

@@ -3,35 +3,57 @@
 #include <chrono>
 #include <utility>
 
-#include "vbatch/util/error.hpp"
-
 namespace vbatch::service {
 
-void RequestQueue::push(Request r) {
+RequestQueue::RequestQueue(int capacity) : capacity_(capacity) {
+  require(capacity >= 0, "RequestQueue: capacity must be non-negative (0 = unbounded)");
+}
+
+void RequestQueue::submit(Request r) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    require(!closed_, "RequestQueue: push after close");
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_space_.wait(lock, [this] { return !full_locked() || closed_; });
+    require(!closed_, "RequestQueue: submit after close");
     items_.push_back(std::move(r));
   }
   cv_.notify_one();
 }
 
+Status RequestQueue::try_submit(Request r) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    require(!closed_, "RequestQueue: submit after close");
+    if (full_locked()) return Status::QueueFull;
+    items_.push_back(std::move(r));
+  }
+  cv_.notify_one();
+  return Status::Ok;
+}
+
 std::vector<Request> RequestQueue::drain() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<Request> out(std::make_move_iterator(items_.begin()),
-                           std::make_move_iterator(items_.end()));
-  items_.clear();
+  std::vector<Request> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.assign(std::make_move_iterator(items_.begin()),
+               std::make_move_iterator(items_.end()));
+    items_.clear();
+  }
+  cv_space_.notify_all();
   return out;
 }
 
 std::vector<Request> RequestQueue::wait_drain(double seconds) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (seconds > 0.0 && items_.empty() && !closed_)
-    cv_.wait_for(lock, std::chrono::duration<double>(seconds),
-                 [this] { return !items_.empty() || closed_; });
-  std::vector<Request> out(std::make_move_iterator(items_.begin()),
-                           std::make_move_iterator(items_.end()));
-  items_.clear();
+  std::vector<Request> out;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (seconds > 0.0 && items_.empty() && !closed_)
+      cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+                   [this] { return !items_.empty() || closed_; });
+    out.assign(std::make_move_iterator(items_.begin()),
+               std::make_move_iterator(items_.end()));
+    items_.clear();
+  }
+  cv_space_.notify_all();
   return out;
 }
 
@@ -41,6 +63,7 @@ void RequestQueue::close() {
     closed_ = true;
   }
   cv_.notify_all();
+  cv_space_.notify_all();
 }
 
 bool RequestQueue::closed() const {

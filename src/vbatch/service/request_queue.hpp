@@ -2,6 +2,11 @@
 // requests, the dispatcher thread drains them in submission order. A small
 // mutex+condvar MPSC queue — the service layer's only cross-thread handoff
 // besides the per-ticket completion signal.
+//
+// The queue is optionally bounded (the memory-safety half of overload
+// protection, docs/service.md "Overload & admission"): at capacity,
+// `submit` blocks for space while `try_submit` returns the named
+// Status::QueueFull immediately so callers can shed instead of stall.
 #pragma once
 
 #include <condition_variable>
@@ -10,13 +15,30 @@
 #include <vector>
 
 #include "vbatch/service/request.hpp"
+#include "vbatch/util/error.hpp"
 
 namespace vbatch::service {
 
 class RequestQueue {
  public:
-  /// Enqueues a request; Status::InvalidArgument after close().
-  void push(Request r);
+  /// `capacity` bounds the queued requests; 0 = unbounded (the default
+  /// preserves the pre-admission behaviour).
+  explicit RequestQueue(int capacity = 0);
+
+  [[nodiscard]] int capacity() const noexcept { return capacity_; }
+
+  /// Enqueues a request, blocking while the queue is at capacity;
+  /// Status::InvalidArgument after close() (including a close that arrives
+  /// mid-wait).
+  void submit(Request r);
+
+  /// Backwards-compatible alias of the blocking submit.
+  void push(Request r) { submit(std::move(r)); }
+
+  /// Non-blocking enqueue: Status::Ok on success, Status::QueueFull when
+  /// the queue is at capacity (the request is NOT enqueued — the caller
+  /// owns the shed decision). Throws Status::InvalidArgument after close().
+  [[nodiscard]] Status try_submit(Request r);
 
   /// Moves out every queued request (possibly none) without blocking.
   [[nodiscard]] std::vector<Request> drain();
@@ -33,8 +55,14 @@ class RequestQueue {
   [[nodiscard]] int depth() const;
 
  private:
+  [[nodiscard]] bool full_locked() const noexcept {
+    return capacity_ > 0 && static_cast<int>(items_.size()) >= capacity_;
+  }
+
+  const int capacity_ = 0;
   mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;        ///< signals the dispatcher (non-empty / closed)
+  std::condition_variable cv_space_;  ///< signals blocked submitters (space freed)
   std::deque<Request> items_;
   bool closed_ = false;
 };

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <mutex>
@@ -27,7 +28,46 @@ struct LaunchResult {
   double flops = 0.0;
   double joules = 0.0;
   std::vector<RequestOutcome> outcomes;  ///< admission order
+  /// Per-executor permanent-loss flags from the fault layer — the capacity
+  /// feedback the admission controller tightens on.
+  std::vector<char> lost;
 };
+
+/// Resolves the admission config: an explicitly enabled config wins;
+/// otherwise the VBATCH_ADMISSION env knob applies (mirroring the
+/// VBATCH_INJECT_FAULTS precedence rule).
+AdmissionConfig resolve_admission(const AdmissionConfig& explicit_cfg) {
+  if (explicit_cfg.enabled) return explicit_cfg;
+  if (const char* env = std::getenv("VBATCH_ADMISSION"); env != nullptr && *env != '\0')
+    return parse_admission_spec(env);
+  return explicit_cfg;
+}
+
+/// Nominal per-executor peaks seeding the capacity model. Double precision:
+/// the conservative end — single-precision requests only make the estimate
+/// safer, and calibration corrects it after the first launch anyway.
+std::vector<double> executor_peaks(const hetero::DevicePool& pool) {
+  std::vector<double> peaks;
+  peaks.reserve(static_cast<std::size_t>(pool.size()));
+  for (int e = 0; e < pool.size(); ++e)
+    peaks.push_back(pool.executor(e).peak_gflops(Precision::Double));
+  return peaks;
+}
+
+/// Outcome of a request shed by the admission layer at instant `t`: no
+/// launch slice, zero latency (it never queued past the decision point).
+RequestOutcome rejected_outcome(const Request& r, RequestStatus status, double t) {
+  RequestOutcome o;
+  o.id = r.id;
+  o.tenant = r.tenant;
+  o.status = status;
+  o.submit_time = r.submit_time;
+  o.dispatch_time = t;
+  o.complete_time = t;
+  o.deadline = r.deadline;
+  o.flops = r.flops();
+  return o;
+}
 
 /// The host queue a merged batch lives on mirrors the pool's first GPU (or
 /// the K40c default for CPU-only pools) so arena accounting and the potrs
@@ -78,6 +118,8 @@ LaunchResult run_merged(hetero::DevicePool& pool, const Coalescer::Flush& flush,
   out.seconds = hr.seconds;
   out.flops = hr.flops;
   out.joules = hr.energy.joules;
+  out.lost.reserve(hr.executors.size());
+  for (const auto& rep : hr.executors) out.lost.push_back(rep.lost ? 1 : 0);
 
   // Posv requests continue into the vbatched triangular solve on the host
   // queue (matrices whose factorization failed or was poisoned are skipped
@@ -112,6 +154,7 @@ LaunchResult run_merged(hetero::DevicePool& pool, const Coalescer::Flush& flush,
     o.id = r.id;
     o.tenant = r.tenant;
     o.submit_time = r.submit_time;
+    o.deadline = r.deadline;
     o.flops = r.flops();
     o.merged_with = total;
     o.info.assign(info.begin() + k, info.begin() + k + r.matrices());
@@ -169,13 +212,16 @@ BatchRecord record_of(int id, const Coalescer::Flush& flush, const LaunchResult&
 ServiceReport replay_trace(hetero::DevicePool& pool, const Trace& trace,
                            const ServiceConfig& cfg) {
   Coalescer coalescer(cfg.coalesce);
+  AdmissionController admission(resolve_admission(cfg.admission), executor_peaks(pool));
   std::map<std::string, double> weights;
   for (const auto& [tenant, weight] : trace.tenants) {
     coalescer.set_weight(tenant, weight);
+    admission.set_weight(tenant, weight);
     weights[tenant] = weight;
   }
   for (const auto& [tenant, weight] : cfg.tenant_weights) {
     coalescer.set_weight(tenant, weight);
+    admission.set_weight(tenant, weight);
     weights[tenant] = weight;
   }
 
@@ -199,9 +245,20 @@ ServiceReport replay_trace(hetero::DevicePool& pool, const Trace& trace,
     const double t_dispatch = std::max(pool_free, coalescer.next_ready());
     if (t_arrival <= t_dispatch) {
       // Arrivals up to the dispatch instant join the queue first — a busy
-      // pool is exactly what deepens batches under load.
+      // pool is exactly what deepens batches under load. Admission runs at
+      // the arrival instant against the backlog snapshot; a shed request
+      // resolves immediately with its named rejection status.
       advance(t_arrival);
-      coalescer.add(trace.requests[next], t_arrival);
+      const Request& r = trace.requests[next];
+      const QueueSnapshot snap{coalescer.depth(), coalescer.pending_bytes(),
+                               coalescer.pending_flops(), pool_free};
+      const AdmissionDecision verdict = admission.admit(r, t_arrival, snap);
+      if (verdict != AdmissionDecision::Admit) {
+        report.outcomes.push_back(rejected_outcome(r, status_of(verdict), t_arrival));
+        ++next;
+        continue;
+      }
+      coalescer.add(r, t_arrival);
       report.peak_queue_depth = std::max(report.peak_queue_depth, coalescer.depth());
       ++next;
       continue;
@@ -209,6 +266,14 @@ ServiceReport replay_trace(hetero::DevicePool& pool, const Trace& trace,
     advance(t_dispatch);
     auto flush = coalescer.pop_ready(t_dispatch);
     require(flush.has_value(), "replay_trace: internal scheduling error (no ready group)");
+    // Deadline shedding at dispatch: drop what queued past its SLO before
+    // spending launch time on it (the shrunken launch may rescue the rest).
+    auto filtered = admission.filter_deadlines(std::move(flush->admitted), t_dispatch);
+    for (const Request& r : filtered.dropped)
+      report.outcomes.push_back(
+          rejected_outcome(r, RequestStatus::RejectedDeadline, t_dispatch));
+    if (filtered.kept.empty()) continue;
+    flush->admitted = std::move(filtered.kept);
     const LaunchResult lr = run_flush(pool, *flush, cfg);
     const double t_done = t_dispatch + lr.seconds;
     pool_free = t_done;
@@ -220,10 +285,27 @@ ServiceReport replay_trace(hetero::DevicePool& pool, const Trace& trace,
       report.outcomes.push_back(std::move(o));
     }
     report.batch_log.push_back(b);
+    // Capacity feedback: calibrate on the observed launch; an executor the
+    // fault layer reports permanently lost cuts the estimate and triggers
+    // one graceful-degradation shed pass over the queued backlog
+    // (lowest-weight tenants first), effective at the completion instant.
+    admission.observe_launch(lr.flops, lr.seconds, lr.lost);
+    if (admission.take_capacity_drop()) {
+      std::vector<PendingItem> backlog;
+      for (const auto& p : coalescer.pending())
+        backlog.push_back(PendingItem{p.id, p.tenant, p.flops});
+      for (std::uint64_t id : admission.shed_plan(backlog)) {
+        const Request victim = coalescer.remove(id);
+        report.outcomes.push_back(
+            rejected_outcome(victim, RequestStatus::RejectedQueueFull, t_done));
+      }
+    }
   }
 
   report.finalize(weights);
   report.mean_queue_depth = report.makespan > 0.0 ? depth_integral / report.makespan : 0.0;
+  report.capacity_gflops = admission.capacity_gflops();
+  report.admission_enabled = admission.enabled();
   return report;
 }
 
@@ -252,59 +334,118 @@ bool JobTicket::done() const {
 struct Service::Impl {
   hetero::DevicePool* pool = nullptr;
   ServiceConfig cfg;
-  RequestQueue queue;
+  AdmissionConfig acfg;  ///< resolved (explicit > VBATCH_ADMISSION > off)
+  RequestQueue queue;    ///< bounded by acfg.max_queue (0 = unbounded)
   Coalescer coalescer;
   std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
   std::thread worker;
 
-  std::mutex mutex;  // guards tickets / results / next_id across threads
+  std::mutex mutex;  // guards tickets / results / admission across threads
+  AdmissionController admission;
   std::map<std::uint64_t, std::shared_ptr<detail::TicketState>> tickets;
   std::vector<BatchRecord> batch_log;
   std::vector<RequestOutcome> outcomes;
   std::uint64_t next_id = 0;
   int batch_seq = 0;
   int peak_depth = 0;  // dispatcher-only
+  // Backlog snapshot the submit-side admission check reads; the dispatcher
+  // refreshes it after every coalescer mutation (guarded by `mutex`).
+  int pending_depth = 0;
+  double pending_bytes = 0.0;
+  double pending_flops = 0.0;
   bool drained = false;
   ServiceReport report;
 
   explicit Impl(hetero::DevicePool& p, ServiceConfig c)
-      : pool(&p), cfg(std::move(c)), coalescer(cfg.coalesce) {
-    for (const auto& [tenant, weight] : cfg.tenant_weights)
+      : pool(&p),
+        cfg(std::move(c)),
+        acfg(resolve_admission(cfg.admission)),
+        queue(acfg.max_queue),
+        coalescer(cfg.coalesce),
+        admission(acfg, executor_peaks(p)) {
+    for (const auto& [tenant, weight] : cfg.tenant_weights) {
       coalescer.set_weight(tenant, weight);
+      admission.set_weight(tenant, weight);
+    }
   }
 
   [[nodiscard]] double now() const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   }
 
-  void dispatch(const Coalescer::Flush& flush) {
+  /// Records a terminal outcome and signals its ticket (launch completions
+  /// and admission rejections share this path, so a shed request's
+  /// JobTicket::wait returns instead of hanging).
+  void complete(RequestOutcome o) {
+    std::shared_ptr<detail::TicketState> to_signal;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (const auto it = tickets.find(o.id); it != tickets.end()) {
+        {
+          std::lock_guard<std::mutex> tl(it->second->mutex);
+          it->second->outcome = o;
+          it->second->done = true;
+        }
+        to_signal = it->second;
+      }
+      outcomes.push_back(std::move(o));
+    }
+    if (to_signal) to_signal->cv.notify_all();
+  }
+
+  void refresh_backlog() {
+    std::lock_guard<std::mutex> lock(mutex);
+    pending_depth = coalescer.depth();
+    pending_bytes = coalescer.pending_bytes();
+    pending_flops = coalescer.pending_flops();
+  }
+
+  void dispatch(Coalescer::Flush flush) {
     const double t_dispatch = now();
+    AdmissionController::Filtered filtered;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      filtered = admission.filter_deadlines(std::move(flush.admitted), t_dispatch);
+    }
+    for (const Request& r : filtered.dropped)
+      complete(rejected_outcome(r, RequestStatus::RejectedDeadline, t_dispatch));
+    if (filtered.kept.empty()) return;
+    flush.admitted = std::move(filtered.kept);
     const LaunchResult lr = run_flush(*pool, flush, cfg);
     const double t_done = now();
     const BatchRecord b = [&] {
       std::lock_guard<std::mutex> lock(mutex);
-      return record_of(batch_seq++, flush, lr, t_dispatch);
+      batch_log.push_back(record_of(batch_seq++, flush, lr, t_dispatch));
+      admission.observe_launch(lr.flops, lr.seconds, lr.lost);
+      return batch_log.back();
     }();
-    std::vector<std::shared_ptr<detail::TicketState>> to_signal;
+    for (RequestOutcome o : lr.outcomes) {
+      o.dispatch_time = t_dispatch;
+      o.complete_time = t_done;
+      o.batch_id = b.id;
+      complete(std::move(o));
+    }
+  }
+
+  /// One graceful-degradation shed pass after a capacity drop: victims are
+  /// removed from the coalescer (dispatcher-owned) and resolved with the
+  /// queue-full rejection status.
+  void shed_after_drop() {
+    bool dropped;
+    std::vector<PendingItem> backlog;
+    for (const auto& p : coalescer.pending())
+      backlog.push_back(PendingItem{p.id, p.tenant, p.flops});
+    std::vector<std::uint64_t> plan;
     {
       std::lock_guard<std::mutex> lock(mutex);
-      batch_log.push_back(b);
-      for (RequestOutcome o : lr.outcomes) {
-        o.dispatch_time = t_dispatch;
-        o.complete_time = t_done;
-        o.batch_id = b.id;
-        if (const auto it = tickets.find(o.id); it != tickets.end()) {
-          {
-            std::lock_guard<std::mutex> tl(it->second->mutex);
-            it->second->outcome = o;
-            it->second->done = true;
-          }
-          to_signal.push_back(it->second);
-        }
-        outcomes.push_back(std::move(o));
-      }
+      dropped = admission.take_capacity_drop();
+      if (dropped) plan = admission.shed_plan(backlog);
     }
-    for (const auto& st : to_signal) st->cv.notify_all();
+    const double t = now();
+    for (std::uint64_t id : plan) {
+      const Request victim = coalescer.remove(id);
+      complete(rejected_outcome(victim, RequestStatus::RejectedQueueFull, t));
+    }
   }
 
   void loop() {
@@ -318,8 +459,13 @@ struct Service::Impl {
       const double t = now();
       for (Request& r : incoming) coalescer.add(std::move(r), t);
       peak_depth = std::max(peak_depth, coalescer.depth());
+      refresh_backlog();
       const bool force = closing && queue.depth() == 0;
-      while (auto flush = coalescer.pop_ready(now(), force)) dispatch(*flush);
+      while (auto flush = coalescer.pop_ready(now(), force)) {
+        dispatch(std::move(*flush));
+        shed_after_drop();
+        refresh_backlog();
+      }
       if (closing && queue.depth() == 0 && coalescer.empty()) return;
     }
   }
@@ -337,6 +483,8 @@ Service::~Service() {
 
 JobTicket Service::submit(Request r) {
   auto state = std::make_shared<detail::TicketState>();
+  r.submit_time = impl_->now();
+  RequestStatus rejection = RequestStatus::Pending;
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     require(!impl_->drained, "Service: submit after drain");
@@ -345,10 +493,22 @@ JobTicket Service::submit(Request r) {
     if (!impl_->tickets.emplace(r.id, state).second)
       throw_error(Status::InvalidArgument,
                   "Service: duplicate request id " + std::to_string(r.id));
+    // Admission at the submit instant: the backlog snapshot covers the
+    // ingress queue plus the dispatcher's coalescer state.
+    const QueueSnapshot snap{impl_->queue.depth() + impl_->pending_depth,
+                             impl_->pending_bytes, impl_->pending_flops, r.submit_time};
+    const AdmissionDecision verdict = impl_->admission.admit(r, r.submit_time, snap);
+    if (verdict != AdmissionDecision::Admit) rejection = status_of(verdict);
   }
   state->id = r.id;
-  r.submit_time = impl_->now();
-  impl_->queue.push(std::move(r));
+  if (rejection == RequestStatus::Pending) {
+    // Bounded ingress: a full queue sheds (non-blocking) rather than
+    // stalling the submitter — the ticket resolves with QueueFull below.
+    if (impl_->queue.try_submit(r) == Status::QueueFull)
+      rejection = RequestStatus::RejectedQueueFull;
+  }
+  if (rejection != RequestStatus::Pending)
+    impl_->complete(rejected_outcome(r, rejection, r.submit_time));
   return JobTicket(state);
 }
 
@@ -372,6 +532,8 @@ ServiceReport Service::drain() {
                                           impl_->cfg.tenant_weights.end());
     report.finalize(weights);
     report.peak_queue_depth = impl_->peak_depth;
+    report.capacity_gflops = impl_->admission.capacity_gflops();
+    report.admission_enabled = impl_->admission.enabled();
     impl_->report = std::move(report);
     impl_->drained = true;
   }

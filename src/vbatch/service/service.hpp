@@ -36,6 +36,7 @@
 #include "vbatch/core/queue.hpp"
 #include "vbatch/hetero/device_pool.hpp"
 #include "vbatch/hetero/potrf_hetero.hpp"
+#include "vbatch/service/admission.hpp"
 #include "vbatch/service/coalescer.hpp"
 #include "vbatch/service/report.hpp"
 #include "vbatch/service/trace.hpp"
@@ -44,6 +45,10 @@ namespace vbatch::service {
 
 struct ServiceConfig {
   CoalescerConfig coalesce;
+  /// Overload protection (token buckets, watermarks, deadline shedding,
+  /// capacity feedback). Disabled by default; the VBATCH_ADMISSION env knob
+  /// applies only when no explicit config enabled it.
+  AdmissionConfig admission;
   hetero::HeteroOptions hetero;  ///< forwarded to every merged launch
   Uplo uplo = Uplo::Lower;
   /// TimingOnly (default) replays pure queueing/timing studies; Full runs

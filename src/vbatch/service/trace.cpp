@@ -112,7 +112,7 @@ Trace parse_trace(std::istream& in) {
           if (t == name) w = weight;
     } else if (directive == "req") {
       const auto fields = parse_fields(
-          line, tokens, {"id", "t", "tenant", "op", "prec", "n", "nrhs", "seed"});
+          line, tokens, {"id", "t", "tenant", "op", "prec", "n", "nrhs", "seed", "deadline"});
       Request r;
       r.id = parse_u64(line, "id", required(line, fields, "id"));
       if (!seen_ids.insert(r.id).second)
@@ -152,6 +152,11 @@ Trace parse_trace(std::istream& in) {
       }
       if (const auto it = fields.find("seed"); it != fields.end())
         r.seed = parse_u64(line, "seed", it->second);
+      if (const auto it = fields.find("deadline"); it != fields.end()) {
+        r.deadline = parse_double(line, "deadline", it->second);
+        if (r.deadline <= 0.0)
+          fail(line, "deadline must be positive seconds (omit the field for no SLO)");
+      }
       if (declared.count(r.tenant) == 0 && referenced.count(r.tenant) == 0)
         trace.tenants.emplace_back(r.tenant, 1.0);
       referenced.insert(r.tenant);
@@ -193,6 +198,7 @@ std::string format_trace(const Trace& trace) {
       out << (i > 0 ? "," : "") << r.sizes[i];
     if (r.op == Op::Posv) out << " nrhs=" << r.nrhs;
     if (r.seed != 0) out << " seed=" << r.seed;
+    if (r.deadline > 0.0) out << " deadline=" << r.deadline;
     out << "\n";
   }
   return out.str();
@@ -202,6 +208,10 @@ Trace make_trace(const TraceGenConfig& cfg) {
   require(cfg.count >= 1 && cfg.tenants >= 1 && cfg.nmax >= 1 && cfg.max_matrices >= 1 &&
               cfg.rate > 0.0,
           "make_trace: count/tenants/nmax/max_matrices/rate must be positive");
+  require(cfg.burst >= 0.0, "make_trace: burst must be non-negative");
+  require(cfg.deadline_frac >= 0.0 && cfg.deadline_frac <= 1.0,
+          "make_trace: deadline_frac must be in [0, 1]");
+  require(cfg.deadline_seconds > 0.0, "make_trace: deadline_seconds must be positive");
   Trace trace;
   for (int t = 0; t < cfg.tenants; ++t)
     trace.tenants.emplace_back("tenant" + std::to_string(t), 1.0);
@@ -219,9 +229,14 @@ Trace make_trace(const TraceGenConfig& cfg) {
     Rng sz(cfg.seed ^ (r.id * 0x9E3779B97F4A7C15ull));
     r.sizes = make_sizes(cfg.dist, sz, matrices, cfg.nmax);
     if (r.op == Op::Posv) r.nrhs = static_cast<int>(rng.uniform_int(1, 4));
+    if (cfg.deadline_frac > 0.0 && rng.uniform() < cfg.deadline_frac)
+      r.deadline = cfg.deadline_seconds;
     r.submit_time = t;
-    // Deterministic exponential inter-arrival gap of mean 1/rate.
-    t += -std::log(1.0 - rng.uniform()) / cfg.rate;
+    // Deterministic exponential inter-arrival gap of mean 1/rate; the
+    // middle third of an overload trace arrives burst× faster.
+    double rate = cfg.rate;
+    if (cfg.burst > 1.0 && i >= cfg.count / 3 && i < 2 * cfg.count / 3) rate *= cfg.burst;
+    t += -std::log(1.0 - rng.uniform()) / rate;
     trace.requests.push_back(std::move(r));
   }
   return trace;

@@ -65,6 +65,15 @@ struct TraceGenConfig {
   bool mix_ops = false;      ///< sprinkle posv requests among the potrfs
   bool mix_precisions = false;
   std::uint64_t seed = 2016;
+  /// Overload-trace knobs (docs/service.md, "Overload & admission"):
+  /// burst > 1 compresses the inter-arrival gaps of the middle third of the
+  /// trace by that factor — a sustained burst at burst× the nominal rate,
+  /// the shape admission control exists for. 0 or 1 = steady arrivals.
+  double burst = 0.0;
+  /// Fraction of requests (deterministically chosen) carrying a completion
+  /// deadline of `deadline_seconds`. 0 = no SLOs.
+  double deadline_frac = 0.0;
+  double deadline_seconds = 5e-3;
 };
 [[nodiscard]] Trace make_trace(const TraceGenConfig& cfg);
 

@@ -356,6 +356,13 @@ void expect_reports_identical(const ServiceReport& a, const ServiceReport& b) {
   EXPECT_EQ(a.peak_queue_depth, b.peak_queue_depth);
   EXPECT_EQ(bits(a.p50_latency), bits(b.p50_latency));
   EXPECT_EQ(bits(a.p99_latency), bits(b.p99_latency));
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.expired, b.expired);
+  EXPECT_EQ(a.slo_total, b.slo_total);
+  EXPECT_EQ(a.slo_met, b.slo_met);
+  EXPECT_EQ(bits(a.goodput_flops), bits(b.goodput_flops));
+  EXPECT_EQ(bits(a.capacity_gflops), bits(b.capacity_gflops));
   ASSERT_EQ(a.batch_log.size(), b.batch_log.size());
   for (std::size_t i = 0; i < a.batch_log.size(); ++i) {
     EXPECT_EQ(a.batch_log[i].reason, b.batch_log[i].reason);

@@ -12,8 +12,16 @@
 // Usage:
 //   trace_replay --gen [--count N] [--tenants N] [--rate R] [--nmax N]
 //                [--max-matrices N] [--mix-ops] [--mix-precisions] [--seed N]
+//                [--burst F] [--deadline-frac F] [--deadline S]
 //   trace_replay --replay FILE [--pool DESC] [--latency-budget S]
 //                [--max-batch N] [--max-footprint-gb X] [--full] [--check]
+//                [--max-queue N] [--tenant-rate G]
+//
+// --burst F makes the middle third of the generated trace arrive F times
+// faster (an overload wave); --deadline-frac F tags that fraction of the
+// requests with a deadline of --deadline seconds (default 5 ms). On the
+// replay side --max-queue/--tenant-rate enable admission control, the same
+// knobs as `vbatch_cli --serve` (docs/service.md, "Overload & admission").
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -28,8 +36,10 @@ namespace {
   std::printf(
       "usage: trace_replay --gen [--count N] [--tenants N] [--rate R] [--nmax N]\n"
       "                    [--max-matrices N] [--mix-ops] [--mix-precisions] [--seed N]\n"
+      "                    [--burst F] [--deadline-frac F] [--deadline S]\n"
       "       trace_replay --replay FILE [--pool DESC] [--latency-budget S]\n"
-      "                    [--max-batch N] [--max-footprint-gb X] [--full] [--check]\n");
+      "                    [--max-batch N] [--max-footprint-gb X] [--full] [--check]\n"
+      "                    [--max-queue N] [--tenant-rate G]\n");
   std::exit(exit_code);
 }
 
@@ -64,6 +74,9 @@ int main(int argc, char** argv) {
     else if (arg == "--mix-ops") gen_cfg.mix_ops = true;
     else if (arg == "--mix-precisions") gen_cfg.mix_precisions = true;
     else if (arg == "--seed") gen_cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--burst") gen_cfg.burst = std::atof(next());
+    else if (arg == "--deadline-frac") gen_cfg.deadline_frac = std::atof(next());
+    else if (arg == "--deadline") gen_cfg.deadline_seconds = std::atof(next());
     else if (arg == "--pool") pool_desc = next();
     else if (arg == "--latency-budget") cfg.coalesce.latency_budget = std::atof(next());
     else if (arg == "--max-batch") cfg.coalesce.max_batch = std::atoi(next());
@@ -71,6 +84,13 @@ int main(int argc, char** argv) {
       cfg.coalesce.max_bytes = std::atof(next()) * 1024.0 * 1024.0 * 1024.0;
     else if (arg == "--full") cfg.mode = sim::ExecMode::Full;
     else if (arg == "--check") check = true;
+    else if (arg == "--max-queue") {
+      cfg.admission.enabled = true;
+      cfg.admission.max_queue = std::atoi(next());
+    } else if (arg == "--tenant-rate") {
+      cfg.admission.enabled = true;
+      cfg.admission.tenant_rate_gflops = std::atof(next());
+    }
     else usage(2);
   }
   if (gen == !replay_file.empty()) usage(2);  // exactly one mode
@@ -94,6 +114,8 @@ int main(int argc, char** argv) {
       const svc::ServiceReport again = svc::replay_trace(pool2, trace, cfg);
       const bool same =
           report.requests == again.requests && report.batches == again.batches &&
+          report.shed == again.shed && report.expired == again.expired &&
+          std::memcmp(&report.goodput_flops, &again.goodput_flops, sizeof(double)) == 0 &&
           std::memcmp(&report.makespan, &again.makespan, sizeof(double)) == 0 &&
           std::memcmp(&report.flops, &again.flops, sizeof(double)) == 0 &&
           std::memcmp(&report.joules, &again.joules, sizeof(double)) == 0 &&

@@ -74,6 +74,16 @@
 //                      e.g. --tenants bursty=2,quiet=1 (requires --serve;
 //                      overrides the trace's tenant declarations; weights
 //                      must be positive — zero would starve the tenant)
+//     --max-queue N    enable admission control with a bound of N pending
+//                      requests (requires --serve; default unbounded):
+//                      arrivals past the watermark are shed with a named
+//                      rejection instead of growing the queue — see
+//                      docs/service.md, "Overload & admission"
+//     --tenant-rate G  enable admission control with a per-tenant token
+//                      bucket of G Gflop/s, scaled by each tenant's fairness
+//                      weight (requires --serve; default unlimited); the
+//                      VBATCH_ADMISSION env var is the no-flag alternative
+//                      and composes the full knob set
 //     --help           print usage and exit
 #include <cstdio>
 #include <cstring>
@@ -119,6 +129,8 @@ struct CliOptions {
   int max_batch = 0;            ///< matrices per merged launch (0 = unbounded)
   double max_footprint_gb = 0.0;  ///< payload cap per launch, GiB (0 = unbounded)
   std::string tenants;          ///< "name=weight,..." fairness overrides
+  int max_queue = 0;            ///< >0 = admission queue-depth watermark
+  double tenant_rate = 0.0;     ///< >0 = per-tenant token-bucket Gflop/s
 };
 
 [[noreturn]] void usage(const char* argv0, int exit_code) {
@@ -130,7 +142,8 @@ struct CliOptions {
               "          [--isa scalar|sse2|neon|avx2|avx512]\n"
               "          [--profile] [--energy] [--verify] [--threads N] [--seed N]\n"
               "          [--serve --trace FILE [--latency-budget S] [--max-batch N]\n"
-              "           [--max-footprint-gb X] [--tenants name=w,...]] [--help]\n",
+              "           [--max-footprint-gb X] [--tenants name=w,...]\n"
+              "           [--max-queue N] [--tenant-rate G]] [--help]\n",
               argv0);
   std::exit(exit_code);
 }
@@ -196,6 +209,8 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--max-batch") o.max_batch = std::atoi(next());
     else if (arg == "--max-footprint-gb") o.max_footprint_gb = std::atof(next());
     else if (arg == "--tenants") o.tenants = next();
+    else if (arg == "--max-queue") o.max_queue = std::atoi(next());
+    else if (arg == "--tenant-rate") o.tenant_rate = std::atof(next());
     else usage(argv[0], 2);
   }
   if (o.batch < 1 || o.nmax < 1 || o.threads < 0 || o.streams < 0) usage(argv[0], 2);
@@ -220,14 +235,18 @@ CliOptions parse(int argc, char** argv) {
     std::exit(2);
   }
   if (!o.serve && (!o.trace_file.empty() || !o.tenants.empty() || o.max_batch != 0 ||
-                   o.max_footprint_gb != 0.0 || o.latency_budget != 1e-3)) {
+                   o.max_footprint_gb != 0.0 || o.latency_budget != 1e-3 ||
+                   o.max_queue != 0 || o.tenant_rate != 0.0)) {
     std::fprintf(stderr,
-                 "--trace/--latency-budget/--max-batch/--max-footprint-gb/--tenants "
-                 "require --serve\n");
+                 "--trace/--latency-budget/--max-batch/--max-footprint-gb/--tenants/"
+                 "--max-queue/--tenant-rate require --serve\n");
     std::exit(2);
   }
-  if (o.latency_budget < 0.0 || o.max_batch < 0 || o.max_footprint_gb < 0.0) {
-    std::fprintf(stderr, "--latency-budget/--max-batch/--max-footprint-gb must be >= 0\n");
+  if (o.latency_budget < 0.0 || o.max_batch < 0 || o.max_footprint_gb < 0.0 ||
+      o.max_queue < 0 || o.tenant_rate < 0.0) {
+    std::fprintf(stderr,
+                 "--latency-budget/--max-batch/--max-footprint-gb/--max-queue/"
+                 "--tenant-rate must be >= 0\n");
     std::exit(2);
   }
   return o;
@@ -305,6 +324,11 @@ int run_serve(const CliOptions& o) {
   cfg.coalesce.max_bytes = o.max_footprint_gb * 1024.0 * 1024.0 * 1024.0;
   cfg.hetero.potrf = o.potrf;
   cfg.mode = o.verify ? sim::ExecMode::Full : sim::ExecMode::TimingOnly;
+  if (o.max_queue > 0 || o.tenant_rate > 0.0) {
+    cfg.admission.enabled = true;
+    cfg.admission.max_queue = o.max_queue;
+    cfg.admission.tenant_rate_gflops = o.tenant_rate;
+  }
   if (!o.tenants.empty()) {
     try {
       cfg.tenant_weights = parse_tenants(o.tenants);
@@ -321,6 +345,11 @@ int run_serve(const CliOptions& o) {
               o.max_batch > 0 ? std::to_string(o.max_batch).c_str() : "unbounded",
               o.max_footprint_gb > 0.0 ? (std::to_string(o.max_footprint_gb) + " GiB").c_str()
                                        : "unbounded");
+  if (cfg.admission.enabled)
+    std::printf("admit:    max-queue %s, tenant-rate %s\n",
+                o.max_queue > 0 ? std::to_string(o.max_queue).c_str() : "unbounded",
+                o.tenant_rate > 0.0 ? (std::to_string(o.tenant_rate) + " Gflop/s").c_str()
+                                    : "unlimited");
   svc::ServiceReport report;
   try {
     report = svc::replay_trace(pool, trace, cfg);
